@@ -1,0 +1,372 @@
+(* sea-cli: command-line driver for the simulated minimal-TCB platform.
+
+   Subcommands:
+     machines    list the modelled platforms
+     session     run a PAL in a Flicker-style session and show the breakdown
+     attest      run the full remote-attestation protocol
+     lifecycle   walk the SLAUNCH lifecycle (Figure 6) with timings
+     attack      mount the §3.2 threat-model attacks and report verdicts *)
+
+open Cmdliner
+open Sea_sim
+open Sea_hw
+open Sea_core
+
+(* --- shared options --- *)
+
+let machine_presets =
+  [
+    ("dc5750", Machine.hp_dc5750);
+    ("tyan", Machine.tyan_n3600r);
+    ("tep", Machine.intel_tep);
+    ("t60", Machine.lenovo_t60);
+    ("infineon", Machine.amd_infineon);
+  ]
+
+let machine_arg =
+  let doc =
+    "Machine preset: " ^ String.concat ", " (List.map fst machine_presets) ^ "."
+  in
+  Arg.(
+    value
+    & opt (enum machine_presets) Machine.hp_dc5750
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let proposed_arg =
+  let doc = "Equip the machine with the paper's proposed hardware (§5)." in
+  Arg.(value & flag & info [ "proposed" ] ~doc)
+
+let make_machine config proposed =
+  Machine.create (if proposed then Machine.proposed_variant config else config)
+
+let pal_presets =
+  [
+    ("gen", `Gen);
+    ("use", `Use);
+    ("ca", `Ca);
+    ("ssh", `Ssh);
+    ("rootkit", `Rootkit);
+    ("factor", `Factor);
+  ]
+
+let or_die = function
+  | Ok x -> x
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+(* --- machines --- *)
+
+let machines_cmd =
+  let run () =
+    Printf.printf "%-10s %-30s %-6s %-8s %-10s %s\n" "NAME" "MODEL" "ARCH" "CORES"
+      "CPU" "TPM";
+    List.iter
+      (fun (name, c) ->
+        Printf.printf "%-10s %-30s %-6s %-8d %-10s %s\n" name c.Machine.name
+          (match c.Machine.arch with Machine.Amd -> "AMD" | Machine.Intel -> "Intel")
+          c.Machine.cpu_count
+          (Printf.sprintf "%.2fGHz" c.Machine.cpu_ghz)
+          (match c.Machine.tpm_vendor with
+          | Some v -> Sea_tpm.Vendor.name v
+          | None -> "none"))
+      machine_presets;
+    Printf.printf
+      "\nAdd --proposed to any command to equip the machine with SLAUNCH,\n\
+       the access-control table and a sePCR bank.\n"
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List the modelled platforms")
+    Term.(const run $ const ())
+
+(* --- session --- *)
+
+let run_session machine_config proposed which =
+  let m = make_machine machine_config proposed in
+  Printf.printf "Machine: %s\n" m.Machine.config.Machine.name;
+  let show name (b : Session.breakdown) output =
+    Printf.printf
+      "%s: late launch %s | seal %s | unseal %s | total overhead %s\n" name
+      (Time.to_string b.Session.late_launch)
+      (Time.to_string b.Session.seal)
+      (Time.to_string b.Session.unseal)
+      (Time.to_string (Session.overhead b));
+    Printf.printf "output: %d bytes\n" (String.length output)
+  in
+  match which with
+  | `Gen ->
+      let o = or_die (Session.execute m ~cpu:0 (Generic.pal_gen ()) ~input:"") in
+      show "PAL Gen" o.Session.breakdown o.Session.output
+  | `Use ->
+      let g = or_die (Session.execute m ~cpu:0 (Generic.pal_gen ()) ~input:"") in
+      let o =
+        or_die (Session.execute m ~cpu:0 (Generic.pal_use ()) ~input:g.Session.output)
+      in
+      show "PAL Use" o.Session.breakdown o.Session.output
+  | `Ca ->
+      let ca = or_die (Sea_apps.Cert_authority.init m ~cpu:0 ()) in
+      let cert = or_die (Sea_apps.Cert_authority.sign_csr m ~cpu:0 ca ~csr:"CN=cli") in
+      Printf.printf "CA initialized and issued a certificate (%d bytes); verifies: %b\n"
+        (String.length cert)
+        (Sea_apps.Cert_authority.verify_certificate ca ~csr:"CN=cli" ~signature:cert)
+  | `Ssh ->
+      let acct =
+        or_die (Sea_apps.Ssh_password.setup m ~cpu:0 ~user:"cli" ~password:"pw")
+      in
+      Printf.printf "right password: %b; wrong password: %b\n"
+        (or_die (Sea_apps.Ssh_password.authenticate m ~cpu:0 acct ~password:"pw"))
+        (or_die (Sea_apps.Ssh_password.authenticate m ~cpu:0 acct ~password:"no"))
+  | `Rootkit ->
+      let img = Sea_apps.Rootkit_detector.make_kernel_image ~seed:"cli" () in
+      let wl = Sea_apps.Rootkit_detector.whitelist_digest img in
+      Printf.printf "clean image: %b; infected image clean: %b\n"
+        (or_die (Sea_apps.Rootkit_detector.check m ~cpu:0 ~whitelist:wl ~kernel_image:img))
+        (or_die
+           (Sea_apps.Rootkit_detector.check m ~cpu:0 ~whitelist:wl
+              ~kernel_image:(Sea_apps.Rootkit_detector.infect img ~at:7)))
+  | `Factor ->
+      let fs, sessions =
+        or_die (Sea_apps.Factoring.run_to_completion m ~cpu:0 ~n:(101 * 103 * 107) ~range:30 ())
+      in
+      Printf.printf "factored into %s over %d sealed-state sessions (%s simulated)\n"
+        (String.concat "*" (List.map string_of_int fs))
+        sessions
+        (Time.to_string (Machine.now m))
+
+let session_cmd =
+  let pal_arg =
+    let doc = "PAL to run: " ^ String.concat ", " (List.map fst pal_presets) ^ "." in
+    Arg.(value & opt (enum pal_presets) `Gen & info [ "p"; "pal" ] ~docv:"PAL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "session" ~doc:"Run a PAL in a Flicker-style SEA session")
+    Term.(const run_session $ machine_arg $ proposed_arg $ pal_arg)
+
+(* --- attest --- *)
+
+let run_attest machine_config proposed =
+  let m = make_machine machine_config proposed in
+  let nonce = "cli-nonce" in
+  if proposed then begin
+    let pal =
+      Pal.create ~name:"cli-attested" ~code_size:8192 ~compute_time:(Time.ms 5.)
+        (fun services _ -> services.Pal.seal "s")
+    in
+    let s = or_die (Slaunch_session.start m ~cpu:0 pal ~input:"") in
+    (match or_die (Slaunch_session.run_slice s ~cpu:0 ()) with
+    | `Finished -> ()
+    | `Yielded -> prerr_endline "unexpected yield");
+    let q, t = or_die (Slaunch_session.quote_after_exit s ~nonce) in
+    Printf.printf "sePCR quote in %s\n" (Time.to_string t);
+    (match
+       Attestation.verify
+         ~ca:(Sea_tpm.Tpm.privacy_ca_public ())
+         ~nonce
+         (Attestation.expect_slaunch_exit pal)
+         (Attestation.gather m q)
+     with
+    | Ok () -> print_endline "verifier: ACCEPTED (SLAUNCH execution attested)"
+    | Error e -> Printf.printf "verifier: REJECTED (%s)\n" e);
+    Slaunch_session.release s
+  end
+  else begin
+    let pal = Generic.pal_gen () in
+    ignore (or_die (Session.execute m ~cpu:0 pal ~input:""));
+    let q, t = or_die (Session.quote m ~nonce) in
+    Printf.printf "TPM quote in %s\n" (Time.to_string t);
+    match
+      Attestation.verify
+        ~ca:(Sea_tpm.Tpm.privacy_ca_public ())
+        ~nonce
+        (Attestation.expect_session_exit m pal)
+        (Attestation.gather m q)
+    with
+    | Ok () -> print_endline "verifier: ACCEPTED (late launch attested)"
+    | Error e -> Printf.printf "verifier: REJECTED (%s)\n" e
+  end
+
+let attest_cmd =
+  Cmd.v
+    (Cmd.info "attest" ~doc:"Run the remote-attestation protocol end to end")
+    Term.(const run_attest $ machine_arg $ proposed_arg)
+
+(* --- lifecycle --- *)
+
+let run_lifecycle machine_config =
+  let m = Machine.create (Machine.proposed_variant machine_config) in
+  let pal =
+    Pal.create ~name:"cli-lifecycle" ~code_size:16384 ~compute_time:(Time.ms 22.)
+      (fun services _ -> services.Pal.seal "state")
+  in
+  let stamp label s =
+    Printf.printf "%-34s state=%-8s t=%s\n" label
+      (Lifecycle.to_string (Slaunch_session.state s))
+      (Time.to_string (Machine.now m))
+  in
+  let s =
+    or_die (Slaunch_session.start m ~cpu:0 ~preemption_timer:(Time.ms 10.) pal ~input:"")
+  in
+  stamp "SLAUNCH (protect+measure+execute)" s;
+  let rec drive cpu =
+    match or_die (Slaunch_session.run_slice s ~cpu ()) with
+    | `Finished -> stamp "work complete; SFREE" s
+    | `Yielded ->
+        stamp "preemption timer; SYIELD" s;
+        let cpu = 1 - cpu in
+        or_die (Slaunch_session.resume s ~cpu);
+        stamp (Printf.sprintf "SLAUNCH resume on CPU %d" cpu) s;
+        drive cpu
+  in
+  drive 0;
+  let q, _ = or_die (Slaunch_session.quote_after_exit s ~nonce:"lc") in
+  stamp "sePCR quoted by untrusted code" s;
+  ignore q;
+  Slaunch_session.release s;
+  stamp "pages returned to the OS" s
+
+let lifecycle_cmd =
+  Cmd.v
+    (Cmd.info "lifecycle" ~doc:"Walk the Figure 6 PAL lifecycle with timings")
+    Term.(const run_lifecycle $ machine_arg)
+
+(* --- attack --- *)
+
+let run_attacks machine_config =
+  let open Sea_os.Adversary in
+  let print name verdict =
+    match verdict with
+    | Blocked how -> Printf.printf "  %-34s BLOCKED by %s\n" name how
+    | Succeeded what -> Printf.printf "  %-34s !!! SUCCEEDED: %s\n" name what
+  in
+  Printf.printf "Threat model of §3.2 against %s + proposed hardware:\n"
+    machine_config.Machine.name;
+  let m = Machine.create (Machine.low_fidelity (Machine.proposed_variant machine_config)) in
+  let pal =
+    Pal.create ~name:"victim" ~code_size:8192 ~compute_time:(Time.ms 10.)
+      (fun services _ -> services.Pal.seal "secret")
+  in
+  let s =
+    or_die (Slaunch_session.start m ~cpu:0 ~preemption_timer:(Time.ms 2.) pal ~input:"")
+  in
+  let page = List.nth (Slaunch_session.secb s).Secb.pages 1 in
+  print "DMA read of PAL page" (dma_read_protected_page m ~device:"nic" ~page);
+  print "cross-CPU read of PAL page" (cpu_read_pal_page m ~cpu:1 ~page);
+  print "double resume on CPU 1" (double_resume m ~cpu:1 (Slaunch_session.secb s));
+  print "SFREE from untrusted code" (sfree_from_outside m ~cpu:1 (Slaunch_session.secb s));
+  print "software PCR 17 reset" (software_pcr17_reset m);
+  print "foreign sePCR extend"
+    (extend_foreign_sepcr m ~cpu:1 (Option.get (Slaunch_session.sepcr_handle s)));
+  print "forge Measured Flag"
+    (forge_measured_flag m ~cpu:1
+       (Pal.create ~name:"forged" ~code_size:4096 (fun _ _ -> Ok "")));
+  (* Rollback replay. *)
+  let tpm = Machine.tpm_exn m in
+  let counter = or_die (Rollback.create_counter tpm) in
+  let v1 =
+    or_die
+      (Rollback.seal tpm ~caller:(Sea_tpm.Tpm.Cpu 0) ~pcr_policy:[] ~counter "v1")
+  in
+  ignore
+    (or_die
+       (Rollback.seal tpm ~caller:(Sea_tpm.Tpm.Cpu 0) ~pcr_policy:[] ~counter "v2"));
+  print "replay stale sealed state" (replay_stale_sealed_state m ~cpu:0 ~stale_blob:v1);
+  (* Cleanup. *)
+  (match or_die (Slaunch_session.run_slice s ~cpu:0 ()) with
+  | `Yielded -> or_die (Slaunch_session.kill s)
+  | `Finished -> ());
+  Slaunch_session.release s
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Mount the threat-model attacks and report verdicts")
+    Term.(const run_attacks $ machine_arg)
+
+(* --- boot --- *)
+
+let run_boot machine_config compromised =
+  let m = Machine.create (Machine.low_fidelity machine_config) in
+  let stack = Sea_os.Boot.standard_stack () in
+  let booted =
+    if compromised then
+      List.map
+        (fun c ->
+          if c.Sea_os.Boot.name = "kernel" then Sea_os.Boot.compromise c else c)
+        stack
+    else stack
+  in
+  let log = or_die (Sea_os.Boot.boot m booted) in
+  Printf.printf "Measured boot of %s (%d components):\n"
+    m.Machine.config.Machine.name
+    (Sea_os.Boot.tcb_entries log);
+  List.iter
+    (fun e ->
+      Printf.printf "  PCR %d <- %s\n" e.Sea_tpm.Event_log.pcr_index
+        e.Sea_tpm.Event_log.description)
+    (Sea_tpm.Event_log.events log);
+  let nonce = "cli-boot" in
+  let q = or_die (Sea_os.Boot.attest m ~nonce) in
+  let whitelist =
+    List.map
+      (fun c -> (c.Sea_os.Boot.name, Sea_crypto.Sha1.digest c.Sea_os.Boot.image))
+      stack
+  in
+  match
+    Sea_os.Boot.verify
+      ~ca:(Sea_tpm.Tpm.privacy_ca_public ())
+      ~nonce
+      ~log:(Sea_tpm.Event_log.events log)
+      ~known_good:whitelist
+      (Attestation.gather m q)
+  with
+  | Ok () -> print_endline "verifier: platform trusted (every component known-good)"
+  | Error e -> Printf.printf "verifier: platform NOT trusted — %s\n" e
+
+let boot_cmd =
+  let compromised_arg =
+    Arg.(value & flag & info [ "compromised" ] ~doc:"Boot a kernel with a rootkit.")
+  in
+  Cmd.v
+    (Cmd.info "boot" ~doc:"Measured (trusted) boot and its whole-stack verifier")
+    Term.(const run_boot $ machine_arg $ compromised_arg)
+
+(* --- toctou --- *)
+
+let run_toctou () =
+  let open Sea_palvm in
+  let run pal input =
+    let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+    let o = or_die (Session.execute m ~cpu:0 pal ~input) in
+    let q, _ = or_die (Session.quote m ~nonce:"t") in
+    (o.Session.output, List.assoc 17 q.Sea_tpm.Tpm.selection)
+  in
+  let d1, p1 = run (Toctou.vulnerable_gate ()) Toctou.benign_input in
+  let d2, p2 = run (Toctou.vulnerable_gate ()) Toctou.exploit_input in
+  Printf.printf "vulnerable gate: benign -> %S, exploit -> %S, attestations equal: %b\n"
+    d1 d2 (p1 = p2);
+  let d3, _ = run (Toctou.hardened_gate ()) Toctou.exploit_input in
+  Printf.printf "hardened gate:   exploit -> %S\n" d3;
+  let d4, p4 = run (Toctou.measured_gate ()) (Toctou.exploit_for ~prologue_insns:6) in
+  let _, p5 = run (Toctou.measured_gate ()) Toctou.benign_input in
+  Printf.printf
+    "measured gate:   exploit -> %S, but attestation differs from benign: %b\n" d4
+    (p4 <> p5)
+
+let toctou_cmd =
+  Cmd.v
+    (Cmd.info "toctou"
+       ~doc:"Footnote 3's load-time-attestation TOCTOU on real bytecode")
+    Term.(const run_toctou $ const ())
+
+(* --- main --- *)
+
+let () =
+  let info =
+    Cmd.info "sea-cli" ~version:"1.0"
+      ~doc:"Simulated minimal-TCB code execution (McCune et al., ASPLOS 2008)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            machines_cmd; session_cmd; attest_cmd; lifecycle_cmd; attack_cmd;
+            boot_cmd; toctou_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cert_authority_demo.ml: Cert_authority List Machine Printf Sea_apps Sea_crypto Sea_hw Sea_sim Sea_tpm String Time

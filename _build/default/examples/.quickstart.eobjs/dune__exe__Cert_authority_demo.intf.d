@@ -1,0 +1,1 @@
+examples/cert_authority_demo.mli:

@@ -1,0 +1,1 @@
+examples/distributed_factoring.ml: Factoring List Machine Printf Sea_apps Sea_hw Sea_sim String Time

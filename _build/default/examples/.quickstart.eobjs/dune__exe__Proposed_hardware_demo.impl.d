@@ -1,0 +1,1 @@
+examples/proposed_hardware_demo.ml: Array Attestation Format Lifecycle List Machine Memctrl Pal Printf Result Sea_core Sea_hw Sea_os Sea_sim Sea_tpm Secb Slaunch_session Stats Time

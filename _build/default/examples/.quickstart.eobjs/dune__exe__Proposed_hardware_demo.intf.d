@@ -1,0 +1,1 @@
+examples/proposed_hardware_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attestation Machine Pal Printf Sea_core Sea_hw Sea_sim Sea_tpm Session Time

@@ -1,0 +1,1 @@
+examples/rootkit_scan.ml: Attestation Machine Printf Rootkit_detector Sea_apps Sea_core Sea_crypto Sea_hw Sea_tpm Session

@@ -1,0 +1,1 @@
+examples/tcb_comparison.ml: Boot List Machine Printf Sea_core Sea_crypto Sea_hw Sea_os Sea_tpm

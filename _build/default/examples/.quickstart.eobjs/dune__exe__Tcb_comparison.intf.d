@@ -1,0 +1,1 @@
+examples/tcb_comparison.mli:

@@ -1,0 +1,1 @@
+examples/toctou_demo.ml: Asm Char List Machine Pal Printf Result Sea_core Sea_hw Sea_palvm Sea_tpm Session String Toctou

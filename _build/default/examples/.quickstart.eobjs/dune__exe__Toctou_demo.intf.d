@@ -1,0 +1,1 @@
+examples/toctou_demo.mli:

@@ -1,0 +1,56 @@
+(* Footnote 3 of the paper, live: load-time attestation has a
+   time-of-check/time-of-use problem. A PAL whose code is real PALVM
+   bytecode is measured by SKINIT, then rewrites itself when fed a
+   crafted input — and the attestation cannot tell.
+
+   Run with: dune exec examples/toctou_demo.exe *)
+
+open Sea_hw
+open Sea_core
+open Sea_palvm
+
+let run_and_quote pal input =
+  let m = Machine.create Machine.hp_dc5750 in
+  match Session.execute m ~cpu:0 pal ~input with
+  | Error e -> failwith e
+  | Ok outcome ->
+      let quote, _ = Result.get_ok (Session.quote m ~nonce:"demo") in
+      (outcome.Session.output, quote.Sea_tpm.Tpm.selection)
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                      (List.init 4 (String.get s)))
+
+let () =
+  Printf.printf "The access gate is %d bytes of real PALVM bytecode:\n\n"
+    (Pal.code_size (Toctou.vulnerable_gate ()));
+  print_string (Asm.disassemble (Toctou.vulnerable_gate ()).Pal.code);
+
+  Printf.printf "\n-- benign request --\n";
+  let out1, pcrs1 = run_and_quote (Toctou.vulnerable_gate ()) Toctou.benign_input in
+  Printf.printf "gate says: %S; attested PCR17 prefix: %s...\n" out1
+    (hex (List.assoc 17 pcrs1));
+
+  Printf.printf "\n-- exploit: input overflows the 16-byte buffer into the code --\n";
+  let out2, pcrs2 = run_and_quote (Toctou.vulnerable_gate ()) Toctou.exploit_input in
+  Printf.printf "gate says: %S; attested PCR17 prefix: %s...\n" out2
+    (hex (List.assoc 17 pcrs2));
+  Printf.printf
+    "The decision flipped, the attestation DID NOT: %b — the measurement\n\
+     was taken before the input arrived (footnote 3's TOCTOU).\n"
+    (pcrs1 = pcrs2);
+
+  Printf.printf "\n-- response 1: fix the bug (bound the copy) --\n";
+  let out3, _ = run_and_quote (Toctou.hardened_gate ()) Toctou.exploit_input in
+  Printf.printf "hardened gate says: %S\n" out3;
+
+  Printf.printf "\n-- response 2: extend the measurement chain with the input --\n";
+  let exploit = Toctou.exploit_for ~prologue_insns:6 in
+  let out4, pcrs4 = run_and_quote (Toctou.measured_gate ()) exploit in
+  let out5, pcrs5 = run_and_quote (Toctou.measured_gate ()) Toctou.benign_input in
+  Printf.printf "measured gate says: %S (still exploited at runtime!)\n" out4;
+  Printf.printf
+    "but now the attestations differ (%b): the verifier sees the malicious\n\
+     input in the PCR chain and rejects the run.\n"
+    (pcrs4 <> pcrs5);
+  ignore out5

@@ -1,0 +1,1 @@
+lib/apps/bgp_attest.ml: Codec Drbg Exec List Pal Rsa Sea_core Sea_crypto Sea_sim Wire

@@ -1,0 +1,1 @@
+lib/apps/bgp_attest.mli: Sea_core Sea_crypto Sea_hw

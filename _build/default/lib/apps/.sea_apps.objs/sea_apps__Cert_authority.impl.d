@@ -1,0 +1,1 @@
+lib/apps/cert_authority.ml: Codec Drbg Exec Pal Rsa Sea_core Sea_crypto Sea_sim

@@ -1,0 +1,1 @@
+lib/apps/cert_authority.mli: Sea_core Sea_crypto Sea_hw

@@ -1,0 +1,1 @@
+lib/apps/codec.ml: Bignum List Option Rsa Sea_crypto Wire

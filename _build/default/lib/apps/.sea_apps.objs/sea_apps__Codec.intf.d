@@ -1,0 +1,1 @@
+lib/apps/codec.mli: Sea_crypto

@@ -1,0 +1,1 @@
+lib/apps/factoring.ml: Codec Exec List Option Pal Sea_core Sea_crypto Sea_sim Wire

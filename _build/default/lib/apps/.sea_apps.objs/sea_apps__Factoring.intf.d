@@ -1,0 +1,1 @@
+lib/apps/factoring.mli: Sea_core Sea_hw

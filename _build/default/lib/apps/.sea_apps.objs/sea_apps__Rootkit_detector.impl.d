@@ -1,0 +1,1 @@
+lib/apps/rootkit_detector.ml: Char Codec Drbg Exec Hmac Pal Sea_core Sea_crypto Sea_sim Sha1 Sha256 String

@@ -1,0 +1,1 @@
+lib/apps/rootkit_detector.mli: Sea_core Sea_hw

@@ -1,0 +1,1 @@
+lib/apps/ssh_password.ml: Codec Exec Hmac Pal Printf Sea_core Sea_crypto Sea_sim Sha256 String

@@ -1,0 +1,1 @@
+lib/apps/ssh_password.mli: Sea_core Sea_hw

@@ -1,0 +1,166 @@
+open Sea_crypto
+open Sea_core
+
+type update = { prefix : string; as_path : int list; signatures : string list }
+type router = { asn : int; public : Rsa.public; sealed_key : string }
+
+let wire_of_update u =
+  let enc = Wire.encoder () in
+  Wire.add_string enc u.prefix;
+  Wire.add_list enc (fun a -> Wire.add_int enc a) u.as_path;
+  Wire.add_list enc (fun s -> Wire.add_string enc s) u.signatures;
+  Wire.contents enc
+
+let update_of_wire s =
+  let d = Wire.decoder s in
+  match Wire.read_string d with
+  | None -> None
+  | Some prefix -> (
+      match
+        ( Wire.read_list d (fun () -> Wire.read_int d),
+          Wire.read_list d (fun () -> Wire.read_string d) )
+      with
+      | Some as_path, Some signatures -> Some { prefix; as_path; signatures }
+      | _ -> None)
+
+(* What hop signatures cover: the prefix and the path as of that hop. *)
+let signed_payload ~prefix ~as_path =
+  let enc = Wire.encoder () in
+  Wire.add_string enc "BGP-HOP";
+  Wire.add_string enc prefix;
+  Wire.add_list enc (fun a -> Wire.add_int enc a) as_path;
+  Wire.contents enc
+
+let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let verify_chain u ~publics =
+  List.length u.signatures = List.length u.as_path
+  &&
+  let rec check i sigs =
+    match sigs with
+    | [] -> true
+    | signature :: rest -> (
+        let path_at_hop = drop i u.as_path in
+        match path_at_hop with
+        | [] -> false
+        | asn :: _ -> (
+            match List.assoc_opt asn publics with
+            | None -> false
+            | Some pub ->
+                Rsa.verify pub
+                  ~msg:(signed_payload ~prefix:u.prefix ~as_path:path_at_hop)
+                  ~signature
+                && check (i + 1) rest))
+  in
+  check 0 u.signatures
+
+let behavior services input =
+  match Codec.parse_command input with
+  | Some ("init", [ asn ]) -> (
+      match int_of_string_opt asn with
+      | None -> Error "bad ASN"
+      | Some _ -> (
+          let seed = services.Pal.get_random 32 in
+          let key = Rsa.generate ~bits:512 (Drbg.create ~seed) in
+          match services.Pal.seal (Codec.rsa_private_to_string key) with
+          | Error e -> Error ("seal: " ^ e)
+          | Ok blob ->
+              Ok (Codec.command "init-ok" [ Codec.rsa_public_to_string key.Rsa.pub; blob ])))
+  | Some ("originate", [ blob; asn; prefix ]) -> (
+      match (int_of_string_opt asn, services.Pal.unseal blob) with
+      | None, _ -> Error "bad ASN"
+      | _, Error e -> Error ("unseal: " ^ e)
+      | Some asn, Ok key_bytes -> (
+          match Codec.rsa_private_of_string key_bytes with
+          | None -> Error "sealed key corrupt"
+          | Some key ->
+              let as_path = [ asn ] in
+              let signature =
+                Rsa.sign key (signed_payload ~prefix ~as_path)
+              in
+              Ok (wire_of_update { prefix; as_path; signatures = [ signature ] })))
+  | Some ("forward", [ blob; asn; pred_pub; update_wire ]) -> (
+      match
+        ( int_of_string_opt asn,
+          Codec.rsa_public_of_string pred_pub,
+          update_of_wire update_wire,
+          services.Pal.unseal blob )
+      with
+      | None, _, _, _ -> Error "bad ASN"
+      | _, None, _, _ -> Error "bad predecessor key"
+      | _, _, None, _ -> Error "malformed update"
+      | _, _, _, Error e -> Error ("unseal: " ^ e)
+      | Some asn, Some pred, Some u, Ok key_bytes -> (
+          (* The protected logic: refuse to extend an update whose last
+             hop does not verify — this check is what the attestation of
+             this PAL vouches for. *)
+          match (u.signatures, u.as_path) with
+          | last_sig :: _, _ :: _
+            when Rsa.verify pred
+                   ~msg:(signed_payload ~prefix:u.prefix ~as_path:u.as_path)
+                   ~signature:last_sig -> (
+              match Codec.rsa_private_of_string key_bytes with
+              | None -> Error "sealed key corrupt"
+              | Some key ->
+                  let as_path = asn :: u.as_path in
+                  let signature =
+                    Rsa.sign key (signed_payload ~prefix:u.prefix ~as_path)
+                  in
+                  Ok
+                    (wire_of_update
+                       {
+                         prefix = u.prefix;
+                         as_path;
+                         signatures = signature :: u.signatures;
+                       }))
+          | _ -> Error "predecessor signature invalid: refusing to propagate"))
+  | Some _ | None -> Error "unknown BGP command"
+
+let pal () =
+  Pal.create ~name:"bind-bgp" ~code_size:(16 * 1024)
+    ~compute_time:(Sea_sim.Time.ms 3.) behavior
+
+let init_router machine ~cpu ~asn =
+  match
+    Exec.run machine ~cpu (pal ())
+      ~input:(Codec.command "init" [ string_of_int asn ])
+  with
+  | Error e -> Error e
+  | Ok output -> (
+      match Codec.parse_command output with
+      | Some ("init-ok", [ pub; blob ]) -> (
+          match Codec.rsa_public_of_string pub with
+          | Some public -> Ok { asn; public; sealed_key = blob }
+          | None -> Error "bad router key")
+      | _ -> Error "unexpected init output")
+
+let originate machine ~cpu router ~prefix =
+  match
+    Exec.run machine ~cpu (pal ())
+      ~input:
+        (Codec.command "originate"
+           [ router.sealed_key; string_of_int router.asn; prefix ])
+  with
+  | Error e -> Error e
+  | Ok output -> (
+      match update_of_wire output with
+      | Some u -> Ok u
+      | None -> Error "malformed update from PAL")
+
+let forward machine ~cpu router update ~predecessor =
+  match
+    Exec.run machine ~cpu (pal ())
+      ~input:
+        (Codec.command "forward"
+           [
+             router.sealed_key;
+             string_of_int router.asn;
+             Codec.rsa_public_to_string predecessor;
+             wire_of_update update;
+           ])
+  with
+  | Error e -> Error e
+  | Ok output -> (
+      match update_of_wire output with
+      | Some u -> Ok u
+      | None -> Error "malformed update from PAL")

@@ -1,0 +1,53 @@
+(** BIND-style attested BGP processing (related work, §7: Shi et al.
+    used "a trusted kernel with late launch technology to attest the
+    correctness of BGP update messages" — but "the secure kernel they
+    rely upon was never built"). Here it runs on the SEA instead.
+
+    Each router's update-processing logic is a PAL. Its signing key is
+    generated inside the PAL and sealed to the PAL's measurement, so a
+    compromised router OS cannot sign bogus updates: only the genuine
+    logic — which validates the predecessor's signature and prepends its
+    own AS number — ever holds the key. A chain of per-hop signatures
+    then proves an update traversed genuine processing at every hop. *)
+
+type update = {
+  prefix : string;  (** e.g. "10.0.0.0/8" *)
+  as_path : int list;  (** Most recent AS first. *)
+  signatures : string list;  (** One per hop, most recent first. *)
+}
+
+type router = {
+  asn : int;
+  public : Sea_crypto.Rsa.public;
+  sealed_key : string;  (** Held by the untrusted router OS. *)
+}
+
+val pal : unit -> Sea_core.Pal.t
+(** The update-processing PAL (same code identity for every router, so
+    sealed keys stay PAL-bound). *)
+
+val init_router : Sea_hw.Machine.t -> cpu:int -> asn:int -> (router, string) result
+(** Key ceremony: one PAL session generates and seals the router's
+    signing key. *)
+
+val originate :
+  Sea_hw.Machine.t -> cpu:int -> router -> prefix:string -> (update, string) result
+(** The origin AS announces a prefix. *)
+
+val forward :
+  Sea_hw.Machine.t ->
+  cpu:int ->
+  router ->
+  update ->
+  predecessor:Sea_crypto.Rsa.public ->
+  (update, string) result
+(** Process an incoming update: the PAL verifies the predecessor hop's
+    signature before signing the extended path. Fails inside the PAL if
+    the update is forged. *)
+
+val verify_chain : update -> publics:(int * Sea_crypto.Rsa.public) list -> bool
+(** Anyone (e.g. a route collector) checks every hop's signature against
+    the announced AS path. *)
+
+val wire_of_update : update -> string
+val update_of_wire : string -> update option

@@ -1,0 +1,115 @@
+open Sea_crypto
+open Sea_core
+
+(* Sealed state: remaining composite, next divisor to try, factors found. *)
+let encode_state ~remaining ~next ~factors =
+  let enc = Wire.encoder () in
+  Wire.add_int enc remaining;
+  Wire.add_int enc next;
+  Wire.add_list enc (fun f -> Wire.add_int enc f) factors;
+  Wire.contents enc
+
+let decode_state s =
+  let d = Wire.decoder s in
+  match (Wire.read_int d, Wire.read_int d) with
+  | Some remaining, Some next -> (
+      match Wire.read_list d (fun () -> Wire.read_int d) with
+      | Some factors -> Some (remaining, next, factors)
+      | None -> None)
+  | _ -> None
+
+(* Trial-divide [remaining] by divisors in [next, next+range). *)
+let work ~remaining ~next ~factors ~range =
+  let remaining = ref remaining and d = ref next and factors = ref factors in
+  let limit = next + range in
+  while !d < limit && !d * !d <= !remaining && !remaining > 1 do
+    if !remaining mod !d = 0 then begin
+      factors := !d :: !factors;
+      remaining := !remaining / !d
+    end
+    else incr d
+  done;
+  if !remaining = 1 then `Done (List.rev !factors)
+  else if !d * !d > !remaining then `Done (List.rev (!remaining :: !factors))
+  else `More (!remaining, !d, !factors)
+
+let finish_output factors =
+  Codec.command "factored" (List.map string_of_int factors)
+
+let continue_state services ~remaining ~next ~factors =
+  match services.Pal.seal (encode_state ~remaining ~next ~factors) with
+  | Error e -> Error ("seal: " ^ e)
+  | Ok blob -> Ok (Codec.command "running" [ blob ])
+
+let behavior services input =
+  match Codec.parse_command input with
+  | Some ("start", [ n; range ]) -> (
+      match (int_of_string_opt n, int_of_string_opt range) with
+      | Some n, Some range when n > 1 && range > 0 -> (
+          match work ~remaining:n ~next:2 ~factors:[] ~range with
+          | `Done factors -> Ok (finish_output factors)
+          | `More (remaining, next, factors) ->
+              continue_state services ~remaining ~next ~factors)
+      | _ -> Error "bad start arguments")
+  | Some ("step", [ blob; range ]) -> (
+      match int_of_string_opt range with
+      | None -> Error "bad range"
+      | Some range -> (
+          match services.Pal.unseal blob with
+          | Error e -> Error ("unseal: " ^ e)
+          | Ok state -> (
+              match decode_state state with
+              | None -> Error "sealed state is corrupt"
+              | Some (remaining, next, factors) -> (
+                  match work ~remaining ~next ~factors ~range with
+                  | `Done factors -> Ok (finish_output factors)
+                  | `More (remaining, next, factors) ->
+                      continue_state services ~remaining ~next ~factors))))
+  | Some _ | None -> Error "unknown factoring command"
+
+let pal () =
+  Pal.create ~name:"distributed-factoring" ~code_size:(8 * 1024)
+    ~compute_time:(Sea_sim.Time.ms 5.) behavior
+
+type progress = Running of string | Factored of int list
+
+let parse_progress output =
+  match Codec.parse_command output with
+  | Some ("running", [ blob ]) -> Ok (Running blob)
+  | Some ("factored", factors) -> (
+      match List.map int_of_string_opt factors with
+      | fs when List.for_all Option.is_some fs ->
+          Ok (Factored (List.map Option.get fs))
+      | _ -> Error "bad factor list")
+  | _ -> Error "unexpected factoring output"
+
+let start machine ~cpu ~n ~range =
+  match
+    Exec.run machine ~cpu (pal ())
+      ~input:(Codec.command "start" [ string_of_int n; string_of_int range ])
+  with
+  | Error e -> Error e
+  | Ok output -> parse_progress output
+
+let step machine ~cpu ~blob ~range =
+  match
+    Exec.run machine ~cpu (pal ())
+      ~input:(Codec.command "step" [ blob; string_of_int range ])
+  with
+  | Error e -> Error e
+  | Ok output -> parse_progress output
+
+let run_to_completion machine ~cpu ~n ~range ?(max_sessions = 10_000) () =
+  match start machine ~cpu ~n ~range with
+  | Error e -> Error e
+  | Ok first ->
+      let rec drive sessions = function
+        | Factored fs -> Ok (fs, sessions)
+        | Running blob ->
+            if sessions >= max_sessions then Error "session budget exhausted"
+            else (
+              match step machine ~cpu ~blob ~range with
+              | Error e -> Error e
+              | Ok next -> drive (sessions + 1) next)
+      in
+      drive 1 first

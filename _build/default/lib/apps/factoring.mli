@@ -1,0 +1,37 @@
+(** Distributed factoring application (§4.1): the paper's example of a
+    long-running computation (like SETI\@Home) that "performs a limited
+    amount of work and then seals its intermediate state so that it can
+    later resume".
+
+    Trial division of a composite is split into per-session divisor
+    ranges; the integrity-protected intermediate state (current divisor,
+    factors found) is sealed between sessions, so a malicious OS can
+    neither corrupt the computation nor observe/forge its progress. This
+    is the workload whose per-chunk Seal+Unseal cost motivates the whole
+    paper. *)
+
+val pal : unit -> Sea_core.Pal.t
+(** Commands: [start n range] → sealed state; [step blob range] → sealed
+    state or final answer. *)
+
+type progress =
+  | Running of string  (** Sealed intermediate state for the next session. *)
+  | Factored of int list  (** Prime factorization, ascending. *)
+
+val start :
+  Sea_hw.Machine.t -> cpu:int -> n:int -> range:int -> (progress, string) result
+(** Begin factoring [n], testing [range] divisors per session. *)
+
+val step :
+  Sea_hw.Machine.t -> cpu:int -> blob:string -> range:int -> (progress, string) result
+
+val run_to_completion :
+  Sea_hw.Machine.t ->
+  cpu:int ->
+  n:int ->
+  range:int ->
+  ?max_sessions:int ->
+  unit ->
+  (int list * int, string) result
+(** Drive sessions until the factorization completes; returns the factors
+    and the number of sessions used. *)

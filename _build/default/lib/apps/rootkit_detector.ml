@@ -1,0 +1,43 @@
+open Sea_crypto
+open Sea_core
+
+let whitelist_digest image = Sha256.digest image
+
+let behavior services input =
+  match Codec.parse_command input with
+  | Some ("check", [ whitelist; kernel_image ]) ->
+      let measured = Sha256.digest kernel_image in
+      let verdict =
+        if Hmac.equal_constant_time measured whitelist then "clean" else "COMPROMISED"
+      in
+      (* Fold the observation into the measurement chain: the attestation
+         then covers both the detector's identity and its verdict. *)
+      services.Pal.extend_measurement (Sha1.digest ("verdict:" ^ verdict ^ measured));
+      Ok verdict
+  | Some _ | None -> Error "unknown detector command"
+
+let pal () =
+  Pal.create ~name:"rootkit-detector" ~code_size:(8 * 1024)
+    ~compute_time:(Sea_sim.Time.ms 10.) behavior
+
+let make_kernel_image ?(size = 256 * 1024) ~seed () =
+  let drbg = Drbg.create ~seed:("kernel-image:" ^ seed) in
+  Drbg.generate_string drbg size
+
+let infect image ~at =
+  if at < 0 || at >= String.length image then invalid_arg "Rootkit_detector.infect";
+  String.mapi
+    (fun i c -> if i = at then Char.chr (Char.code c lxor 0xCC) else c)
+    image
+
+let check machine ~cpu ~whitelist ~kernel_image =
+  match
+    Exec.run machine ~cpu (pal ())
+      ~input:(Codec.command "check" [ whitelist; kernel_image ])
+  with
+  | Error e -> Error e
+  | Ok output -> (
+      match output with
+      | "clean" -> Ok true
+      | "COMPROMISED" -> Ok false
+      | other -> Error ("unexpected verdict: " ^ other))

@@ -1,0 +1,30 @@
+(** Kernel rootkit detector (§4.1): a PAL that measures the (untrusted)
+    kernel's text from inside the isolated environment and reports whether
+    it matches a known-good whitelist — trustworthy even when the kernel
+    itself is compromised, because the verdict is produced under late
+    launch and folded into the PAL's measurement chain for attestation.
+
+    The "kernel image" is a synthetic byte string in this reproduction;
+    {!infect} models a rootkit patching the text. *)
+
+val pal : unit -> Sea_core.Pal.t
+(** Command: [check whitelist_digest kernel_image] → ["clean"] or
+    ["COMPROMISED"]. The verdict is also extended into the measurement
+    chain so a quote attests to what the detector saw. *)
+
+val make_kernel_image : ?size:int -> seed:string -> unit -> string
+(** A deterministic synthetic kernel text section. *)
+
+val whitelist_digest : string -> string
+(** The digest an administrator records for a known-good image. *)
+
+val infect : string -> at:int -> string
+(** A rootkit: patch the image at byte offset [at]. *)
+
+val check :
+  Sea_hw.Machine.t ->
+  cpu:int ->
+  whitelist:string ->
+  kernel_image:string ->
+  (bool, string) result
+(** Run the detector session; [Ok true] = kernel clean. *)

@@ -1,0 +1,1 @@
+lib/bus/lpc.ml: Engine Sea_sim Time

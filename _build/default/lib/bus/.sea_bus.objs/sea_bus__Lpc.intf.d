@@ -1,0 +1,1 @@
+lib/bus/lpc.mli: Sea_sim

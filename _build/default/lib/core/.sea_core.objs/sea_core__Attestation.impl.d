@@ -1,0 +1,1 @@
+lib/core/attestation.ml: List Printf Rsa Sea_crypto Sea_hw Sea_tpm Session Slaunch_session String

@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Pal Sea_crypto Sea_hw Sea_tpm

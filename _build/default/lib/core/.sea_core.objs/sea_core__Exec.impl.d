@@ -1,0 +1,1 @@
+lib/core/exec.ml: Sea_hw Session Slaunch_session

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Pal Sea_hw

@@ -1,0 +1,1 @@
+lib/core/generic.ml: Drbg Pal Sea_crypto Sha1 Sha256 String

@@ -1,0 +1,1 @@
+lib/core/generic.mli: Pal Sea_sim

@@ -1,0 +1,1 @@
+lib/core/pal.ml: Drbg Printf Sea_crypto Sea_hw Sea_sim Sha1 String

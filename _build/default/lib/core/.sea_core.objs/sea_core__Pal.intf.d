@@ -1,0 +1,1 @@
+lib/core/pal.mli: Sea_sim

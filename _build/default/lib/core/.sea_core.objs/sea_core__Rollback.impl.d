@@ -1,0 +1,1 @@
+lib/core/rollback.ml: Sea_crypto Sea_tpm Wire

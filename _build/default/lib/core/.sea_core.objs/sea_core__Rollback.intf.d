@@ -1,0 +1,1 @@
+lib/core/rollback.mli: Sea_tpm

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Cpu Engine Insn Machine Memctrl Memory Pal Sea_crypto Sea_hw Sea_sim Sea_tpm Sha1 String Time

@@ -1,0 +1,1 @@
+lib/core/session.mli: Pal Sea_hw Sea_sim Sea_tpm

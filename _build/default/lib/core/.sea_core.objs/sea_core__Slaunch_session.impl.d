@@ -1,0 +1,1 @@
+lib/core/slaunch_session.ml: Engine Insn Lifecycle List Machine Memctrl Memory Pal Sea_crypto Sea_hw Sea_sim Sea_tpm Secb Sha1 String Time

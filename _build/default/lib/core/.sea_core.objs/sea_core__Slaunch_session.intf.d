@@ -1,0 +1,1 @@
+lib/core/slaunch_session.mli: Lifecycle Pal Sea_hw Sea_sim Sea_tpm

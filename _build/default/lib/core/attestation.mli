@@ -1,0 +1,44 @@
+(** External verification (§3.1's third requirement, §2.1.1's protocol).
+
+    The verifier holds the Privacy CA's public key and an expectation of
+    what code should have run. Given a fresh nonce it issued, evidence
+    gathered from the platform convinces it that a specific PAL executed
+    under hardware protection:
+
+    + the AIK certificate chains to the Privacy CA;
+    + the quote's signature verifies under that AIK;
+    + the quote covers the verifier's nonce (freshness);
+    + the quoted PCR/sePCR values equal the chain a genuine late launch /
+      SLAUNCH of the expected PAL produces — values software cannot forge
+      because only the hardware path can reset those registers. *)
+
+type evidence = {
+  quote : Sea_tpm.Tpm.quote;
+  aik : Sea_crypto.Rsa.public;
+  aik_cert : string;
+}
+
+val gather : Sea_hw.Machine.t -> Sea_tpm.Tpm.quote -> evidence
+(** Package a quote with the platform's AIK credentials. *)
+
+type expectation =
+  | Dynamic_pcrs of (int * string) list
+      (** Today's hardware: expected values of the quoted dynamic PCRs. *)
+  | Sepcr of string  (** Proposed hardware: expected sePCR value. *)
+
+val expect_session_exit : Sea_hw.Machine.t -> Pal.t -> expectation
+(** What a post-{!Session} quote must show: the identity PCR carrying the
+    PAL's measurement followed by the exit marker (and, on Intel, PCR 17
+    carrying the ACMod chain is ignored — only the PAL register is
+    checked). *)
+
+val expect_slaunch_exit : Pal.t -> expectation
+(** What a post-{!Slaunch_session} quote must show for the PAL's sePCR. *)
+
+val verify :
+  ca:Sea_crypto.Rsa.public ->
+  nonce:string ->
+  expectation ->
+  evidence ->
+  (unit, string) result
+(** All four checks; the error names the first that failed. *)

@@ -1,0 +1,19 @@
+(** One entry point for "run this PAL, whatever the machine is".
+
+    Applications written against {!Sea_core.Pal.services} are
+    architecture-agnostic; what differs is how the platform hosts them:
+    a Flicker-style {!Session} on today's hardware (whole-platform
+    freeze, TPM-bound state) or a {!Slaunch_session} on the proposed
+    hardware (concurrent, sePCR-bound state). This facade dispatches on
+    the machine's configuration so application drivers need not care —
+    the same CA or SSH workflow runs on either, with the sealed state
+    correctly bound in both cases. *)
+
+val run :
+  Sea_hw.Machine.t -> cpu:int -> Pal.t -> input:string -> (string, string) result
+(** Execute the PAL to completion and return its output. On proposed
+    hardware the session runs unsliced (no preemption timer) and its
+    pages are released afterwards; use {!Slaunch_session} directly for
+    scheduling control. *)
+
+val architecture : Sea_hw.Machine.t -> [ `Current | `Proposed ]

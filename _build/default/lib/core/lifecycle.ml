@@ -1,0 +1,44 @@
+type state = Start | Protect | Measure | Execute | Suspend | Done
+
+type event =
+  | Ev_slaunch_first
+  | Ev_protected
+  | Ev_measured
+  | Ev_slaunch_resume
+  | Ev_yield
+  | Ev_sfree
+  | Ev_skill
+
+let to_string = function
+  | Start -> "Start"
+  | Protect -> "Protect"
+  | Measure -> "Measure"
+  | Execute -> "Execute"
+  | Suspend -> "Suspend"
+  | Done -> "Done"
+
+let event_to_string = function
+  | Ev_slaunch_first -> "SLAUNCH(MF=0)"
+  | Ev_protected -> "protections-in-place"
+  | Ev_measured -> "measurement-complete"
+  | Ev_slaunch_resume -> "SLAUNCH(MF=1)"
+  | Ev_yield -> "SYIELD/preempt"
+  | Ev_sfree -> "SFREE"
+  | Ev_skill -> "SKILL"
+
+let step state event =
+  match (state, event) with
+  | Start, Ev_slaunch_first -> Ok Protect
+  | Protect, Ev_protected -> Ok Measure
+  | Measure, Ev_measured -> Ok Execute
+  | Suspend, Ev_slaunch_resume -> Ok Execute
+  | Execute, Ev_yield -> Ok Suspend
+  | Execute, Ev_sfree -> Ok Done
+  | Suspend, Ev_skill -> Ok Done
+  | s, e ->
+      Error
+        (Printf.sprintf "illegal transition: %s on %s" (to_string s)
+           (event_to_string e))
+
+let is_terminal = function Done -> true | _ -> false
+let pp fmt s = Format.pp_print_string fmt (to_string s)

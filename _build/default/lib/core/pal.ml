@@ -1,0 +1,42 @@
+open Sea_crypto
+
+type services = {
+  seal : string -> (string, string) result;
+  unseal : string -> (string, string) result;
+  get_random : int -> string;
+  extend_measurement : string -> unit;
+  machine_name : string;
+}
+
+type t = {
+  name : string;
+  code : string;
+  compute_time : Sea_sim.Time.t;
+  behavior : services -> string -> (string, string) result;
+}
+
+let synth_code ~name ~version ~size =
+  (* Deterministic pseudo-code: a header naming the PAL, then DRBG filler.
+     Distinct names or versions give distinct measurements. *)
+  let header = Printf.sprintf "PAL:%s:v%d\n" name version in
+  if size < String.length header then
+    invalid_arg "Pal.create: code_size smaller than the PAL header";
+  let drbg = Drbg.create ~seed:("pal-code:" ^ header) in
+  header ^ Drbg.generate_string drbg (size - String.length header)
+
+let create ~name ?(code_size = 4096) ?(version = 1) ?(compute_time = Sea_sim.Time.zero)
+    behavior =
+  if code_size <= 0 || code_size > 64 * 1024 then
+    invalid_arg "Pal.create: code size must be in (0, 64 KB]";
+  { name; code = synth_code ~name ~version ~size:code_size; compute_time; behavior }
+
+let of_code ~name ~code ?(compute_time = Sea_sim.Time.zero) behavior =
+  if String.length code = 0 || String.length code > 64 * 1024 then
+    invalid_arg "Pal.of_code: code size must be in (0, 64 KB]";
+  { name; code; compute_time; behavior }
+
+let measurement t = Sha1.digest t.code
+let code_size t = String.length t.code
+
+let pages_needed t =
+  (String.length t.code + Sea_hw.Memory.page_size - 1) / Sea_hw.Memory.page_size

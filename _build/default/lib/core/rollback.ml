@@ -1,0 +1,40 @@
+open Sea_crypto
+
+type counter = int
+
+let create_counter tpm = Sea_tpm.Tpm.counter_create tpm
+
+let frame ~counter ~version payload =
+  let enc = Wire.encoder () in
+  Wire.add_string enc "ROLLBACKv1";
+  Wire.add_int enc counter;
+  Wire.add_int enc version;
+  Wire.add_string enc payload;
+  Wire.contents enc
+
+let unframe s =
+  let d = Wire.decoder s in
+  match (Wire.read_string d, Wire.read_int d, Wire.read_int d, Wire.read_string d) with
+  | Some "ROLLBACKv1", Some counter, Some version, Some payload ->
+      Some (counter, version, payload)
+  | _ -> None
+
+let seal tpm ~caller ?sepcr ~pcr_policy ~counter payload =
+  match Sea_tpm.Tpm.counter_increment tpm counter with
+  | Error e -> Error e
+  | Ok version ->
+      Sea_tpm.Tpm.seal tpm ~caller ?sepcr ~pcr_policy
+        (frame ~counter ~version payload)
+
+let unseal tpm ~caller ?sepcr blob =
+  match Sea_tpm.Tpm.unseal tpm ~caller ?sepcr blob with
+  | Error e -> Error e
+  | Ok framed -> (
+      match unframe framed with
+      | None -> Error "not a rollback-protected blob"
+      | Some (counter, version, payload) -> (
+          match Sea_tpm.Tpm.counter_read tpm counter with
+          | Error e -> Error e
+          | Ok current ->
+              if current = version then Ok payload
+              else Error "stale sealed state (rollback detected)"))

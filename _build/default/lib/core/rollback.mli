@@ -1,0 +1,41 @@
+(** Rollback-protected sealed storage.
+
+    The paper's sealed-storage pattern has a known gap it does not
+    address: the untrusted OS stores the blobs, so it can feed a PAL a
+    {e stale} blob — replaying yesterday's password database or an
+    earlier factoring checkpoint. The standard fix (adopted by the
+    follow-on literature, e.g. Memoir) binds each sealed state to a TPM
+    monotonic counter: sealing increments the counter and embeds the new
+    value; unsealing succeeds only if the embedded value equals the
+    counter's current value, so exactly the latest blob is live.
+
+    This module implements that discipline over {!Sea_tpm.Tpm}'s
+    counters. It composes with both PCR policies (today's hardware) and
+    sePCR bindings (proposed hardware). *)
+
+type counter = int
+
+val create_counter : Sea_tpm.Tpm.t -> (counter, string) result
+(** A fresh monotonic counter dedicated to one protected state
+    lineage. *)
+
+val seal :
+  Sea_tpm.Tpm.t ->
+  caller:Sea_tpm.Tpm.caller ->
+  ?sepcr:Sea_tpm.Sepcr.handle ->
+  pcr_policy:(int * string) list ->
+  counter:counter ->
+  string ->
+  (string, string) result
+(** Increment the counter and seal [payload] bound to its new value
+    (plus the given PCR/sePCR policy). Sealing invalidates every earlier
+    blob of this lineage. *)
+
+val unseal :
+  Sea_tpm.Tpm.t ->
+  caller:Sea_tpm.Tpm.caller ->
+  ?sepcr:Sea_tpm.Sepcr.handle ->
+  string ->
+  (string, string) result
+(** Fails with ["stale sealed state (rollback detected)"] when the OS
+    presents anything but the most recent blob. *)

@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Buffer Bytes Char Hmac Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Buffer Bytes Char Format Int String

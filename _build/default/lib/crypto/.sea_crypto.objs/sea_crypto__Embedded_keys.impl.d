@@ -1,0 +1,1 @@
+lib/crypto/embedded_keys.ml:

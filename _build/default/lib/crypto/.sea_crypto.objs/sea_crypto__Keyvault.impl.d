@@ -1,0 +1,1 @@
+lib/crypto/keyvault.ml: Bignum Drbg Embedded_keys Hashtbl List Printf Rsa

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytes Drbg Hmac List Sha1 String

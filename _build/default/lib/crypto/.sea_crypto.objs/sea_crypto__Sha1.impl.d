@@ -1,0 +1,1 @@
+lib/crypto/sha1.ml: Array Buffer Bytes Char Printf String

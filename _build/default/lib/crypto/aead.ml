@@ -1,0 +1,52 @@
+let key_size = 32
+let nonce_size = 16
+let tag_size = 32
+let overhead = tag_size
+
+let check_sizes ~key ~nonce =
+  if String.length key <> key_size then invalid_arg "Aead: bad key size";
+  if String.length nonce <> nonce_size then invalid_arg "Aead: bad nonce size"
+
+(* Keystream block i = SHA-256(key || nonce || i_be32). *)
+let keystream ~key ~nonce len =
+  let out = Buffer.create (len + 32) in
+  let block = ref 0 in
+  while Buffer.length out < len do
+    let ctr =
+      let b = Bytes.create 4 in
+      for i = 0 to 3 do
+        Bytes.set b i (Char.chr ((!block lsr (8 * (3 - i))) land 0xff))
+      done;
+      Bytes.to_string b
+    in
+    Buffer.add_string out (Sha256.digest (key ^ nonce ^ ctr));
+    incr block
+  done;
+  Buffer.sub out 0 len
+
+let xor_into s ks = String.mapi (fun i c -> Char.chr (Char.code c lxor Char.code ks.[i])) s
+
+let mac_key key = Sha256.digest ("mac" ^ key)
+let enc_key key = Sha256.digest ("enc" ^ key)
+
+let encrypt ~key ~nonce plaintext =
+  check_sizes ~key ~nonce;
+  let ks = keystream ~key:(enc_key key) ~nonce (String.length plaintext) in
+  let ct = xor_into plaintext ks in
+  let tag = Hmac.sha256 ~key:(mac_key key) (nonce ^ ct) in
+  ct ^ tag
+
+let decrypt ~key ~nonce data =
+  check_sizes ~key ~nonce;
+  let n = String.length data in
+  if n < tag_size then None
+  else begin
+    let ct = String.sub data 0 (n - tag_size) in
+    let tag = String.sub data (n - tag_size) tag_size in
+    let expected = Hmac.sha256 ~key:(mac_key key) (nonce ^ ct) in
+    if not (Hmac.equal_constant_time tag expected) then None
+    else begin
+      let ks = keystream ~key:(enc_key key) ~nonce (String.length ct) in
+      Some (xor_into ct ks)
+    end
+  end

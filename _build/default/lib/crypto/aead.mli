@@ -1,0 +1,23 @@
+(** Authenticated symmetric encryption for sealed blobs.
+
+    A real v1.2 TPM wraps sealed data with its storage hierarchy; we model
+    the same confidentiality+integrity contract with an encrypt-then-MAC
+    scheme built from the primitives in this library: a SHA-256 counter-mode
+    keystream for encryption and HMAC-SHA256 for integrity. Key and nonce
+    are caller-supplied; each (key, nonce) pair must be used at most once. *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 16 bytes. *)
+
+val overhead : int
+(** Ciphertext expansion in bytes (the MAC tag). *)
+
+val encrypt : key:string -> nonce:string -> string -> string
+(** [encrypt ~key ~nonce plaintext] returns [ciphertext ^ tag]. Raises
+    [Invalid_argument] on wrong key or nonce size. *)
+
+val decrypt : key:string -> nonce:string -> string -> string option
+(** Authenticated decryption; [None] when the tag does not verify. *)

@@ -1,0 +1,377 @@
+(* Little-endian arrays of 31-bit limbs, canonical (no trailing zero limb).
+   Base 2^31 keeps every intermediate product below 2^63 on 64-bit ints:
+   limb*limb < 2^62 and the schoolbook inner loop adds at most 2^32 more. *)
+
+let limb_bits = 31
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero a = Array.length a = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc v = if v = 0 then acc else count (acc + 1) (v lsr limb_bits) in
+    let len = count 0 n in
+    Array.init len (fun i -> (n lsr (i * limb_bits)) land limb_mask)
+  end
+
+let to_int_opt a =
+  (* max_int is 2^62-1: values of up to three limbs may fit (3*31 = 93 > 62),
+     so accumulate carefully and detect overflow. *)
+  let rec go acc shift i =
+    if i >= Array.length a then Some acc
+    else if shift >= 63 then None
+    else
+      let limb = a.(i) in
+      if shift + limb_bits > 62 && limb lsr (62 - shift) > 0 then None
+      else go (acc lor (limb lsl shift)) (shift + limb_bits) (i + 1)
+  in
+  go 0 0 0
+
+let equal a b = a = b
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let bit_length a =
+  let l = Array.length a in
+  if l = 0 then 0
+  else
+    let top = a.(l - 1) in
+    let rec msb n v = if v = 0 then n else msb (n + 1) (v lsr 1) in
+    ((l - 1) * limb_bits) + msb 0 top
+
+let test_bit a i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + limb_base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land limb_mask;
+        carry := cur lsr limb_bits
+      done;
+      (* Propagate the final carry, which may itself overflow one limb. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land limb_mask;
+        carry := cur lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let shift_left a n =
+  if n < 0 then invalid_arg "Bignum.shift_left: negative shift";
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / limb_bits and bits = n mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right a n =
+  if n < 0 then invalid_arg "Bignum.shift_right: negative shift";
+  if is_zero a || n = 0 then a
+  else begin
+    let limbs = n / limb_bits and bits = n mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi =
+          if bits = 0 || i + limbs + 1 >= la then 0
+          else (a.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    (* Binary long division: walk the divisor down from the top bit. *)
+    let shift = bit_length a - bit_length b in
+    let q = Array.make (shift / limb_bits + 1) 0 in
+    let r = ref a in
+    let d = ref (shift_left b shift) in
+    for i = shift downto 0 do
+      if compare !r !d >= 0 then begin
+        r := sub !r !d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end;
+      d := shift_right !d 1
+    done;
+    (normalize q, !r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let mod_add a b ~m = rem (add a b) m
+
+let mod_sub a b ~m =
+  let a = rem a m and b = rem b m in
+  if compare a b >= 0 then sub a b else sub (add a m) b
+
+let mod_mul a b ~m = rem (mul a b) m
+
+(* --- Montgomery machinery for odd moduli --- *)
+
+(* Inverse of [x] modulo 2^31 by Newton iteration; [x] must be odd. *)
+let inv_limb x =
+  let y = ref x in
+  (* Each iteration doubles the number of correct low bits; 5 iterations
+     exceed 31 bits starting from the 3 bits correct in x itself. *)
+  for _ = 1 to 5 do
+    y := !y * (2 - (x * !y)) land limb_mask
+  done;
+  !y land limb_mask
+
+type mont = { m : t; k : int; m0' : int }
+
+let mont_of_modulus m =
+  let k = Array.length m in
+  let m0' = limb_base - inv_limb m.(0) in
+  { m; k; m0' }
+
+(* REDC: given t < m * base^k (as a (2k+1)-limb buffer), compute
+   t * base^(-k) mod m in place, returning a fresh canonical value. *)
+let mont_redc ctx (t : int array) =
+  let { m; k; m0' } = ctx in
+  for i = 0 to k - 1 do
+    let u = t.(i) * m0' land limb_mask in
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let cur = t.(i + j) + (u * m.(j)) + !carry in
+      t.(i + j) <- cur land limb_mask;
+      carry := cur lsr limb_bits
+    done;
+    let idx = ref (i + k) in
+    while !carry <> 0 do
+      let cur = t.(!idx) + !carry in
+      t.(!idx) <- cur land limb_mask;
+      carry := cur lsr limb_bits;
+      incr idx
+    done
+  done;
+  let r = normalize (Array.sub t k (Array.length t - k)) in
+  if compare r m >= 0 then sub r m else r
+
+let mont_mul ctx a b =
+  let buf = Array.make ((2 * ctx.k) + 1) 0 in
+  let la = Array.length a and lb = Array.length b in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    for j = 0 to lb - 1 do
+      let cur = buf.(i + j) + (ai * b.(j)) + !carry in
+      buf.(i + j) <- cur land limb_mask;
+      carry := cur lsr limb_bits
+    done;
+    let idx = ref (i + lb) in
+    while !carry <> 0 do
+      let cur = buf.(!idx) + !carry in
+      buf.(!idx) <- cur land limb_mask;
+      carry := cur lsr limb_bits;
+      incr idx
+    done
+  done;
+  mont_redc ctx buf
+
+let mod_pow_mont ~base ~exp ~m =
+  let ctx = mont_of_modulus m in
+  let k = ctx.k in
+  (* R mod m and base*R mod m via division (setup cost only). *)
+  let r_mod_m = rem (shift_left one (k * limb_bits)) m in
+  let base_m = rem (mul (rem base m) (rem (shift_left one (k * limb_bits)) m)) m in
+  let acc = ref r_mod_m in
+  let nbits = bit_length exp in
+  for i = nbits - 1 downto 0 do
+    acc := mont_mul ctx !acc !acc;
+    if test_bit exp i then acc := mont_mul ctx !acc base_m
+  done;
+  (* Convert out of Montgomery form: multiply by 1. *)
+  let buf = Array.make ((2 * k) + 1) 0 in
+  Array.blit !acc 0 buf 0 (Array.length !acc);
+  mont_redc ctx buf
+
+let mod_pow ~base ~exp ~m =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else if is_zero exp then one
+  else if m.(0) land 1 = 1 then mod_pow_mont ~base ~exp ~m
+  else begin
+    let acc = ref one in
+    let b = ref (rem base m) in
+    let nbits = bit_length exp in
+    for i = 0 to nbits - 1 do
+      if test_bit exp i then acc := mod_mul !acc !b ~m;
+      b := mod_mul !b !b ~m
+    done;
+    !acc
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let mod_inverse a ~m =
+  if is_zero m || equal m one then None
+  else begin
+    (* Iterative extended Euclid keeping Bezout coefficients reduced mod m,
+       which keeps everything in the naturals. *)
+    let t = ref zero and newt = ref one in
+    let r = ref m and newr = ref (rem a m) in
+    while not (is_zero !newr) do
+      let q, r' = divmod !r !newr in
+      let t' = mod_sub !t (mod_mul q !newt ~m) ~m in
+      t := !newt;
+      newt := t';
+      r := !newr;
+      newr := r'
+    done;
+    if equal !r one then Some !t else None
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?pad_to a =
+  let nbytes = (bit_length a + 7) / 8 in
+  let nbytes = if nbytes = 0 then 1 else nbytes in
+  let width =
+    match pad_to with
+    | None -> nbytes
+    | Some w ->
+        if w < nbytes then invalid_arg "Bignum.to_bytes_be: value exceeds pad_to";
+        w
+  in
+  let b = Bytes.make width '\000' in
+  let v = ref a in
+  for i = width - 1 downto 0 do
+    let byte =
+      match to_int_opt (rem !v (of_int 256)) with Some x -> x | None -> assert false
+    in
+    Bytes.set b i (Char.chr byte);
+    v := shift_right !v 8
+  done;
+  Bytes.to_string b
+
+let of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bignum.of_hex: invalid character"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 4) (of_int (digit c))) s;
+  !acc
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let digits = Buffer.create 32 in
+    let v = ref a in
+    while not (is_zero !v) do
+      let d =
+        match to_int_opt (rem !v (of_int 16)) with Some x -> x | None -> assert false
+      in
+      Buffer.add_char digits "0123456789abcdef".[d];
+      v := shift_right !v 4
+    done;
+    let s = Buffer.contents digits in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let of_random_bits gen bits =
+  if bits <= 0 then zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let b = gen nbytes in
+    let excess = (nbytes * 8) - bits in
+    if excess > 0 then
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land (0xff lsr excess)));
+    of_bytes_be (Bytes.to_string b)
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_hex a)

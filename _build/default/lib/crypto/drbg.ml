@@ -1,0 +1,30 @@
+(* HMAC-DRBG (SP 800-90A) with HMAC-SHA256, without personalization strings
+   or prediction resistance; update/generate follow the standard K,V dance. *)
+
+type t = { mutable k : string; mutable v : string }
+
+let update t provided =
+  t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256 ~key:t.k t.v;
+  if provided <> "" then begin
+    t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256 ~key:t.k t.v
+  end
+
+let create ~seed =
+  let t = { k = String.make 32 '\000'; v = String.make 32 '\001' } in
+  update t seed;
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  let out = Buffer.create n in
+  while Buffer.length out < n do
+    t.v <- Hmac.sha256 ~key:t.k t.v;
+    Buffer.add_string out t.v
+  done;
+  update t "";
+  Bytes.of_string (Buffer.sub out 0 n)
+
+let generate_string t n = Bytes.to_string (generate t n)

@@ -1,0 +1,21 @@
+let hmac ~block_size ~hash ~key msg =
+  let key = if String.length key > block_size then hash key else key in
+  let key =
+    if String.length key < block_size then
+      key ^ String.make (block_size - String.length key) '\000'
+    else key
+  in
+  let xor_with pad = String.map (fun c -> Char.chr (Char.code c lxor pad)) key in
+  let inner = hash (xor_with 0x36 ^ msg) in
+  hash (xor_with 0x5c ^ inner)
+
+let sha1 ~key msg = hmac ~block_size:64 ~hash:Sha1.digest ~key msg
+let sha256 ~key msg = hmac ~block_size:64 ~hash:Sha256.digest ~key msg
+
+let equal_constant_time a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end

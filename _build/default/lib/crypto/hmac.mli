@@ -1,0 +1,15 @@
+(** HMAC (RFC 2104) over the hashes in this library.
+
+    The TPM uses HMAC-SHA1 for authorization sessions; the DRBG uses
+    HMAC-SHA256 internally. *)
+
+val sha1 : key:string -> string -> string
+(** [sha1 ~key msg] is HMAC-SHA1(key, msg), 20 bytes. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is HMAC-SHA256(key, msg), 32 bytes. *)
+
+val equal_constant_time : string -> string -> bool
+(** Comparison that does not leak the position of the first mismatch.
+    The simulation has no real timing side channel, but model code that
+    verifies MACs uses this for fidelity. *)

@@ -1,0 +1,35 @@
+let cache : (string * int, Rsa.private_key) Hashtbl.t = Hashtbl.create 7
+
+(* Rebuild a key from its stored prime pair (e is always 65537). *)
+let of_primes p_hex q_hex =
+  let open Bignum in
+  let p = of_hex p_hex and q = of_hex q_hex in
+  let n = mul p q in
+  let e = of_int 65537 in
+  let phi = mul (sub p one) (sub q one) in
+  match mod_inverse e ~m:phi with
+  | Some d -> { Rsa.pub = { Rsa.n; e }; d; p; q }
+  | None -> invalid_arg "Keyvault: embedded primes do not admit e = 65537"
+
+let embedded ~label ~bits =
+  List.find_map
+    (fun (l, b, (p, q)) -> if l = label && b = bits then Some (of_primes p q) else None)
+    Embedded_keys.table
+
+let get ~label ~bits =
+  match Hashtbl.find_opt cache (label, bits) with
+  | Some key -> key
+  | None ->
+      let key =
+        match embedded ~label ~bits with
+        | Some key -> key
+        | None ->
+            let drbg =
+              Drbg.create ~seed:(Printf.sprintf "sea-keyvault:%s:%d" label bits)
+            in
+            Rsa.generate ~bits drbg
+      in
+      Hashtbl.add cache (label, bits) key;
+      key
+
+let clear () = Hashtbl.reset cache

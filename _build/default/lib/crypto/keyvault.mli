@@ -1,0 +1,15 @@
+(** Process-wide cache of deterministic RSA keys.
+
+    RSA-2048 generation with the from-scratch bignum takes seconds, and the
+    benchmark harness instantiates several TPMs (one per simulated machine).
+    Every TPM key is deterministic in its label, so generating it twice is
+    pure waste; this vault generates each (label, bits) key once per process
+    and returns the cached key afterwards.
+
+    Keys for distinct labels are independent (the label seeds the DRBG). *)
+
+val get : label:string -> bits:int -> Rsa.private_key
+(** Return the cached key for [(label, bits)], generating it on first use. *)
+
+val clear : unit -> unit
+(** Drop the cache (used by tests that measure generation itself). *)

@@ -1,0 +1,172 @@
+type public = { n : Bignum.t; e : Bignum.t }
+type private_key = { pub : public; d : Bignum.t; p : Bignum.t; q : Bignum.t }
+
+let small_primes =
+  [
+    2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71;
+    73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149; 151;
+    157; 163; 167; 173; 179; 181; 191; 193; 197; 199; 211; 223; 227; 229; 233;
+    239; 241; 251;
+  ]
+
+let is_probable_prime n ~rounds drbg =
+  let open Bignum in
+  if compare n two < 0 then false
+  else if List.exists (fun p -> equal n (of_int p)) small_primes then true
+  else if
+    List.exists (fun p -> is_zero (rem n (of_int p))) small_primes
+  then false
+  else if compare n (of_int (251 * 251)) < 0 then
+    (* No factor among the tested primes and below 251²: certainly prime. *)
+    true
+  else begin
+    begin
+      (* n - 1 = d * 2^s with d odd *)
+      let n1 = sub n one in
+      let rec split d s = if test_bit d 0 then (d, s) else split (shift_right d 1) (s + 1) in
+      let d, s = split n1 0 in
+      let nbits = bit_length n in
+      let random_base () =
+        (* Uniform a in [2, n-2]: rejection sample below n, retry on edges. *)
+        let rec go () =
+          let a = of_random_bits (fun k -> Drbg.generate drbg k) nbits in
+          if compare a two < 0 || compare a (sub n two) > 0 then go () else a
+        in
+        go ()
+      in
+      let witness a =
+        let x = ref (mod_pow ~base:a ~exp:d ~m:n) in
+        if equal !x one || equal !x n1 then false
+        else begin
+          let composite = ref true in
+          (try
+             for _ = 1 to s - 1 do
+               x := mod_mul !x !x ~m:n;
+               if equal !x n1 then begin
+                 composite := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !composite
+        end
+      in
+      let rec rounds_left k = if k = 0 then true else if witness (random_base ()) then false else rounds_left (k - 1) in
+      rounds_left rounds
+    end
+  end
+
+let random_prime ~bits drbg =
+  let open Bignum in
+  let rec go () =
+    let cand = of_random_bits (fun k -> Drbg.generate drbg k) bits in
+    (* Force the top bit (exact bit length) and the low bit (odd). *)
+    let cand = shift_left (shift_right cand 1) 1 in
+    let cand = add cand one in
+    let cand =
+      if test_bit cand (bits - 1) then cand
+      else add cand (shift_left one (bits - 1))
+    in
+    if is_probable_prime cand ~rounds:12 drbg then cand else go ()
+  in
+  go ()
+
+let generate ?(e = 65537) ~bits drbg =
+  if bits < 32 then invalid_arg "Rsa.generate: modulus too small";
+  let open Bignum in
+  let e_big = of_int e in
+  let half = bits / 2 in
+  let rec go () =
+    let p = random_prime ~bits:half drbg in
+    let q = random_prime ~bits:(bits - half) drbg in
+    if equal p q then go ()
+    else begin
+      let n = mul p q in
+      if bit_length n <> bits then go ()
+      else begin
+        let phi = mul (sub p one) (sub q one) in
+        match mod_inverse e_big ~m:phi with
+        | None -> go ()
+        | Some d -> { pub = { n; e = e_big }; d; p; q }
+      end
+    end
+  in
+  go ()
+
+let key_bytes pub = (Bignum.bit_length pub.n + 7) / 8
+let max_plaintext pub = key_bytes pub - 11
+
+(* PKCS#1 v1.5 DigestInfo prefix for SHA-1 (RFC 8017 §9.2 notes). *)
+let sha1_digest_info =
+  "\x30\x21\x30\x09\x06\x05\x2b\x0e\x03\x02\x1a\x05\x00\x04\x14"
+
+let emsa_pkcs1_v15 ~em_len digest =
+  let t = sha1_digest_info ^ digest in
+  let t_len = String.length t in
+  if em_len < t_len + 11 then invalid_arg "Rsa: key too small for signature";
+  let ps = String.make (em_len - t_len - 3) '\xff' in
+  "\x00\x01" ^ ps ^ "\x00" ^ t
+
+let sign key msg =
+  let em_len = key_bytes key.pub in
+  let em = emsa_pkcs1_v15 ~em_len (Sha1.digest msg) in
+  let m = Bignum.of_bytes_be em in
+  let s = Bignum.mod_pow ~base:m ~exp:key.d ~m:key.pub.n in
+  Bignum.to_bytes_be ~pad_to:em_len s
+
+let verify pub ~msg ~signature =
+  let em_len = key_bytes pub in
+  if String.length signature <> em_len then false
+  else begin
+    let s = Bignum.of_bytes_be signature in
+    if Bignum.compare s pub.n >= 0 then false
+    else begin
+      let m = Bignum.mod_pow ~base:s ~exp:pub.e ~m:pub.n in
+      let em = Bignum.to_bytes_be ~pad_to:em_len m in
+      let expected = emsa_pkcs1_v15 ~em_len (Sha1.digest msg) in
+      Hmac.equal_constant_time em expected
+    end
+  end
+
+let encrypt pub drbg plaintext =
+  let k = key_bytes pub in
+  let m_len = String.length plaintext in
+  if m_len > k - 11 then invalid_arg "Rsa.encrypt: plaintext too long";
+  (* Type-2 padding: 00 02 <nonzero random> 00 <plaintext>. *)
+  let ps_len = k - m_len - 3 in
+  let ps = Bytes.create ps_len in
+  for i = 0 to ps_len - 1 do
+    let rec nonzero () =
+      let b = Bytes.get (Drbg.generate drbg 1) 0 in
+      if b = '\000' then nonzero () else b
+    in
+    Bytes.set ps i (nonzero ())
+  done;
+  let em = "\x00\x02" ^ Bytes.to_string ps ^ "\x00" ^ plaintext in
+  let m = Bignum.of_bytes_be em in
+  let c = Bignum.mod_pow ~base:m ~exp:pub.e ~m:pub.n in
+  Bignum.to_bytes_be ~pad_to:k c
+
+let decrypt key ciphertext =
+  let k = key_bytes key.pub in
+  if String.length ciphertext <> k then None
+  else begin
+    let c = Bignum.of_bytes_be ciphertext in
+    if Bignum.compare c key.pub.n >= 0 then None
+    else begin
+      let m = Bignum.mod_pow ~base:c ~exp:key.d ~m:key.pub.n in
+      let em = Bignum.to_bytes_be ~pad_to:k m in
+      if String.length em < 11 || em.[0] <> '\000' || em.[1] <> '\002' then None
+      else begin
+        (* Find the 00 separator after at least 8 padding bytes. *)
+        let rec find i =
+          if i >= String.length em then None
+          else if em.[i] = '\000' then if i >= 10 then Some i else None
+          else find (i + 1)
+        in
+        match find 2 with
+        | None -> None
+        | Some sep -> Some (String.sub em (sep + 1) (String.length em - sep - 1))
+      end
+    end
+  end

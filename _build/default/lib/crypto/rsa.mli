@@ -1,0 +1,46 @@
+(** RSA, from scratch, for the TPM model.
+
+    Provides key generation (Miller–Rabin), PKCS#1 v1.5 signatures with a
+    SHA-1 DigestInfo (what a v1.2 TPM's Quote produces), and PKCS#1 v1.5
+    type-2 encryption (used for Seal blobs). Sizes up to 2048 bits are
+    practical with the [Bignum] substrate.
+
+    This is a faithful-mechanism model, not hardened production crypto: no
+    blinding, no constant-time guarantees — the "hardware" it runs inside is
+    itself simulated. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+
+type private_key = {
+  pub : public;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+}
+
+val generate : ?e:int -> bits:int -> Drbg.t -> private_key
+(** [generate ~bits drbg] creates a key with a modulus of exactly [bits]
+    bits ([bits >= 32]). The default public exponent is 65537. *)
+
+val key_bytes : public -> int
+(** Modulus length in bytes. *)
+
+val sign : private_key -> string -> string
+(** [sign key msg] is a PKCS#1 v1.5 signature over SHA-1([msg]), of length
+    [key_bytes key.pub]. *)
+
+val verify : public -> msg:string -> signature:string -> bool
+
+val encrypt : public -> Drbg.t -> string -> string
+(** PKCS#1 v1.5 type-2 encryption. The plaintext must be at most
+    [key_bytes pub - 11] bytes; raises [Invalid_argument] otherwise. *)
+
+val decrypt : private_key -> string -> string option
+(** [None] if the padding is invalid (wrong key or corrupted blob). *)
+
+val max_plaintext : public -> int
+(** Largest payload [encrypt] accepts. *)
+
+val is_probable_prime : Bignum.t -> rounds:int -> Drbg.t -> bool
+(** Miller–Rabin with the given number of random rounds (plus small-prime
+    trial division). Exposed for tests. *)

@@ -1,0 +1,71 @@
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 64
+
+let add_be buf width v =
+  for i = width - 1 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_string e s =
+  add_be e 4 (String.length s);
+  Buffer.add_string e s
+
+let add_int e v = add_be e 8 v
+
+let add_list e f items =
+  add_be e 4 (List.length items);
+  List.iter f items
+
+let contents = Buffer.contents
+
+type decoder = { data : string; mutable pos : int }
+
+let decoder data = { data; pos = 0 }
+
+let take d n =
+  if n < 0 || d.pos + n > String.length d.data then None
+  else begin
+    let s = String.sub d.data d.pos n in
+    d.pos <- d.pos + n;
+    Some s
+  end
+
+let read_be d width =
+  match take d width with
+  | None -> None
+  | Some s ->
+      let v = ref 0 in
+      String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+      Some !v
+
+let read_string d =
+  match read_be d 4 with None -> None | Some len -> take d len
+
+let read_int d =
+  (* 8 bytes could overflow 63-bit int for adversarial input; reject values
+     with a set top bit beyond OCaml's range rather than wrapping. *)
+  match take d 8 with
+  | None -> None
+  | Some s ->
+      if Char.code s.[0] land 0x80 <> 0 then None
+      else begin
+        let v = ref 0 in
+        String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+        Some !v
+      end
+
+let read_list d f =
+  match read_be d 4 with
+  | None -> None
+  | Some count ->
+      if count > String.length d.data - d.pos then None
+      else begin
+        let rec go n acc =
+          if n = 0 then Some (List.rev acc)
+          else match f () with None -> None | Some x -> go (n - 1) (x :: acc)
+        in
+        go count []
+      end
+
+let at_end d = d.pos = String.length d.data

@@ -1,0 +1,30 @@
+(** Minimal binary serialization helpers.
+
+    Length-prefixed, big-endian framing used for TPM blobs, quotes and
+    SECB snapshots. Deliberately tiny: strings, ints and lists compose into
+    everything the models need. Decoding is total — malformed input yields
+    [None], never an exception — because sealed blobs and attestation
+    payloads cross a trust boundary. *)
+
+type encoder
+
+val encoder : unit -> encoder
+val add_string : encoder -> string -> unit
+(** 4-byte big-endian length prefix, then the bytes. *)
+
+val add_int : encoder -> int -> unit
+(** 8-byte big-endian two's-complement. *)
+
+val add_list : encoder -> ('a -> unit) -> 'a list -> unit
+(** 4-byte count, then each element via the callback (which should use the
+    same encoder). *)
+
+val contents : encoder -> string
+
+type decoder
+
+val decoder : string -> decoder
+val read_string : decoder -> string option
+val read_int : decoder -> int option
+val read_list : decoder -> (unit -> 'a option) -> 'a list option
+val at_end : decoder -> bool

@@ -1,0 +1,1 @@
+lib/hw/access_control.ml: Array Int List Printf

@@ -1,0 +1,1 @@
+lib/hw/access_control.mli:

@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/insn.ml: Access_control Array Buffer Cpu Engine Float Lazy List Machine Memctrl Memory Rng Sea_bus Sea_crypto Sea_sim Sea_tpm Secb Sha1 Time

@@ -1,0 +1,1 @@
+lib/hw/insn.mli: Machine Sea_sim Secb

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Cpu Engine Hashtbl List Memctrl Memory Printf Sea_sim Sea_tpm

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cpu Hashtbl Memctrl Sea_sim Sea_tpm

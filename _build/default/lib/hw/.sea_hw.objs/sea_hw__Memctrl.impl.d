@@ -1,0 +1,1 @@
+lib/hw/memctrl.ml: Access_control Array List Memory Printf

@@ -1,0 +1,1 @@
+lib/hw/memctrl.mli: Access_control Memory

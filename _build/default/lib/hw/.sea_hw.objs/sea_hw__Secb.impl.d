@@ -1,0 +1,1 @@
+lib/hw/secb.ml: Int List Memory Sea_sim Sea_tpm

@@ -1,0 +1,1 @@
+lib/hw/secb.mli: Sea_sim Sea_tpm

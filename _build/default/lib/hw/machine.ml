@@ -1,0 +1,151 @@
+open Sea_sim
+
+type arch = Amd | Intel
+
+type config = {
+  name : string;
+  arch : arch;
+  cpu_count : int;
+  cpu_ghz : float;
+  memory_pages : int;
+  tpm_vendor : Sea_tpm.Vendor.t option;
+  tpm_profile : Sea_tpm.Timing.profile option;
+  tpm_key_bits : int;
+  sepcr_count : int;
+  proposed : bool;
+}
+
+let base ~name ~arch ~cpu_count ~cpu_ghz ~tpm_vendor =
+  {
+    name;
+    arch;
+    cpu_count;
+    cpu_ghz;
+    memory_pages = 16384 (* 64 MB — ample for the workloads modelled *);
+    tpm_vendor;
+    tpm_profile = None;
+    tpm_key_bits = 2048;
+    sepcr_count = 0;
+    proposed = false;
+  }
+
+let hp_dc5750 =
+  base ~name:"HP dc5750" ~arch:Amd ~cpu_count:2 ~cpu_ghz:2.2
+    ~tpm_vendor:(Some Sea_tpm.Vendor.Broadcom)
+
+let tyan_n3600r =
+  base ~name:"Tyan n3600R" ~arch:Amd ~cpu_count:4 ~cpu_ghz:1.8 ~tpm_vendor:None
+
+let intel_tep =
+  base ~name:"Intel TEP" ~arch:Intel ~cpu_count:2 ~cpu_ghz:2.66
+    ~tpm_vendor:(Some Sea_tpm.Vendor.Atmel_tep)
+
+let lenovo_t60 =
+  base ~name:"Lenovo T60" ~arch:Intel ~cpu_count:2 ~cpu_ghz:2.0
+    ~tpm_vendor:(Some Sea_tpm.Vendor.Atmel_t60)
+
+let amd_infineon =
+  base ~name:"AMD workstation (Infineon)" ~arch:Amd ~cpu_count:2 ~cpu_ghz:2.2
+    ~tpm_vendor:(Some Sea_tpm.Vendor.Infineon)
+
+let presets = [ hp_dc5750; tyan_n3600r; intel_tep; lenovo_t60; amd_infineon ]
+
+let proposed_variant ?(sepcr_count = 8) config =
+  {
+    config with
+    name = config.name ^ " (proposed hw)";
+    tpm_vendor =
+      (match config.tpm_vendor with
+      | Some v -> Some v
+      | None -> Some Sea_tpm.Vendor.Broadcom);
+    sepcr_count;
+    proposed = true;
+  }
+
+let low_fidelity config = { config with tpm_key_bits = 512 }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  memctrl : Memctrl.t;
+  tpm : Sea_tpm.Tpm.t option;
+  cpus : Cpu.t array;
+  mutable next_secb_id : int;
+  mutable free_list : int list;
+  allocated : (int, unit) Hashtbl.t;
+}
+
+let create ?engine config =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let memory = Memory.create ~pages:config.memory_pages in
+  let memctrl = Memctrl.create ~memory ~proposed:config.proposed in
+  let tpm =
+    match config.tpm_vendor with
+    | None -> None
+    | Some vendor ->
+        Some
+          (Sea_tpm.Tpm.create ~vendor ?profile:config.tpm_profile
+             ~key_bits:config.tpm_key_bits ~sepcr_count:config.sepcr_count engine)
+  in
+  let free_list =
+    (* Page 0 is reserved (legacy low memory). *)
+    List.init (config.memory_pages - 1) (fun i -> i + 1)
+  in
+  {
+    config;
+    engine;
+    memctrl;
+    tpm;
+    cpus = Array.init config.cpu_count (fun id -> Cpu.create ~id);
+    next_secb_id = 1;
+    free_list;
+    allocated = Hashtbl.create 64;
+  }
+
+let engine t = t.engine
+let now t = Engine.now t.engine
+
+let tpm_exn t =
+  match t.tpm with
+  | Some tpm -> tpm
+  | None -> invalid_arg (t.config.name ^ " has no TPM")
+
+let cpu t i =
+  if i < 0 || i >= Array.length t.cpus then
+    invalid_arg (Printf.sprintf "Machine.cpu: index %d out of range" i);
+  t.cpus.(i)
+
+let fresh_secb_id t =
+  let id = t.next_secb_id in
+  t.next_secb_id <- id + 1;
+  id
+
+let alloc_pages t n =
+  let rec take acc k rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> failwith "Machine.alloc_pages: out of memory"
+      | p :: rest -> take (p :: acc) (k - 1) rest
+  in
+  let pages, rest = take [] n t.free_list in
+  t.free_list <- rest;
+  List.iter (fun p -> Hashtbl.replace t.allocated p ()) pages;
+  pages
+
+let free_pages t pages =
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem t.allocated p) then
+        invalid_arg (Printf.sprintf "Machine.free_pages: page %d not allocated" p);
+      Hashtbl.remove t.allocated p)
+    pages;
+  t.free_list <- pages @ t.free_list
+
+let idle_other_cpus t ~except =
+  Array.iter (fun c -> if c.Cpu.id <> except then c.Cpu.status <- Cpu.Idle) t.cpus
+
+let wake_cpus t =
+  Array.iter
+    (fun c -> if c.Cpu.status = Cpu.Idle then c.Cpu.status <- Cpu.Legacy)
+    t.cpus

@@ -1,0 +1,91 @@
+(** A complete simulated platform: CPUs, memory behind the controller, and
+    (usually) a TPM on the LPC bus — Figure 1's topology.
+
+    Configurations model the five machines the paper measures, plus
+    "proposed" variants with the recommended hardware: the per-page
+    access-control table in the memory controller, the
+    SLAUNCH/SYIELD/SFREE/SKILL instructions, and a TPM with a sePCR
+    bank. *)
+
+type arch = Amd | Intel
+
+type config = {
+  name : string;
+  arch : arch;
+  cpu_count : int;
+  cpu_ghz : float;
+  memory_pages : int;
+  tpm_vendor : Sea_tpm.Vendor.t option;  (** [None] = no TPM (Tyan). *)
+  tpm_profile : Sea_tpm.Timing.profile option;  (** Override, for ablations. *)
+  tpm_key_bits : int;
+  sepcr_count : int;  (** > 0 only with [proposed]. *)
+  proposed : bool;  (** Recommended hardware present. *)
+}
+
+(** {1 Presets — the paper's test machines (§4.2, §4.3)} *)
+
+val hp_dc5750 : config
+(** 2.2 GHz AMD Athlon64 X2 4200+, Broadcom v1.2 TPM — the primary
+    end-to-end machine (Figure 2, Table 1 row 1). *)
+
+val tyan_n3600r : config
+(** Two 1.8 GHz dual-core Opterons, {e no TPM} — isolates SKINIT's LPC
+    cost (Table 1 row 2). *)
+
+val intel_tep : config
+(** 2.66 GHz Core 2 Duo, Atmel v1.2 TPM — the SENTER machine (Table 1
+    row 3, Table 2). *)
+
+val lenovo_t60 : config
+(** Laptop with the other Atmel TPM (Figure 3). *)
+
+val amd_infineon : config
+(** AMD workstation with the Infineon TPM (Figure 3). *)
+
+val presets : config list
+
+val proposed_variant : ?sepcr_count:int -> config -> config
+(** The same machine with the paper's recommended hardware (default 8
+    sePCRs). *)
+
+val low_fidelity : config -> config
+(** Shrink key sizes for fast unit tests (512-bit TPM keys). Timing is
+    unaffected — latency comes from the vendor profile, not the crypto. *)
+
+(** {1 The assembled machine} *)
+
+type t = {
+  config : config;
+  engine : Sea_sim.Engine.t;
+  memctrl : Memctrl.t;
+  tpm : Sea_tpm.Tpm.t option;
+  cpus : Cpu.t array;
+  mutable next_secb_id : int;
+  mutable free_list : int list;  (** Page allocator state. *)
+  allocated : (int, unit) Hashtbl.t;
+}
+
+val create : ?engine:Sea_sim.Engine.t -> config -> t
+
+val engine : t -> Sea_sim.Engine.t
+val now : t -> Sea_sim.Time.t
+val tpm_exn : t -> Sea_tpm.Tpm.t
+(** Raises [Invalid_argument] on a TPM-less machine. *)
+
+val cpu : t -> int -> Cpu.t
+val fresh_secb_id : t -> int
+
+val alloc_pages : t -> int -> int list
+(** Allocate distinct free pages (model-level convenience standing in for
+    the untrusted OS's page allocator). Raises [Failure] when memory is
+    exhausted. *)
+
+val free_pages : t -> int list -> unit
+(** Return pages to the allocator. Raises [Invalid_argument] on a
+    double-free. *)
+
+val idle_other_cpus : t -> except:int -> unit
+(** Put every core but [except] into the idle state SKINIT demands. *)
+
+val wake_cpus : t -> unit
+(** Return all idle cores to legacy execution. *)

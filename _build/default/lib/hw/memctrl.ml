@@ -1,0 +1,74 @@
+type initiator = Cpu of int | Device of string
+
+type t = {
+  memory : Memory.t;
+  acl : Access_control.t option;
+  dev : bool array; (* true = DMA blocked *)
+  mutable denied : int;
+}
+
+let create ~memory ~proposed =
+  let pages = Memory.page_count memory in
+  {
+    memory;
+    acl = (if proposed then Some (Access_control.create ~pages) else None);
+    dev = Array.make pages false;
+    denied = 0;
+  }
+
+let memory t = t.memory
+let acl t = t.acl
+
+let check_page t page =
+  if page < 0 || page >= Memory.page_count t.memory then
+    invalid_arg (Printf.sprintf "Memctrl: page %d out of range" page)
+
+let dev_protect t pages = List.iter (fun p -> check_page t p; t.dev.(p) <- true) pages
+let dev_unprotect t pages = List.iter (fun p -> check_page t p; t.dev.(p) <- false) pages
+
+let dev_protected t page =
+  check_page t page;
+  t.dev.(page)
+
+let permitted t initiator page =
+  check_page t page;
+  match initiator with
+  | Cpu cpu -> (
+      match t.acl with
+      | None -> true (* today's hardware does not restrict CPU accesses *)
+      | Some acl -> Access_control.cpu_may_access acl ~cpu page)
+  | Device _ ->
+      (not t.dev.(page))
+      && (match t.acl with None -> true | Some acl -> Access_control.dma_may_access acl page)
+
+let deny t initiator page =
+  t.denied <- t.denied + 1;
+  let who = match initiator with Cpu i -> Printf.sprintf "CPU %d" i | Device d -> d in
+  Error (Printf.sprintf "access to page %d denied for %s" page who)
+
+let read t initiator ~page ~off ~len =
+  if permitted t initiator page then Ok (Memory.read t.memory ~page ~off ~len)
+  else deny t initiator page
+
+let write t initiator ~page ~off data =
+  if permitted t initiator page then Ok (Memory.write t.memory ~page ~off data)
+  else deny t initiator page
+
+let check_span t initiator pages =
+  let rec go = function
+    | [] -> Ok ()
+    | p :: rest -> if permitted t initiator p then go rest else deny t initiator p
+  in
+  go pages
+
+let read_span t initiator ~pages ~off ~len =
+  match check_span t initiator pages with
+  | Error e -> Error e
+  | Ok () -> Ok (Memory.read_span t.memory ~pages ~off ~len)
+
+let write_span t initiator ~pages ~off data =
+  match check_span t initiator pages with
+  | Error e -> Error e
+  | Ok () -> Ok (Memory.write_span t.memory ~pages ~off data)
+
+let denied_accesses t = t.denied

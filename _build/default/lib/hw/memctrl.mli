@@ -1,0 +1,51 @@
+(** The memory controller (north bridge): the single gateway to RAM.
+
+    Mediates every access from CPUs and DMA-capable devices. Two protection
+    mechanisms are modelled:
+
+    - The {b Device Exclusion Vector} (DEV): today's AMD mechanism, one bit
+      per page; a set bit blocks {e device} (DMA) access but not other
+      CPUs. SKINIT sets DEV bits for the SLB (§2.2.1). Intel's Memory
+      Protection Table is modelled identically.
+    - The proposed {b per-page access-control table} (§5.2), present when
+      the machine is built with the paper's recommended hardware; it
+      restricts CPUs as well as devices.
+
+    All accesses return [Result] — a denied access is an ordinary outcome
+    the threat-model tests assert on, not an exception. *)
+
+type initiator =
+  | Cpu of int
+  | Device of string  (** A DMA-capable peripheral, e.g. a NIC. *)
+
+type t
+
+val create : memory:Memory.t -> proposed:bool -> t
+(** [proposed] enables the per-page access-control table. *)
+
+val memory : t -> Memory.t
+(** Backdoor used only by machine setup (loading code before protection)
+    and by tests; runtime accesses must go through {!read}/{!write}. *)
+
+val acl : t -> Access_control.t option
+
+val dev_protect : t -> int list -> unit
+val dev_unprotect : t -> int list -> unit
+val dev_protected : t -> int -> bool
+
+val permitted : t -> initiator -> int -> bool
+(** Access decision for one page. *)
+
+val read :
+  t -> initiator -> page:int -> off:int -> len:int -> (string, string) result
+
+val write : t -> initiator -> page:int -> off:int -> string -> (unit, string) result
+
+val read_span :
+  t -> initiator -> pages:int list -> off:int -> len:int -> (string, string) result
+
+val write_span :
+  t -> initiator -> pages:int list -> off:int -> string -> (unit, string) result
+
+val denied_accesses : t -> int
+(** Count of refused requests since creation (isolation diagnostics). *)

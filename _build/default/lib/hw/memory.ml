@@ -1,0 +1,53 @@
+let page_size = 4096
+
+type t = { pages : Bytes.t array }
+
+let create ~pages =
+  if pages <= 0 then invalid_arg "Memory.create: page count must be positive";
+  { pages = Array.init pages (fun _ -> Bytes.make page_size '\000') }
+
+let page_count t = Array.length t.pages
+
+let check t ~page ~off ~len =
+  if page < 0 || page >= Array.length t.pages then
+    invalid_arg (Printf.sprintf "Memory: page %d out of range" page);
+  if off < 0 || len < 0 || off + len > page_size then
+    invalid_arg "Memory: access crosses page boundary"
+
+let read t ~page ~off ~len =
+  check t ~page ~off ~len;
+  Bytes.sub_string t.pages.(page) off len
+
+let write t ~page ~off data =
+  check t ~page ~off ~len:(String.length data);
+  Bytes.blit_string data 0 t.pages.(page) off (String.length data)
+
+let span_iter pages off len f =
+  (* Visit (page, page_off, chunk_len, span_off) for a linear range laid
+     over the page list. *)
+  let arr = Array.of_list pages in
+  let pos = ref off and remaining = ref len and span_off = ref 0 in
+  while !remaining > 0 do
+    let idx = !pos / page_size in
+    if idx >= Array.length arr then invalid_arg "Memory: span too short";
+    let page_off = !pos mod page_size in
+    let chunk = min !remaining (page_size - page_off) in
+    f arr.(idx) page_off chunk !span_off;
+    pos := !pos + chunk;
+    remaining := !remaining - chunk;
+    span_off := !span_off + chunk
+  done
+
+let read_span t ~pages ~off ~len =
+  let buf = Bytes.create len in
+  span_iter pages off len (fun page page_off chunk span_off ->
+      Bytes.blit_string (read t ~page ~off:page_off ~len:chunk) 0 buf span_off chunk);
+  Bytes.to_string buf
+
+let write_span t ~pages ~off data =
+  span_iter pages off (String.length data) (fun page page_off chunk span_off ->
+      write t ~page ~off:page_off (String.sub data span_off chunk))
+
+let zero_page t page =
+  check t ~page ~off:0 ~len:page_size;
+  Bytes.fill t.pages.(page) 0 page_size '\000'

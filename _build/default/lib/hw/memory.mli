@@ -1,0 +1,28 @@
+(** Physical memory: a flat array of 4 KB pages.
+
+    Raw storage only — access control lives in {!Memctrl}, which is the
+    single gateway through which CPUs and devices reach these pages
+    (Figure 1: the north bridge sits between everything and RAM). *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+type t
+
+val create : pages:int -> t
+val page_count : t -> int
+
+val read : t -> page:int -> off:int -> len:int -> string
+(** Raises [Invalid_argument] when the range leaves the page. *)
+
+val write : t -> page:int -> off:int -> string -> unit
+
+val read_span : t -> pages:int list -> off:int -> len:int -> string
+(** Read across a list of (not necessarily contiguous) pages treated as one
+    linear region — how PAL code that straddles pages is fetched for
+    measurement. *)
+
+val write_span : t -> pages:int list -> off:int -> string -> unit
+
+val zero_page : t -> int -> unit
+(** Clear a page to zeroes (SKILL's erase, §5.5). *)

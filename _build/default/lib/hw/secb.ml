@@ -1,0 +1,42 @@
+type cpu_snapshot = { eip : int; esp : int; registers : string }
+
+type t = {
+  id : int;
+  pages : int list;
+  entry_point : int;
+  pal_length : int;
+  preemption_timer : Sea_sim.Time.t option;
+  idt : int list;
+  mutable measured : bool;
+  mutable sepcr : Sea_tpm.Sepcr.handle option;
+  mutable saved_state : cpu_snapshot option;
+  mutable freed : bool;
+}
+
+let create ~id ~pages ~entry_point ~pal_length ?preemption_timer ?(idt = []) () =
+  if pages = [] then invalid_arg "Secb.create: empty page list";
+  let sorted = List.sort_uniq Int.compare pages in
+  if List.length sorted <> List.length pages then
+    invalid_arg "Secb.create: duplicate pages";
+  let data_capacity = (List.length pages - 1) * Memory.page_size in
+  if pal_length < 0 || pal_length > data_capacity then
+    invalid_arg "Secb.create: PAL length exceeds allocated region";
+  if entry_point < 0 || (pal_length > 0 && entry_point >= pal_length) then
+    invalid_arg "Secb.create: entry point outside PAL code";
+  if List.exists (fun v -> v < 0 || v > 255) idt then
+    invalid_arg "Secb.create: interrupt vector out of range";
+  {
+    id;
+    pages;
+    entry_point;
+    pal_length;
+    preemption_timer;
+    idt = List.sort_uniq Int.compare idt;
+    measured = false;
+    sepcr = None;
+    saved_state = None;
+    freed = false;
+  }
+
+let data_pages t = match t.pages with [] -> [] | _ :: rest -> rest
+let region_bytes t = List.length (data_pages t) * Memory.page_size

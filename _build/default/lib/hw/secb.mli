@@ -1,0 +1,56 @@
+(** Secure Execution Control Block (§5.1, Figure 5(a)).
+
+    The in-memory structure the untrusted OS allocates to describe a PAL:
+    its pages, entry point and length, the preemption-timer budget, and —
+    once launched — the saved CPU state, the Measured Flag and the sePCR
+    handle. Mirrors AMD's VMCB / Intel's VMCS as the paper suggests
+    (§5.1.2).
+
+    The model keeps the SECB as an OCaml record whose first page in
+    [pages] stands for the physical page holding the structure itself, so
+    the access-control table protects the SECB exactly as it protects the
+    PAL (§5.2.1: "memory isolation ... for the memory region defined in
+    the SECB and for the SECB itself"). *)
+
+type cpu_snapshot = {
+  eip : int;  (** Saved instruction pointer (simulated program counter). *)
+  esp : int;
+  registers : string;  (** Opaque architectural state. *)
+}
+
+type t = {
+  id : int;
+  pages : int list;  (** SECB page first, then PAL code/data pages. *)
+  entry_point : int;  (** Offset into the PAL region. *)
+  pal_length : int;  (** Measured code length in bytes. *)
+  preemption_timer : Sea_sim.Time.t option;
+      (** OS-configured execution budget per dispatch (§5.3.1). *)
+  idt : int list;
+      (** Interrupt vectors the PAL registered to receive (§6 "PAL
+          Interrupt Handling"); empty for the recommended
+          no-interrupts configuration. Routing these vectors to the PAL
+          costs interrupt-logic reprogramming on every dispatch. *)
+  mutable measured : bool;  (** The Measured Flag. *)
+  mutable sepcr : Sea_tpm.Sepcr.handle option;
+  mutable saved_state : cpu_snapshot option;
+  mutable freed : bool;  (** Set by SFREE/SKILL; the SECB is then dead. *)
+}
+
+val create :
+  id:int ->
+  pages:int list ->
+  entry_point:int ->
+  pal_length:int ->
+  ?preemption_timer:Sea_sim.Time.t ->
+  ?idt:int list ->
+  unit ->
+  t
+(** Validates that the page list is non-empty and duplicate-free, that
+    [pal_length] fits in the region after the SECB page, and that IDT
+    vectors are in [0, 255]. *)
+
+val data_pages : t -> int list
+(** Pages after the SECB page: where PAL code and data live. *)
+
+val region_bytes : t -> int
+(** Capacity of {!data_pages} in bytes. *)

@@ -1,0 +1,1 @@
+lib/os/adversary.ml: Attestation Char Insn List Machine Memctrl Memory Option Pal Printf Rollback Sea_core Sea_hw Sea_tpm Secb String

@@ -1,0 +1,1 @@
+lib/os/adversary.mli: Sea_core Sea_hw Sea_tpm

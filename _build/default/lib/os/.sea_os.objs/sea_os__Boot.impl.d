@@ -1,0 +1,1 @@
+lib/os/boot.ml: Char Drbg List Machine Printf Sea_core Sea_crypto Sea_hw Sea_tpm String

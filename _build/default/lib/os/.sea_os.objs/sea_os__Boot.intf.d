@@ -1,0 +1,1 @@
+lib/os/boot.mli: Sea_core Sea_crypto Sea_hw Sea_tpm

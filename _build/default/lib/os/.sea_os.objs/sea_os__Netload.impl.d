@@ -1,0 +1,1 @@
+lib/os/netload.ml: Engine List Sea_core Sea_hw Sea_sim Session Time

@@ -1,0 +1,1 @@
+lib/os/netload.mli: Sea_core Sea_hw Sea_sim Stdlib

@@ -1,0 +1,1 @@
+lib/os/scheduler.ml: Array Engine Format Generic List Machine Option Pal Sea_core Sea_hw Sea_sim Session Slaunch_session Stats Time

@@ -1,0 +1,1 @@
+lib/os/scheduler.mli: Format Sea_hw Sea_sim

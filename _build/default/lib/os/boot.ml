@@ -1,0 +1,96 @@
+open Sea_crypto
+open Sea_hw
+
+type component = { name : string; pcr_index : int; image : string }
+
+let component ~name ~pcr_index ~seed ~size =
+  if pcr_index < 0 || pcr_index >= Sea_tpm.Pcr.first_dynamic then
+    invalid_arg "Boot.component: boot components extend static PCRs";
+  let drbg = Drbg.create ~seed:(Printf.sprintf "boot:%s:%s" name seed) in
+  { name; pcr_index; image = Drbg.generate_string drbg size }
+
+let standard_stack () =
+  [
+    component ~name:"BIOS" ~pcr_index:0 ~seed:"ami-2006" ~size:(128 * 1024);
+    component ~name:"NIC option ROM" ~pcr_index:2 ~seed:"bcm5751" ~size:(32 * 1024);
+    component ~name:"MBR bootloader" ~pcr_index:4 ~seed:"grub-0.97" ~size:446;
+    component ~name:"kernel" ~pcr_index:4 ~seed:"vmlinuz-2.6.20" ~size:(512 * 1024);
+    component ~name:"initrd" ~pcr_index:5 ~seed:"initrd-2.6.20" ~size:(256 * 1024);
+    component ~name:"kernel modules" ~pcr_index:5 ~seed:"modules" ~size:(128 * 1024);
+    component ~name:"application" ~pcr_index:7 ~seed:"sshd-4.3" ~size:(64 * 1024);
+  ]
+
+let compromise c =
+  {
+    c with
+    image =
+      String.mapi
+        (fun i ch -> if i = String.length c.image / 2 then Char.chr (Char.code ch lxor 0x55) else ch)
+        c.image;
+  }
+
+let boot (m : Machine.t) components =
+  match m.Machine.tpm with
+  | None -> Error "trusted boot requires a TPM"
+  | Some tpm ->
+      Sea_tpm.Tpm.reboot tpm;
+      let log = Sea_tpm.Event_log.create () in
+      List.iter
+        (fun c ->
+          let event =
+            Sea_tpm.Event_log.record log ~pcr_index:c.pcr_index ~description:c.name
+              ~data:c.image
+          in
+          ignore
+            (Sea_tpm.Tpm.pcr_extend tpm c.pcr_index
+               event.Sea_tpm.Event_log.measurement))
+        components;
+      Ok log
+
+let static_selection = [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let attest (m : Machine.t) ~nonce =
+  match m.Machine.tpm with
+  | None -> Error "no TPM"
+  | Some tpm ->
+      Sea_tpm.Tpm.quote tpm ~caller:Sea_tpm.Tpm.Software ~selection:static_selection
+        ~nonce ()
+
+let verify ~ca ~nonce ~log ~known_good (evidence : Sea_core.Attestation.evidence) =
+  let quote = evidence.Sea_core.Attestation.quote in
+  if
+    not
+      (Sea_tpm.Tpm.verify_aik_certificate ~ca ~aik:evidence.Sea_core.Attestation.aik
+         evidence.Sea_core.Attestation.aik_cert)
+  then Error "AIK certificate does not chain to the Privacy CA"
+  else if not (Sea_tpm.Tpm.verify_quote ~aik:evidence.Sea_core.Attestation.aik quote)
+  then Error "quote signature invalid"
+  else if not (String.equal quote.Sea_tpm.Tpm.nonce nonce) then
+    Error "stale or replayed quote (nonce mismatch)"
+  else begin
+    match
+      Sea_tpm.Event_log.verify_against_quote log ~quoted:quote.Sea_tpm.Tpm.selection
+    with
+    | Error e -> Error e
+    | Ok () ->
+        (* Now the per-component trust decision: every logged component
+           must be known-good. *)
+        let rec check = function
+          | [] -> Ok ()
+          | e :: rest -> (
+              match List.assoc_opt e.Sea_tpm.Event_log.description known_good with
+              | Some m when String.equal m e.Sea_tpm.Event_log.measurement ->
+                  check rest
+              | Some _ ->
+                  Error
+                    (Printf.sprintf "component %S does not match its known-good version"
+                       e.Sea_tpm.Event_log.description)
+              | None ->
+                  Error
+                    (Printf.sprintf "component %S is not in the verifier's whitelist"
+                       e.Sea_tpm.Event_log.description))
+        in
+        check log
+  end
+
+let tcb_entries log = Sea_tpm.Event_log.length log

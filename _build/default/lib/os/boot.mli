@@ -1,0 +1,57 @@
+(** Trusted (measured) boot, §1 / §2.1.1 / related work.
+
+    The layered-TCB world the paper argues against: every boot component
+    — BIOS, option ROMs, bootloader, kernel, initrd, drivers — is
+    measured into the static PCRs as it loads, and an attestation covers
+    the whole stack. The verifier must then judge {e every} entry in the
+    log ("assess a list of all software loaded since boot ... and decide
+    whether the platform should be trusted").
+
+    This module exists to quantify that contrast: {!tcb_entries} of a
+    trusted-boot attestation vs. the single PAL measurement of a
+    late-launch attestation. *)
+
+type component = {
+  name : string;
+  pcr_index : int;  (** Static PCR this component class extends (0–7). *)
+  image : string;  (** The bytes that get measured. *)
+}
+
+val component : name:string -> pcr_index:int -> seed:string -> size:int -> component
+(** Deterministic synthetic component image. *)
+
+val standard_stack : unit -> component list
+(** A representative 2007-era boot chain: BIOS, option ROM, MBR
+    bootloader, kernel, initrd, kernel modules, plus an application —
+    seven measured components across PCRs 0–7. *)
+
+val compromise : component -> component
+(** The same component with a patched image (a bootkit/rootkit). *)
+
+val boot :
+  Sea_hw.Machine.t -> component list -> (Sea_tpm.Event_log.t, string) result
+(** Reboot the platform's TPM and measure the stack in order, extending
+    the static PCRs and recording the log the OS keeps in ordinary
+    memory. *)
+
+val attest :
+  Sea_hw.Machine.t ->
+  nonce:string ->
+  (Sea_tpm.Tpm.quote, string) result
+(** Quote over the static PCRs 0–7. *)
+
+val verify :
+  ca:Sea_crypto.Rsa.public ->
+  nonce:string ->
+  log:Sea_tpm.Event_log.event list ->
+  known_good:(string * string) list ->
+  Sea_core.Attestation.evidence ->
+  (unit, string) result
+(** The trusted-boot verifier: checks the AIK chain and quote signature,
+    replays the log against the quoted PCRs, and then requires {e every}
+    logged component to appear in the [known_good] whitelist of
+    (name, measurement) pairs — the per-component trust decision the
+    paper wants to spare application developers. *)
+
+val tcb_entries : Sea_tpm.Event_log.t -> int
+(** Number of distinct software components the verifier must trust. *)

@@ -1,0 +1,60 @@
+open Sea_sim
+open Sea_core
+
+type stats = {
+  offered : int;
+  delivered : int;
+  dropped : int;
+  peak_occupancy : int;
+}
+
+let simulate ~rate_pps ~duration ~ring_slots ~stall_windows =
+  if rate_pps <= 0 then invalid_arg "Netload.simulate: rate must be positive";
+  if ring_slots <= 0 then invalid_arg "Netload.simulate: ring must be positive";
+  let windows =
+    List.sort (fun (a, _) (b, _) -> Time.compare a b) stall_windows
+  in
+  let interval_ns = 1_000_000_000 / rate_pps in
+  let total_ns = Time.to_ns duration in
+  let offered = total_ns / interval_ns in
+  let in_stall t = List.exists (fun (s, e) -> t >= s && t < e) windows in
+  let occupancy = ref 0 and peak = ref 0 and dropped = ref 0 in
+  for i = 0 to offered - 1 do
+    let t = Time.ns (i * interval_ns) in
+    if in_stall t then begin
+      (* The OS cannot drain: the packet parks in the ring or overflows. *)
+      if !occupancy >= ring_slots then incr dropped
+      else begin
+        incr occupancy;
+        if !occupancy > !peak then peak := !occupancy
+      end
+    end
+    else
+      (* OS running: it drains the backlog (ring empties much faster than
+         packets arrive at these rates) and consumes the packet. *)
+      occupancy := 0
+  done;
+  {
+    offered;
+    delivered = offered - !dropped;
+    dropped = !dropped;
+    peak_occupancy = !peak;
+  }
+
+let collect_stall_windows (m : Sea_hw.Machine.t) ~sessions ~period pal =
+  let engine = m.Sea_hw.Machine.engine in
+  let rec go n blob acc =
+    if n = 0 then Ok (List.rev acc)
+    else begin
+      let start = Engine.now engine in
+      let input = match blob with None -> "" | Some b -> b in
+      match Session.execute m ~cpu:0 pal ~input with
+      | Error e -> Error e
+      | Ok outcome ->
+          let finish = Engine.now engine in
+          (* Idle until the next session slot. *)
+          Engine.elapse_to engine (Time.add start period);
+          go (n - 1) (Some outcome.Session.output) ((start, finish) :: acc)
+    end
+  in
+  go sessions None []

@@ -1,0 +1,43 @@
+(** Network I/O under PAL load: what the whole-platform stall costs.
+
+    §4.2 observes that during a PAL session "all other operations on the
+    computer will be suspended for over a second". This module turns
+    that into a concrete, measurable consequence: a NIC receiving at
+    line rate DMAs packets into a ring buffer that only the (suspended)
+    OS can drain. While a session stalls the platform the ring fills and
+    overflows; every overflow is a dropped packet. On the proposed
+    hardware the OS keeps running, the ring keeps draining, and loss
+    stays at zero.
+
+    The packet process is deterministic (fixed inter-arrival time); ring
+    occupancy is simulated arrival-by-arrival against the stall windows
+    the caller collected from real session runs. *)
+
+type stats = {
+  offered : int;  (** Packets that arrived during the experiment. *)
+  delivered : int;
+  dropped : int;
+  peak_occupancy : int;  (** High-water mark of the ring. *)
+}
+
+val simulate :
+  rate_pps:int ->
+  duration:Sea_sim.Time.t ->
+  ring_slots:int ->
+  stall_windows:(Sea_sim.Time.t * Sea_sim.Time.t) list ->
+  stats
+(** Pure occupancy simulation: packets arrive every [1/rate_pps]; the
+    OS drains the ring instantaneously outside stall windows and not at
+    all inside them. Windows must be disjoint; order is not required.
+    Raises [Invalid_argument] on a non-positive rate or ring size. *)
+
+val collect_stall_windows :
+  Sea_hw.Machine.t ->
+  sessions:int ->
+  period:Sea_sim.Time.t ->
+  Sea_core.Pal.t ->
+  ((Sea_sim.Time.t * Sea_sim.Time.t) list, string) Stdlib.result
+(** Run [sessions] full SEA sessions, one every [period], on the given
+    machine (Gen first, then resealing Uses — state threads through) and
+    return each session's [start, end) platform-stall window, measured
+    off the machine clock. *)

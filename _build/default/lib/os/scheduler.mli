@@ -1,0 +1,67 @@
+(** Multiprogramming experiment driver (§4.4's first bottleneck vs §5's
+    goal of concurrent PALs).
+
+    Models the OS's view of a batch of PAL jobs arriving over a time
+    window on a multicore machine, under either architecture:
+
+    - {b Current hardware}: a job needing [chunks] units of protected work
+      runs as [chunks] complete SEA sessions (late launch + TPM Unseal +
+      work + TPM Seal each time, per §5.7), and every session stalls the
+      {e entire} platform — all other cores idle, OS suspended.
+    - {b Proposed hardware}: the same job is one SLAUNCH session whose
+      work is sliced by the preemption timer; it occupies a single core,
+      context switches cost ~VM-exit, and the remaining cores run legacy
+      work throughout.
+
+    The report compares platform throughput left for legacy software and
+    the latency of the protected jobs themselves. *)
+
+type mode = Current | Proposed
+
+type job = {
+  label : string;
+  arrival : Sea_sim.Time.t;
+  chunks : int;  (** Units of protected work requiring state to persist
+                     across context switches. *)
+  chunk_work : Sea_sim.Time.t;  (** Application compute per unit. *)
+  code_size : int;
+}
+
+val job :
+  ?label:string ->
+  ?arrival:Sea_sim.Time.t ->
+  ?chunks:int ->
+  ?chunk_work:Sea_sim.Time.t ->
+  ?code_size:int ->
+  unit ->
+  job
+(** Defaults: arrival 0, 8 chunks of 5 ms, 16 KB of code. *)
+
+type report = {
+  mode : mode;
+  window : Sea_sim.Time.t;  (** max(requested window, last completion). *)
+  cpu_count : int;
+  completed : int;
+  failed : int;
+  pal_latency_ms : Sea_sim.Stats.t;  (** Arrival → completion, per job. *)
+  pal_busy : Sea_sim.Time.t;  (** CPU-time consumed by PAL execution
+                                  including all overheads. *)
+  stalled : Sea_sim.Time.t;
+      (** Wall-clock during which {e every} core was unavailable to legacy
+          software (always 0 under [Proposed]). *)
+  stall_intervals_ms : Sea_sim.Stats.t;
+      (** Each contiguous whole-platform freeze, in ms — the
+          responsiveness view of §4.2's complaint that "most of the
+          computer's processing power and responsiveness vanish for over
+          a second". Empty under [Proposed]. *)
+  legacy_cpu_time : Sea_sim.Time.t;  (** CPU-time left for legacy work. *)
+  legacy_utilization : float;  (** [legacy_cpu_time / (window × cores)]. *)
+}
+
+val run :
+  Sea_hw.Machine.t -> mode:mode -> jobs:job list -> window:Sea_sim.Time.t -> report
+(** Execute the batch. The machine must match the mode (a TPM for
+    [Current]; proposed hardware for [Proposed]). Raises [Failure] on
+    machine/mode mismatch; individual job failures are counted. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/palvm/asm.ml: Buffer Bytes Format Hashtbl Isa List Printf Result String

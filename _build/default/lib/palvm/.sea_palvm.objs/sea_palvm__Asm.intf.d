@@ -1,0 +1,1 @@
+lib/palvm/asm.mli:

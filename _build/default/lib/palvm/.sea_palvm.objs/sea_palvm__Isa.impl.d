@@ -1,0 +1,1 @@
+lib/palvm/isa.ml: Bytes Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/palvm/isa.mli: Format

@@ -1,0 +1,1 @@
+lib/palvm/toctou.ml: Isa List Sea_core String Vm

@@ -1,0 +1,1 @@
+lib/palvm/toctou.mli: Sea_core

@@ -1,0 +1,1 @@
+lib/palvm/vm.ml: Array Buffer Bytes Char Isa Pal Printf Sea_core Sea_crypto String

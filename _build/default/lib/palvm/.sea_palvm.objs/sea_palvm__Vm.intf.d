@@ -1,0 +1,1 @@
+lib/palvm/vm.mli: Sea_core Sea_sim

@@ -1,0 +1,209 @@
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize line =
+  line
+  |> String.map (fun c -> if c = ',' || c = '\t' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+type stmt =
+  | Label of string
+  | Insn of string list (* mnemonic :: operands *)
+  | Bytes of string
+  | Zero of int
+  | Align
+
+let parse_string_literal s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Some (String.sub s 1 (n - 2))
+  else None
+
+let parse_line line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok []
+  else if String.length line > 1 && line.[String.length line - 1] = ':' then
+    Ok [ Label (String.sub line 0 (String.length line - 1)) ]
+  else begin
+    match tokenize line with
+    | [] -> Ok []
+    | ".bytes" :: rest -> (
+        match parse_string_literal (String.trim (String.concat " " rest)) with
+        | Some s -> Ok [ Bytes s ]
+        | None -> Error "malformed .bytes literal")
+    | [ ".zero"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok [ Zero n ]
+        | _ -> Error "malformed .zero count")
+    | [ ".align" ] -> Ok [ Align ]
+    | tokens -> Ok [ Insn tokens ]
+  end
+
+let align8 n = (n + 7) / 8 * 8
+
+let reg_of_token tok =
+  if String.length tok = 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 1) with
+    | Some r when r >= 0 && r <= 7 -> Some r
+    | _ -> None
+  else None
+
+let imm_of_token labels tok =
+  match int_of_string_opt tok (* handles 0x.. too *) with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt labels tok
+
+let encode_insn labels tokens =
+  let reg t = match reg_of_token t with Some r -> Ok r | None -> Error ("bad register " ^ t) in
+  let imm t =
+    match imm_of_token labels t with
+    | Some v -> Ok v
+    | None -> Error ("bad immediate or unknown label " ^ t)
+  in
+  let open Isa in
+  let ( let* ) = Result.bind in
+  match tokens with
+  | [ "halt" ] -> Ok Halt
+  | [ "loadi"; a; v ] ->
+      let* a = reg a in
+      let* v = imm v in
+      Ok (Loadi (a, v))
+  | [ "mov"; a; b ] ->
+      let* a = reg a in
+      let* b = reg b in
+      Ok (Mov (a, b))
+  | [ op; a; b; c ]
+    when List.mem op [ "add"; "sub"; "mul"; "xor"; "and"; "or"; "shl"; "shr"; "lt"; "eq" ]
+    -> (
+      let* a = reg a in
+      match (reg_of_token b, reg_of_token c) with
+      | Some b, Some c ->
+          Ok
+            (match op with
+            | "add" -> Add (a, b, c)
+            | "sub" -> Sub (a, b, c)
+            | "mul" -> Mul (a, b, c)
+            | "xor" -> Xor (a, b, c)
+            | "and" -> And (a, b, c)
+            | "or" -> Or (a, b, c)
+            | "shl" -> Shl (a, b, c)
+            | "shr" -> Shr (a, b, c)
+            | "lt" -> Lt (a, b, c)
+            | _ -> Eq (a, b, c))
+      | _ -> Error "bad register operand")
+  | [ op; a; b; off ] when List.mem op [ "ldb"; "stb"; "ldw"; "stw" ] ->
+      let* a = reg a in
+      let* b = reg b in
+      let* off = imm off in
+      Ok
+        (match op with
+        | "ldb" -> Ldb (a, b, off)
+        | "stb" -> Stb (a, b, off)
+        | "ldw" -> Ldw (a, b, off)
+        | _ -> Stw (a, b, off))
+  | [ "jmp"; t ] ->
+      let* t = imm t in
+      Ok (Jmp t)
+  | [ "jz"; a; t ] ->
+      let* a = reg a in
+      let* t = imm t in
+      Ok (Jz (a, t))
+  | [ "jnz"; a; t ] ->
+      let* a = reg a in
+      let* t = imm t in
+      Ok (Jnz (a, t))
+  | [ "svc"; n ] ->
+      let* n = imm n in
+      Ok (Svc n)
+  | toks -> Error ("unknown instruction: " ^ String.concat " " toks)
+
+let assemble source =
+  let lines = String.split_on_char '\n' source in
+  (* Pass 0: parse. *)
+  let parsed = ref [] in
+  let parse_error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !parse_error = None then
+        match parse_line line with
+        | Ok stmts -> parsed := !parsed @ List.map (fun s -> (lineno + 1, s)) stmts
+        | Error e -> parse_error := Some (Printf.sprintf "line %d: %s" (lineno + 1) e))
+    lines;
+  match !parse_error with
+  | Some e -> Error e
+  | None ->
+      let stmts = !parsed in
+      (* Layout pass: assign every statement its emission offset — code is
+         aligned to the 8-byte instruction grid; labels bind to the offset
+         of whatever is emitted next. One pass fixes both the label table
+         and the emission plan, so the two can never disagree. *)
+      let labels = Hashtbl.create 16 in
+      let plan = ref [] (* (lineno, stmt, offset), reversed *) in
+      let offset = ref 0 in
+      let pending = ref [] (* labels awaiting a position *) in
+      let dup = ref None in
+      let bind_pending at =
+        List.iter
+          (fun (lineno, name) ->
+            if Hashtbl.mem labels name then
+              dup := Some (Printf.sprintf "line %d: duplicate label %s" lineno name)
+            else Hashtbl.replace labels name at)
+          !pending;
+        pending := []
+      in
+      List.iter
+        (fun (lineno, stmt) ->
+          match stmt with
+          | Label name -> pending := (lineno, name) :: !pending
+          | Align ->
+              offset := align8 !offset;
+              bind_pending !offset
+          | Bytes s ->
+              bind_pending !offset;
+              plan := (lineno, stmt, !offset) :: !plan;
+              offset := !offset + String.length s
+          | Zero n ->
+              bind_pending !offset;
+              plan := (lineno, stmt, !offset) :: !plan;
+              offset := !offset + n
+          | Insn _ ->
+              offset := align8 !offset;
+              bind_pending !offset;
+              plan := (lineno, stmt, !offset) :: !plan;
+              offset := !offset + Isa.insn_size)
+        stmts;
+      bind_pending !offset;
+      (match !dup with
+      | Some e -> Error e
+      | None ->
+          let image = Bytes.make !offset '\000' in
+          let err = ref None in
+          List.iter
+            (fun (lineno, stmt, at) ->
+              if !err = None then
+                match stmt with
+                | Label _ | Align -> ()
+                | Bytes s -> Bytes.blit_string s 0 image at (String.length s)
+                | Zero _ -> ()
+                | Insn tokens -> (
+                    match encode_insn labels tokens with
+                    | Ok op -> Bytes.blit_string (Isa.encode op) 0 image at Isa.insn_size
+                    | Error e -> err := Some (Printf.sprintf "line %d: %s" lineno e)))
+            (List.rev !plan);
+          (match !err with Some e -> Error e | None -> Ok (Bytes.to_string image)))
+
+let disassemble image =
+  let buf = Buffer.create 256 in
+  let pos = ref 0 in
+  while !pos + Isa.insn_size <= String.length image do
+    (match Isa.decode image ~pos:!pos with
+    | Ok op -> Buffer.add_string buf (Format.asprintf "%6d: %a\n" !pos Isa.pp op)
+    | Error _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "%6d: .bytes %S\n" !pos
+             (String.sub image !pos Isa.insn_size)));
+    pos := !pos + Isa.insn_size
+  done;
+  Buffer.contents buf

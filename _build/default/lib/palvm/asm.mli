@@ -1,0 +1,27 @@
+(** A small two-pass assembler for PALVM programs.
+
+    Syntax (one statement per line; [;] starts a comment):
+
+    {v
+    start:                      ; labels end with ':'
+      loadi r0, 0x40            ; immediates: decimal, hex, or a label
+      svc 1                     ; service call
+      jz r0, done
+      jmp start
+    done:
+      halt
+      .zero 16                  ; directives: reserve zeroed bytes
+      .bytes "granted"          ;   emit literal bytes
+      .align                    ;   pad to the 8-byte instruction grid
+    v}
+
+    Instruction mnemonics are the lowercase constructor names of
+    {!Isa.op}. Labels assemble to absolute byte offsets, usable anywhere
+    an immediate is. Code emitted after data directives is re-aligned to
+    the instruction grid automatically. *)
+
+val assemble : string -> (string, string) result
+(** Source text to program image. Errors carry a line number. *)
+
+val disassemble : string -> string
+(** Best-effort listing of an image (data bytes show as [.bytes]). *)

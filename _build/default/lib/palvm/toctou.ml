@@ -1,0 +1,81 @@
+open Isa
+
+(* Gate layout after an optional prologue of [p] instructions
+   (offsets in bytes; one instruction per 8 bytes):
+     p+0 : loadi r0, BUF        input destination
+     p+8 : loadi r1, LIMIT      copy limit — 256 in the vulnerable gates
+     p+16: svc INPUT_READ
+     p+24: jmp CHECK
+     p+32: BUF (16 bytes reserved)
+     p+48: CHECK: loadi r0, MSG
+     p+56: loadi r1, 6
+     p+64: svc OUTPUT           "denied"
+     p+72: halt
+     p+80: MSG: "denied"
+   The 16-byte buffer sits directly below the decision code: a copy
+   limit above 16 lets input overwrite CHECK onwards. *)
+
+let buf_rel = 32
+let check_rel = 48
+let msg_rel = 80
+
+let measuring_prologue =
+  (* Read the input to a scratch area high in memory and extend the
+     measurement chain with it before any processing. *)
+  [
+    Loadi (0, 4096);
+    Loadi (1, 256);
+    Svc svc_input_read;
+    Mov (1, 0);
+    Loadi (0, 4096);
+    Svc svc_extend;
+  ]
+
+let gate_image ~limit ~measure_input =
+  let prologue = if measure_input then measuring_prologue else [] in
+  let p = List.length prologue * insn_size in
+  encode_program prologue
+  ^ encode_program
+      [
+        Loadi (0, p + buf_rel);
+        Loadi (1, limit);
+        Svc svc_input_read;
+        Jmp (p + check_rel);
+      ]
+  ^ String.make 16 '\000'
+  ^ encode_program
+      [ Loadi (0, p + msg_rel); Loadi (1, 6); Svc svc_output; Halt ]
+  ^ "denied"
+
+let vulnerable_gate () =
+  Vm.to_pal ~name:"toctou-vulnerable" ~code:(gate_image ~limit:256 ~measure_input:false) ()
+
+let hardened_gate () =
+  Vm.to_pal ~name:"toctou-hardened" ~code:(gate_image ~limit:16 ~measure_input:false) ()
+
+let measured_gate () =
+  Vm.to_pal ~name:"toctou-measured" ~code:(gate_image ~limit:256 ~measure_input:true) ()
+
+let benign_input = "open sesame"
+
+(* The payload: fill the 16-byte buffer, then replacement instructions
+   that land exactly on CHECK, then the attacker's message. [p] is the
+   size of the target gate's prologue, which shifts every absolute
+   address the payload must reference. *)
+let exploit_for ~prologue_insns =
+  let p = prologue_insns * insn_size in
+  let payload_msg = p + check_rel + (4 * insn_size) in
+  String.make 16 '\xcc'
+  ^ encode_program
+      [ Loadi (0, payload_msg); Loadi (1, 7); Svc svc_output; Halt ]
+  ^ "granted"
+
+let exploit_input = exploit_for ~prologue_insns:0
+
+let gates_share_nothing () =
+  let ms =
+    List.map
+      (fun p -> Sea_core.Pal.measurement p)
+      [ vulnerable_gate (); hardened_gate (); measured_gate () ]
+  in
+  List.length (List.sort_uniq String.compare ms) = 3

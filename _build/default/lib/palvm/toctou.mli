@@ -1,0 +1,44 @@
+(** The load-time-attestation TOCTOU problem, executed (footnote 3).
+
+    The paper notes: "If the code accepts input parameters and contains
+    a vulnerability, it may be possible to overwrite some of the code
+    after measurement and before execution completes. This is a
+    well-known time-of-check, time-of-use problem with load-time
+    attestation."
+
+    PALVM makes the attack concrete. {!vulnerable_gate} is an access
+    gate whose input-copy loop can overflow a 16-byte buffer straight
+    into the instructions that follow it. The SKINIT measurement (and
+    hence the attestation) covers the {e original} bytes; a crafted
+    input rewrites the decision logic after measurement, so the platform
+    attests to code that is not what ran.
+
+    Two standard responses, both implemented:
+
+    - {!hardened_gate}: fix the bug (bound the copy) — the PAL's small
+      size is what makes this auditable, the paper's §3.2 point about
+      formal analysis of small PALs;
+    - {!measured_gate}: keep the bug but extend the measurement chain
+      with the input {e before} using it — the attack still corrupts
+      execution, but the attestation now covers the malicious input, so
+      the verifier refuses the result. *)
+
+val vulnerable_gate : unit -> Sea_core.Pal.t
+val hardened_gate : unit -> Sea_core.Pal.t
+val measured_gate : unit -> Sea_core.Pal.t
+
+val benign_input : string
+(** An ordinary request; every gate answers ["denied"]. *)
+
+val exploit_input : string
+(** Overflow payload carrying replacement instructions; makes
+    {!vulnerable_gate} answer ["granted"]. *)
+
+val exploit_for : prologue_insns:int -> string
+(** Layout-aware payload builder: {!measured_gate} prepends a six-
+    instruction prologue, so its exploit is [exploit_for
+    ~prologue_insns:6]. The attack corrupts it just the same — the
+    difference is that the attestation then exposes it. *)
+
+val gates_share_nothing : unit -> bool
+(** Sanity: the three gates have distinct measurements. *)

@@ -1,0 +1,212 @@
+open Sea_core
+
+type outcome = { output : string; steps : int; registers : int array }
+
+let mask32 = 0xFFFFFFFF
+
+let run ?(mem_size = 64 * 1024) ?(fuel = 1_000_000) ~code ~services ~input () =
+  if String.length code > mem_size then Error "program image exceeds memory"
+  else begin
+    let mem = Bytes.make mem_size '\000' in
+    Bytes.blit_string code 0 mem 0 (String.length code);
+    let regs = Array.make 8 0 in
+    let output = Buffer.create 64 in
+    let pc = ref 0 and steps = ref 0 in
+    let range ptr len =
+      if ptr < 0 || len < 0 || ptr + len > mem_size then Error "memory access out of bounds"
+      else Ok ()
+    in
+    let read_mem ptr len = Bytes.sub_string mem ptr len in
+    let write_mem ptr s = Bytes.blit_string s 0 mem ptr (String.length s) in
+    let svc n =
+      let ptr = regs.(0) and len = regs.(1) and dst = regs.(2) in
+      if n = Isa.svc_input_len then begin
+        regs.(0) <- String.length input land mask32;
+        Ok ()
+      end
+      else if n = Isa.svc_input_read then begin
+        let take = min len (String.length input) in
+        match range ptr take with
+        | Error e -> Error e
+        | Ok () ->
+            write_mem ptr (String.sub input 0 take);
+            regs.(0) <- take;
+            Ok ()
+      end
+      else if n = Isa.svc_output then begin
+        match range ptr len with
+        | Error e -> Error e
+        | Ok () ->
+            Buffer.add_string output (read_mem ptr len);
+            Ok ()
+      end
+      else if n = Isa.svc_seal then begin
+        match range ptr len with
+        | Error e -> Error e
+        | Ok () -> (
+            match services.Pal.seal (read_mem ptr len) with
+            | Error _ ->
+                regs.(0) <- mask32;
+                Ok ()
+            | Ok blob -> (
+                match range dst (String.length blob) with
+                | Error e -> Error e
+                | Ok () ->
+                    write_mem dst blob;
+                    regs.(0) <- String.length blob;
+                    Ok ()))
+      end
+      else if n = Isa.svc_unseal then begin
+        match range ptr len with
+        | Error e -> Error e
+        | Ok () -> (
+            match services.Pal.unseal (read_mem ptr len) with
+            | Error _ ->
+                regs.(0) <- mask32;
+                Ok ()
+            | Ok payload -> (
+                match range dst (String.length payload) with
+                | Error e -> Error e
+                | Ok () ->
+                    write_mem dst payload;
+                    regs.(0) <- String.length payload;
+                    Ok ()))
+      end
+      else if n = Isa.svc_random then begin
+        match range ptr len with
+        | Error e -> Error e
+        | Ok () ->
+            write_mem ptr (services.Pal.get_random len);
+            Ok ()
+      end
+      else if n = Isa.svc_extend then begin
+        match range ptr len with
+        | Error e -> Error e
+        | Ok () ->
+            services.Pal.extend_measurement (read_mem ptr len);
+            Ok ()
+      end
+      else if n = Isa.svc_sha256 then begin
+        match range ptr len with
+        | Error e -> Error e
+        | Ok () -> (
+            let digest = Sea_crypto.Sha256.digest (read_mem ptr len) in
+            match range dst 32 with
+            | Error e -> Error e
+            | Ok () ->
+                write_mem dst digest;
+                Ok ())
+      end
+      else Error (Printf.sprintf "unknown service %d" n)
+    in
+    let rec step () =
+      if !steps >= fuel then Error "fuel exhausted (hung PAL)"
+      else begin
+        incr steps;
+        (* Fetch from live memory: the program can rewrite itself. *)
+        match Isa.decode (Bytes.to_string (Bytes.sub mem !pc Isa.insn_size)) ~pos:0 with
+        | exception Invalid_argument _ -> Error "fetch out of bounds"
+        | Error e -> Error e
+        | Ok op -> (
+            let next = !pc + Isa.insn_size in
+            let continue () =
+              pc := next;
+              step ()
+            in
+            let wrap v = v land mask32 in
+            match op with
+            | Isa.Halt -> Ok ()
+            | Isa.Loadi (a, imm) ->
+                regs.(a) <- wrap imm;
+                continue ()
+            | Isa.Mov (a, b) ->
+                regs.(a) <- regs.(b);
+                continue ()
+            | Isa.Add (a, b, c) ->
+                regs.(a) <- wrap (regs.(b) + regs.(c));
+                continue ()
+            | Isa.Sub (a, b, c) ->
+                regs.(a) <- wrap (regs.(b) - regs.(c));
+                continue ()
+            | Isa.Mul (a, b, c) ->
+                regs.(a) <- wrap (regs.(b) * regs.(c));
+                continue ()
+            | Isa.Xor (a, b, c) ->
+                regs.(a) <- regs.(b) lxor regs.(c);
+                continue ()
+            | Isa.And (a, b, c) ->
+                regs.(a) <- regs.(b) land regs.(c);
+                continue ()
+            | Isa.Or (a, b, c) ->
+                regs.(a) <- regs.(b) lor regs.(c);
+                continue ()
+            | Isa.Shl (a, b, c) ->
+                regs.(a) <- wrap (regs.(b) lsl (regs.(c) land 31));
+                continue ()
+            | Isa.Shr (a, b, c) ->
+                regs.(a) <- regs.(b) lsr (regs.(c) land 31);
+                continue ()
+            | Isa.Ldb (a, b, imm) -> (
+                let addr = regs.(b) + imm in
+                match range addr 1 with
+                | Error e -> Error e
+                | Ok () ->
+                    regs.(a) <- Char.code (Bytes.get mem addr);
+                    continue ())
+            | Isa.Stb (a, b, imm) -> (
+                let addr = regs.(b) + imm in
+                match range addr 1 with
+                | Error e -> Error e
+                | Ok () ->
+                    Bytes.set mem addr (Char.chr (regs.(a) land 0xff));
+                    continue ())
+            | Isa.Ldw (a, b, imm) -> (
+                let addr = regs.(b) + imm in
+                match range addr 4 with
+                | Error e -> Error e
+                | Ok () ->
+                    let v = ref 0 in
+                    for i = 0 to 3 do
+                      v := (!v lsl 8) lor Char.code (Bytes.get mem (addr + i))
+                    done;
+                    regs.(a) <- !v;
+                    continue ())
+            | Isa.Stw (a, b, imm) -> (
+                let addr = regs.(b) + imm in
+                match range addr 4 with
+                | Error e -> Error e
+                | Ok () ->
+                    for i = 0 to 3 do
+                      Bytes.set mem (addr + i)
+                        (Char.chr ((regs.(a) lsr (8 * (3 - i))) land 0xff))
+                    done;
+                    continue ())
+            | Isa.Jmp imm ->
+                pc := imm;
+                step ()
+            | Isa.Jz (a, imm) ->
+                if regs.(a) = 0 then pc := imm else pc := next;
+                step ()
+            | Isa.Jnz (a, imm) ->
+                if regs.(a) <> 0 then pc := imm else pc := next;
+                step ()
+            | Isa.Svc n -> (
+                match svc n with Error e -> Error e | Ok () -> continue ())
+            | Isa.Lt (a, b, c) ->
+                regs.(a) <- (if regs.(b) < regs.(c) then 1 else 0);
+                continue ()
+            | Isa.Eq (a, b, c) ->
+                regs.(a) <- (if regs.(b) = regs.(c) then 1 else 0);
+                continue ())
+      end
+    in
+    match step () with
+    | Error e -> Error (Printf.sprintf "PALVM fault at pc=%d: %s" !pc e)
+    | Ok () -> Ok { output = Buffer.contents output; steps = !steps; registers = regs }
+  end
+
+let to_pal ~name ?mem_size ?fuel ?compute_time ~code () =
+  Pal.of_code ~name ~code ?compute_time (fun services input ->
+      match run ?mem_size ?fuel ~code ~services ~input () with
+      | Error e -> Error e
+      | Ok outcome -> Ok outcome.output)

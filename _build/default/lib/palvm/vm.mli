@@ -1,0 +1,55 @@
+(** The PALVM interpreter.
+
+    Executes a program image in a flat memory of [mem_size] bytes with
+    the image loaded at offset 0. Code and data share that memory:
+    stores may overwrite instructions and the fetch path reads whatever
+    is there now — self-modifying code works, which is the point (see
+    {!Toctou}).
+
+    Service calls bridge to the hosting environment's
+    {!Sea_core.Pal.services}:
+
+    - [svc 1] INPUT_LEN: r0 := input length
+    - [svc 2] INPUT_READ: copy min(r1, input length) input bytes to
+      mem\[r0\]
+    - [svc 3] OUTPUT: append mem\[r0 .. r0+r1) to the PAL output
+    - [svc 4] SEAL: seal mem\[r0 .. r0+r1); blob to mem\[r2\];
+      r0 := blob length (0xFFFFFFFF on refusal)
+    - [svc 5] UNSEAL: unseal mem\[r0 .. r0+r1) to mem\[r2\];
+      r0 := payload length (0xFFFFFFFF on refusal)
+    - [svc 6] RANDOM: r1 fresh bytes to mem\[r0\]
+    - [svc 7] EXTEND: extend the measurement chain with
+      mem\[r0 .. r0+r1)
+    - [svc 8] SHA256: digest of mem\[r0 .. r0+r1) to mem\[r2\] *)
+
+type outcome = {
+  output : string;  (** Everything the program OUTPUT'd. *)
+  steps : int;  (** Instructions retired. *)
+  registers : int array;  (** Final register file. *)
+}
+
+val run :
+  ?mem_size:int ->
+  ?fuel:int ->
+  code:string ->
+  services:Sea_core.Pal.services ->
+  input:string ->
+  unit ->
+  (outcome, string) result
+(** Execute until [Halt]. Errors: out-of-bounds fetch/access, unknown
+    opcode (i.e. the program crashed), or fuel exhaustion ([fuel]
+    defaults to 1,000,000 retired instructions — a hung PAL is an error
+    here; under SLAUNCH it would be preempted and SKILLed). *)
+
+val to_pal :
+  name:string ->
+  ?mem_size:int ->
+  ?fuel:int ->
+  ?compute_time:Sea_sim.Time.t ->
+  code:string ->
+  unit ->
+  Sea_core.Pal.t
+(** Wrap a program image as a {!Sea_core.Pal}: the PAL's measured bytes
+    {e are} the image, and its behaviour is this interpreter run over
+    those very bytes. Runs unchanged under both {!Sea_core.Session} and
+    {!Sea_core.Slaunch_session}. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Event_queue Rng Time

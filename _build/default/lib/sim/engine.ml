@@ -1,0 +1,41 @@
+type t = {
+  mutable clock : Time.t;
+  queue : (t -> unit) Event_queue.t;
+  rng : Rng.t;
+}
+
+let create ?seed () =
+  { clock = Time.zero; queue = Event_queue.create (); rng = Rng.create ?seed () }
+
+let now t = t.clock
+let rng t = t.rng
+
+let advance t d =
+  if d < 0 then invalid_arg "Engine.advance: negative duration";
+  t.clock <- Time.add t.clock d
+
+let elapse_to t instant = if instant > t.clock then t.clock <- instant
+
+let schedule_at t ~time f = Event_queue.push t.queue ~time f
+let schedule t ~after f = schedule_at t ~time:(Time.add t.clock after) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      elapse_to t time;
+      f t;
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Event_queue.peek_time t.queue, until) with
+    | None, _ -> continue := false
+    | Some time, Some limit when time > limit ->
+        elapse_to t limit;
+        continue := false
+    | Some _, _ -> ignore (step t)
+  done
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and an event queue. Two usage styles
+    coexist:
+
+    - {b Synchronous}: sequential hardware models (a late launch, a TPM
+      command) simply {!advance} the clock by the duration of the modelled
+      operation. This is how all latency measurements are produced.
+    - {b Event-driven}: concurrent models (multicore scheduling, preemption
+      timers, DMA devices) {!schedule} callbacks and drive them with {!run}.
+
+    Both styles share the same clock, so an event-driven scheduler can invoke
+    synchronous device models and time composes correctly. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with the clock at {!Time.zero} and a deterministic RNG. *)
+
+val now : t -> Time.t
+val rng : t -> Rng.t
+
+val advance : t -> Time.t -> unit
+(** [advance t d] moves the clock forward by duration [d] (synchronous
+    style). Raises [Invalid_argument] on a negative duration. *)
+
+val elapse_to : t -> Time.t -> unit
+(** [elapse_to t instant] moves the clock to [instant] if it is in the
+    future; a no-op otherwise. *)
+
+val schedule : t -> after:Time.t -> (t -> unit) -> unit
+(** [schedule t ~after f] runs [f] when the clock reaches [now t + after]. *)
+
+val schedule_at : t -> time:Time.t -> (t -> unit) -> unit
+(** Absolute-time variant of {!schedule}. Events scheduled in the past fire
+    immediately on the next {!run} or {!step} without moving the clock
+    backwards. *)
+
+val step : t -> bool
+(** Fire the earliest pending event, moving the clock to its timestamp.
+    Returns [false] if no event is pending. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Fire events in order until the queue is empty, or until the first event
+    later than [until] (which stays queued; the clock is left at [until]). *)
+
+val pending : t -> int
+(** Number of queued events. *)

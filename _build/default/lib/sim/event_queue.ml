@@ -1,0 +1,80 @@
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array option; (* None when capacity 0 *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = None; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t dummy =
+  match t.heap with
+  | None -> t.heap <- Some (Array.make 16 dummy)
+  | Some h when t.size = Array.length h ->
+      let bigger = Array.make (2 * Array.length h) dummy in
+      Array.blit h 0 bigger 0 t.size;
+      t.heap <- Some bigger
+  | Some _ -> ()
+
+let push t ~time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  let h = match t.heap with Some h -> h | None -> assert false in
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  h.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_lt h.(!i) h.(parent) then begin
+      let tmp = h.(parent) in
+      h.(parent) <- h.(!i);
+      h.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down h size i0 =
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < size && entry_lt h.(l) h.(!smallest) then smallest := l;
+    if r < size && entry_lt h.(r) h.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.(!smallest) in
+      h.(!smallest) <- h.(!i);
+      h.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else
+    let h = match t.heap with Some h -> h | None -> assert false in
+    let top = h.(0) in
+    t.size <- t.size - 1;
+    h.(0) <- h.(t.size);
+    sift_down h t.size 0;
+    Some (top.time, top.payload)
+
+let peek_time t =
+  if t.size = 0 then None
+  else
+    let h = match t.heap with Some h -> h | None -> assert false in
+    Some h.(0).time
+
+let clear t =
+  t.size <- 0;
+  t.heap <- None

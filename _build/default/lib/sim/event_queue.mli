@@ -1,0 +1,22 @@
+(** Priority queue of timestamped events.
+
+    A classic binary min-heap keyed by (time, sequence number). The sequence
+    number makes the ordering of same-instant events deterministic: events
+    scheduled earlier fire earlier. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:Time.t -> 'a -> unit
+(** Schedule a payload at the given instant. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

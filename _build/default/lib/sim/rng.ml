@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ?(seed = 0x5EAF00D_CAFEL) () = { state = seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec go () =
+    let r = Int64.to_int (Int64.logand (int64 t) mask) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let float t bound =
+  let r = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t ~mean ~stdev =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stdev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  -.mean *. log (nonzero ())
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  b

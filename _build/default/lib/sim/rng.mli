@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator for the simulator.
+
+    The engine and every stochastic model (timing jitter, workload
+    generation) draw from an explicit [Rng.t] so that simulations are
+    reproducible from a seed. The implementation is SplitMix64, which is
+    fast, has good statistical quality for simulation purposes, and supports
+    cheap splitting into independent streams.
+
+    This generator is {b not} cryptographically secure; the TPM's random
+    number generator is layered on a DRBG in [Sea_crypto]. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh generator. The default seed is a fixed constant so that two runs
+    of the same program see the same stream. *)
+
+val split : t -> t
+(** [split t] returns a new generator statistically independent of [t];
+    both generators advance independently afterwards. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> stdev:float -> float
+(** Normally distributed sample (Box–Muller). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)

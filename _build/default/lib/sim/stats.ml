@@ -1,0 +1,46 @@
+type t = {
+  mutable values : float list; (* reverse insertion order *)
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { values = []; count = 0; sum = 0.; sum_sq = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.values <- x :: t.values;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_time t d = add t (Time.to_ms d)
+let count t = t.count
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+let stdev t =
+  if t.count < 2 then 0.
+  else
+    let n = float_of_int t.count in
+    let var = (t.sum_sq -. (t.sum *. t.sum /. n)) /. (n -. 1.) in
+    sqrt (Float.max var 0.)
+
+let min t = t.min
+let max t = t.max
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Stats.percentile: empty accumulator";
+  let sorted = List.sort Float.compare t.values in
+  let arr = Array.of_list sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+  let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
+  arr.(idx)
+
+let samples t = List.rev t.values
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%.2f ± %.2f (n=%d)" (mean t) (stdev t) t.count

@@ -1,0 +1,35 @@
+(** Sample accumulators for benchmark results.
+
+    Collects individual observations (e.g. one simulated latency per trial)
+    and reports summary statistics. Used by the benchmark harness to report
+    the same mean/stdev columns as the paper's tables. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val add_time : t -> Time.t -> unit
+(** Record one observation expressed as a simulated duration; stored in
+    milliseconds, the unit used throughout the paper's tables. *)
+
+val count : t -> int
+val mean : t -> float
+val stdev : t -> float
+(** Sample standard deviation (n-1 denominator); [0.] for fewer than two
+    observations. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the sorted
+    samples. Raises [Invalid_argument] if the accumulator is empty. *)
+
+val samples : t -> float list
+(** All recorded observations, in insertion order. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Renders ["mean ± stdev (n=count)"]. *)

@@ -1,0 +1,27 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us x = int_of_float (Float.round (x *. 1e3))
+let ms x = int_of_float (Float.round (x *. 1e6))
+let s x = int_of_float (Float.round (x *. 1e9))
+let to_ns t = t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_s t = float_of_int t /. 1e9
+let add = ( + )
+let sub = ( - )
+let scale t k = t * k
+let scale_f t x = int_of_float (Float.round (float_of_int t *. x))
+let compare = Int.compare
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp fmt t =
+  let f = float_of_int (abs t) in
+  if f >= 1e9 then Format.fprintf fmt "%.3f s" (to_s t)
+  else if f >= 1e6 then Format.fprintf fmt "%.2f ms" (to_ms t)
+  else if f >= 1e3 then Format.fprintf fmt "%.3f us" (to_us t)
+  else Format.fprintf fmt "%d ns" t
+
+let to_string t = Format.asprintf "%a" pp t

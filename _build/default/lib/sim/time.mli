@@ -1,0 +1,46 @@
+(** Simulated time.
+
+    All simulated durations and instants in the library are expressed in
+    nanoseconds, stored in a native OCaml [int] (63-bit on 64-bit platforms,
+    enough for ~146 years of simulated time). This module provides smart
+    constructors, arithmetic and pretty-printing so that call sites never
+    manipulate raw unit conversions. *)
+
+type t = int
+(** A duration or an instant, in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds, rounded to the nearest nanosecond. *)
+
+val s : float -> t
+(** [s x] is [x] seconds, rounded to the nearest nanosecond. *)
+
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : t -> int -> t
+
+val scale_f : t -> float -> t
+(** [scale_f t x] is [t] scaled by the float factor [x], rounded. *)
+
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit, e.g. ["177.52 ms"],
+    ["0.558 us"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/tpm/auth.ml: Hmac Sea_crypto Sha1

@@ -1,0 +1,1 @@
+lib/tpm/event_log.ml: Hashtbl Int List Pcr Printf Sea_crypto Sha1 String

@@ -1,0 +1,1 @@
+lib/tpm/event_log.mli:

@@ -1,0 +1,1 @@
+lib/tpm/pcr.ml: Array Int List Printf Sea_crypto Sha1 String Wire

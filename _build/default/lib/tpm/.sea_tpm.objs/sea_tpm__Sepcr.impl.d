@@ -1,0 +1,1 @@
+lib/tpm/sepcr.ml: Array Pcr Sea_crypto Sha1 String

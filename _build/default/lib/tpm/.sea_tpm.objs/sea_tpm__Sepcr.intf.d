@@ -1,0 +1,1 @@
+lib/tpm/sepcr.mli:

@@ -1,0 +1,1 @@
+lib/tpm/timing.ml: Float Rng Sea_sim Time Vendor

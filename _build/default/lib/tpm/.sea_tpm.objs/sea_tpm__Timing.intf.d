@@ -1,0 +1,1 @@
+lib/tpm/timing.mli: Sea_sim Vendor

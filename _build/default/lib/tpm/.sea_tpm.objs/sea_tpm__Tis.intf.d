@@ -1,0 +1,1 @@
+lib/tpm/tis.mli: Tpm

@@ -1,0 +1,1 @@
+lib/tpm/tpm.ml: Aead Auth Bignum Drbg Engine Hashtbl Keyvault List Pcr Printf Rng Rsa Sea_bus Sea_crypto Sea_sim Sepcr Sha1 String Time Timing Vendor Wire

@@ -1,0 +1,1 @@
+lib/tpm/tpm.mli: Auth Sea_bus Sea_crypto Sea_sim Sepcr Timing Vendor

@@ -1,0 +1,1 @@
+lib/tpm/transport.ml: Aead Bignum Bytes Char Hmac Option Rsa Sea_crypto Sha256 Tpm Wire

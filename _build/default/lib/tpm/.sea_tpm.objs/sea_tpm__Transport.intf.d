@@ -1,0 +1,1 @@
+lib/tpm/transport.mli: Tpm

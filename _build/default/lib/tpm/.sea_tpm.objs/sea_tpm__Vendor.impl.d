@@ -1,0 +1,1 @@
+lib/tpm/vendor.ml: Format

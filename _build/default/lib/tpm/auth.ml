@@ -1,0 +1,23 @@
+open Sea_crypto
+
+type session = { mutable nonce_even : string }
+
+let create ~nonce_even = { nonce_even }
+
+let compute ~secret ~command ~nonce_even ~nonce_odd =
+  Hmac.sha1 ~key:secret (Sha1.digest command ^ nonce_even ^ nonce_odd)
+
+let client_authorize session ~secret ~command ~nonce_odd =
+  compute ~secret ~command ~nonce_even:session.nonce_even ~nonce_odd
+
+let roll nonce_even = Sha1.digest (nonce_even ^ "nonce-roll")
+
+let tpm_verify session ~secret ~command ~nonce_odd ~auth =
+  let expected =
+    compute ~secret ~command ~nonce_even:session.nonce_even ~nonce_odd
+  in
+  if Hmac.equal_constant_time auth expected then begin
+    session.nonce_even <- roll session.nonce_even;
+    true
+  end
+  else false

@@ -1,0 +1,33 @@
+(** TPM v1.2 authorization sessions (OIAP-style).
+
+    Commands that touch auth-protected objects prove knowledge of the
+    object's authorization secret without sending it: the requester
+    HMACs the command digest together with a TPM-chosen rolling nonce
+    ([nonce_even]) and a requester-chosen nonce ([nonce_odd]). The TPM
+    verifies with its stored secret and rolls [nonce_even], so every
+    authorization value is single-use — an observer on the LPC bus can
+    neither learn the secret nor replay the exchange.
+
+    This module holds the protocol computation; {!Tpm.oiap_open} creates
+    sessions and the NVRAM commands consume them. *)
+
+type session = {
+  mutable nonce_even : string;  (** TPM-chosen, rolled after each use. *)
+}
+
+val create : nonce_even:string -> session
+
+val compute :
+  secret:string -> command:string -> nonce_even:string -> nonce_odd:string -> string
+(** The authorization HMAC both sides compute:
+    HMAC-SHA1(secret, SHA1(command) ∥ nonce_even ∥ nonce_odd). *)
+
+val client_authorize :
+  session -> secret:string -> command:string -> nonce_odd:string -> string
+(** Requester side: the auth value to attach to [command]. *)
+
+val tpm_verify :
+  session -> secret:string -> command:string -> nonce_odd:string -> auth:string -> bool
+(** TPM side: constant-time check; on success the session's
+    [nonce_even] rolls forward so the same auth value can never be
+    accepted twice. *)

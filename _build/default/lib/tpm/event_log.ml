@@ -1,0 +1,53 @@
+open Sea_crypto
+
+type event = { pcr_index : int; description : string; measurement : string }
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+let events t = List.rev t.rev_events
+let length t = t.count
+
+let append t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1;
+  e
+
+let record_measurement t ~pcr_index ~description ~measurement =
+  if String.length measurement <> Pcr.digest_size then
+    invalid_arg "Event_log.record_measurement: not a digest";
+  append t { pcr_index; description; measurement }
+
+let record t ~pcr_index ~description ~data =
+  append t { pcr_index; description; measurement = Sha1.digest data }
+
+let replay events =
+  let zero = String.make Pcr.digest_size '\000' in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if Pcr.is_dynamic e.pcr_index then
+        invalid_arg "Event_log.replay: dynamic PCRs are not boot-log rooted";
+      let prev =
+        match Hashtbl.find_opt table e.pcr_index with Some v -> v | None -> zero
+      in
+      Hashtbl.replace table e.pcr_index (Sha1.digest (prev ^ e.measurement)))
+    events;
+  Hashtbl.fold (fun i v acc -> (i, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let verify_against_quote events ~quoted =
+  let expected = replay events in
+  let rec check = function
+    | [] -> Ok ()
+    | (idx, value) :: rest -> (
+        match List.assoc_opt idx quoted with
+        | None -> Error (Printf.sprintf "PCR %d missing from the quote" idx)
+        | Some q when String.equal q value -> check rest
+        | Some _ ->
+            Error
+              (Printf.sprintf
+                 "PCR %d does not match the log (tampered log or omitted event)"
+                 idx))
+  in
+  check expected

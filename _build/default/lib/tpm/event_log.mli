@@ -1,0 +1,47 @@
+(** The measurement event log of §2.1.1.
+
+    A TPM-based attestation signs PCR values; the platform additionally
+    keeps an (untrusted, unprotected) log of {e what} was extended —
+    "software events, such as applications started or configuration
+    files used". The verifier recomputes the PCR chain from the log and
+    compares it with the quoted values: the log entries are thereby
+    authenticated even though the log itself lives in ordinary memory.
+
+    The paper's argument starts here: with trusted boot, this log names
+    the BIOS, bootloader, OS and everything else — all of which the
+    verifier must judge — whereas a late-launch attestation covers only
+    the PAL. *)
+
+type event = {
+  pcr_index : int;
+  description : string;  (** Human-readable: what was measured. *)
+  measurement : string;  (** SHA-1 of the measured data. *)
+}
+
+type t
+
+val create : unit -> t
+val events : t -> event list
+(** In extension order. *)
+
+val length : t -> int
+
+val record : t -> pcr_index:int -> description:string -> data:string -> event
+(** Append an event measuring [data] (the caller extends the PCR with
+    the same measurement). *)
+
+val record_measurement :
+  t -> pcr_index:int -> description:string -> measurement:string -> event
+(** Append an event whose measurement is already a digest. *)
+
+val replay : event list -> (int * string) list
+(** Recompute the final value of every PCR touched by the events,
+    starting from the post-boot all-zeroes state of static PCRs.
+    Raises [Invalid_argument] on a dynamic-PCR index — dynamic PCRs are
+    rooted in a late launch, not in the boot-time log. *)
+
+val verify_against_quote :
+  event list -> quoted:(int * string) list -> (unit, string) result
+(** The verifier-side check: the replayed chain must equal the quoted
+    value for every PCR the events touch, and every touched PCR must
+    appear in the quote. *)

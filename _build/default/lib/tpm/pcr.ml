@@ -1,0 +1,63 @@
+open Sea_crypto
+
+let count = 24
+let digest_size = 20
+let first_dynamic = 17
+let is_dynamic i = i >= first_dynamic && i < count
+
+type bank = { values : string array }
+
+let zeroes = String.make digest_size '\000'
+let ones = String.make digest_size '\xff'
+
+let reboot bank =
+  for i = 0 to count - 1 do
+    bank.values.(i) <- (if is_dynamic i then ones else zeroes)
+  done
+
+let create () =
+  let bank = { values = Array.make count zeroes } in
+  reboot bank;
+  bank
+
+let dynamic_reset bank =
+  for i = first_dynamic to count - 1 do
+    bank.values.(i) <- zeroes
+  done
+
+let check_index i =
+  if i < 0 || i >= count then invalid_arg (Printf.sprintf "Pcr: index %d out of range" i)
+
+let read bank i =
+  check_index i;
+  bank.values.(i)
+
+let as_measurement m = if String.length m = digest_size then m else Sha1.digest m
+
+let extend bank i m =
+  check_index i;
+  let m = as_measurement m in
+  let v = Sha1.digest (bank.values.(i) ^ m) in
+  bank.values.(i) <- v;
+  v
+
+let composite_of_values pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs in
+  let rec check_dups = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then invalid_arg "Pcr.composite: duplicate index";
+        check_dups rest
+    | _ -> ()
+  in
+  check_dups sorted;
+  List.iter (fun (i, _) -> check_index i) sorted;
+  let enc = Wire.encoder () in
+  Wire.add_list enc
+    (fun (i, v) ->
+      Wire.add_int enc i;
+      Wire.add_string enc v)
+    sorted;
+  Sha1.digest ("TPM_COMPOSITE" ^ Wire.contents enc)
+
+let composite bank selection =
+  composite_of_values (List.map (fun i -> (i, read bank i)) selection)

@@ -1,0 +1,52 @@
+(** Platform Configuration Registers.
+
+    A v1.2 TPM has 24 PCRs of one SHA-1 digest each. PCRs 0–16 are static:
+    only a platform reboot resets them (to all-zeroes). PCRs 17–23 are
+    dynamic: a reboot sets them to all-ones (-1) so a verifier can
+    distinguish "since boot" from "since late launch", and the CPU's
+    TPM_HASH_START hardware command — issued only during a late launch —
+    resets them to all-zeroes (§2.1.3).
+
+    Extending computes [v ← SHA1(v ∥ m)]: a PCR value commits to every
+    value extended into it and their order. *)
+
+val count : int
+(** 24. *)
+
+val digest_size : int
+(** 20. *)
+
+val first_dynamic : int
+(** 17. *)
+
+val is_dynamic : int -> bool
+
+type bank
+
+val create : unit -> bank
+(** Fresh bank in post-reboot state. *)
+
+val reboot : bank -> unit
+(** Static PCRs to all-zeroes, dynamic PCRs to all-ones. *)
+
+val dynamic_reset : bank -> unit
+(** Dynamic PCRs to all-zeroes — only reachable via the hardware
+    TPM_HASH_START path. *)
+
+val read : bank -> int -> string
+(** Raises [Invalid_argument] on an out-of-range index. *)
+
+val extend : bank -> int -> string -> string
+(** [extend bank i m] extends PCR [i] with measurement [m] (any length;
+    non-digest inputs are hashed first, matching the convention of
+    extending with SHA-1 measurements) and returns the new value. *)
+
+val composite : bank -> int list -> string
+(** [composite bank selection] is the TPM_COMPOSITE_HASH over the selected
+    PCR indices: SHA1 of the sorted selection and the concatenated values.
+    This is what Quote signs and Seal stores. Raises on out-of-range or
+    duplicate indices. *)
+
+val composite_of_values : (int * string) list -> string
+(** Verifier-side computation of the same composite from expected values
+    (no TPM needed). *)

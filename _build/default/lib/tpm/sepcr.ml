@@ -1,0 +1,100 @@
+open Sea_crypto
+
+type handle = int
+type state = Free | Exclusive | Quote
+
+type slot = { mutable state : state; mutable owner : int; mutable value : string }
+
+type bank = { slots : slot array }
+
+let zeroes = String.make Pcr.digest_size '\000'
+let skill_constant = Sha1.digest "TPM_SEPCR_SKILL"
+
+let create ~size =
+  if size <= 0 then invalid_arg "Sepcr.create: size must be positive";
+  { slots = Array.init size (fun _ -> { state = Free; owner = -1; value = zeroes }) }
+
+let size bank = Array.length bank.slots
+
+let free_count bank =
+  Array.fold_left (fun acc s -> if s.state = Free then acc + 1 else acc) 0 bank.slots
+
+let state bank h = bank.slots.(h).state
+let handle_to_int h = h
+
+let handle_of_int bank i =
+  if i >= 0 && i < Array.length bank.slots then Some i else None
+
+let allocate bank ~owner =
+  let rec find i =
+    if i >= Array.length bank.slots then None
+    else if bank.slots.(i).state = Free then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let s = bank.slots.(i) in
+      s.state <- Exclusive;
+      s.owner <- owner;
+      s.value <- zeroes;
+      Some i
+
+let with_exclusive bank h ~owner f =
+  let s = bank.slots.(h) in
+  match s.state with
+  | Exclusive when s.owner = owner -> f s
+  | Exclusive -> Error "sePCR bound to a different CPU"
+  | Free -> Error "sePCR is free"
+  | Quote -> Error "sePCR awaiting quote"
+
+let extend bank h ~owner m =
+  with_exclusive bank h ~owner (fun s ->
+      let m = if String.length m = Pcr.digest_size then m else Sha1.digest m in
+      s.value <- Sha1.digest (s.value ^ m);
+      Ok s.value)
+
+let read bank h ~owner = with_exclusive bank h ~owner (fun s -> Ok s.value)
+let value_unchecked bank h = bank.slots.(h).value
+
+(* Rebinding happens inside SLAUNCH *after* the access-control table has
+   verified that the resuming CPU presents the suspended SECB that owns
+   the pages (§5.3.1) — the hardware path is the authority here, so the
+   TPM only requires the slot to be live. The [owner] parameter is the
+   CPU executing the SLAUNCH, which becomes meaningful when it equals
+   [new_owner]. *)
+let rebind bank h ~owner:_ ~new_owner =
+  let s = bank.slots.(h) in
+  match s.state with
+  | Exclusive ->
+      s.owner <- new_owner;
+      Ok ()
+  | Free -> Error "sePCR is free"
+  | Quote -> Error "sePCR awaiting quote"
+
+let release_for_quote bank h ~owner =
+  with_exclusive bank h ~owner (fun s ->
+      s.state <- Quote;
+      s.owner <- -1;
+      Ok ())
+
+let skill bank h =
+  let s = bank.slots.(h) in
+  match s.state with
+  | Free -> Error "sePCR is free"
+  | Quote -> Error "sePCR awaiting quote"
+  | Exclusive ->
+      s.value <- Sha1.digest (s.value ^ skill_constant);
+      s.state <- Free;
+      s.owner <- -1;
+      Ok ()
+
+let finish_quote bank h =
+  let s = bank.slots.(h) in
+  match s.state with
+  | Quote ->
+      s.state <- Free;
+      s.value <- zeroes;
+      Ok ()
+  | Free -> Error "sePCR is free"
+  | Exclusive -> Error "sePCR still bound to a PAL"

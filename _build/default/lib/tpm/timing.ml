@@ -1,0 +1,157 @@
+open Sea_sim
+
+type profile = {
+  pcr_extend : Time.t;
+  seal_base : Time.t;
+  seal_per_byte : Time.t;
+  unseal_base : Time.t;
+  unseal_per_byte : Time.t;
+  quote : Time.t;
+  get_random_base : Time.t;
+  get_random_per_byte : Time.t;
+  pcr_read : Time.t;
+  hash_start : Time.t;
+  hash_data_wait : Time.t;
+  hash_end : Time.t;
+  jitter : float;
+}
+
+(* Figure 3 calibration. Anchors from the text:
+   - PAL Gen on the Broadcom = 177 ms SKINIT + 20.01 ms Seal (§4.3.3), and
+     the same part seals a small payload in 11.39 ms, giving the per-byte
+     Seal slope.
+   - Best-case PAL Use = 177 (SKINIT) + 390.98 (Infineon Unseal)
+     + 11.39 (Broadcom Seal) = 579.37 ms.
+   - Infineon minus Broadcom Seal = 213 ms; Broadcom minus Infineon
+     (Quote + Unseal) = 1132 ms.
+   - Seal spans 20–500 ms and Unseal 290–900 ms across vendors (§5.7).
+   - The Broadcom part is the slowest at Quote and Unseal; the Infineon has
+     the best average across the five operations. *)
+let broadcom =
+  {
+    pcr_extend = Time.ms 1.2;
+    seal_base = Time.ms 11.39;
+    seal_per_byte = Time.us 33.7; (* 11.39 ms -> 20.01 ms over a 256-byte payload *)
+    unseal_base = Time.ms 900.;
+    unseal_per_byte = Time.us 20.;
+    quote = Time.ms 953.;
+    get_random_base = Time.ms 35.;
+    get_random_per_byte = Time.us 40.;
+    pcr_read = Time.ms 2.;
+    hash_start = Time.ms 0.4;
+    hash_data_wait = Time.us 10.246;
+    hash_end = Time.ms 0.4;
+    jitter = 0.004;
+  }
+
+let atmel_t60 =
+  {
+    pcr_extend = Time.ms 1.0;
+    seal_base = Time.ms 200.;
+    seal_per_byte = Time.us 25.;
+    unseal_base = Time.ms 520.;
+    unseal_per_byte = Time.us 18.;
+    quote = Time.ms 700.;
+    get_random_base = Time.ms 22.;
+    get_random_per_byte = Time.us 30.;
+    pcr_read = Time.ms 1.5;
+    hash_start = Time.ms 0.5;
+    hash_data_wait = Time.us 8.2;
+    hash_end = Time.ms 0.5;
+    jitter = 0.012;
+  }
+
+let atmel_tep =
+  {
+    pcr_extend = Time.ms 1.5;
+    seal_base = Time.ms 500.;
+    seal_per_byte = Time.us 28.;
+    unseal_base = Time.ms 290.;
+    unseal_per_byte = Time.us 18.;
+    quote = Time.ms 800.;
+    get_random_base = Time.ms 25.;
+    get_random_per_byte = Time.us 30.;
+    pcr_read = Time.ms 1.5;
+    hash_start = Time.ms 0.5;
+    hash_data_wait = Time.us 2.0;
+    hash_end = Time.ms 0.5;
+    jitter = 0.01;
+  }
+
+let infineon =
+  {
+    pcr_extend = Time.ms 2.0;
+    seal_base = Time.ms 224.39; (* Broadcom + 213 ms (§4.3.3) *)
+    seal_per_byte = Time.us 25.;
+    unseal_base = Time.ms 390.98;
+    unseal_per_byte = Time.us 15.;
+    quote = Time.ms 331.;
+    get_random_base = Time.ms 28.;
+    get_random_per_byte = Time.us 25.;
+    pcr_read = Time.ms 1.8;
+    hash_start = Time.ms 0.4;
+    hash_data_wait = Time.us 7.5;
+    hash_end = Time.ms 0.4;
+    jitter = 0.008;
+  }
+
+(* A future TPM able to run at LPC line rate (§4.3.1's closing remark) with
+   microsecond-class command handling. *)
+let ideal =
+  {
+    pcr_extend = Time.us 5.;
+    seal_base = Time.us 50.;
+    seal_per_byte = Time.ns 10;
+    unseal_base = Time.us 50.;
+    unseal_per_byte = Time.ns 10;
+    quote = Time.us 100.;
+    get_random_base = Time.us 5.;
+    get_random_per_byte = Time.ns 10;
+    pcr_read = Time.us 2.;
+    hash_start = Time.us 2.;
+    hash_data_wait = Time.zero;
+    hash_end = Time.us 2.;
+    jitter = 0.;
+  }
+
+let profile = function
+  | Vendor.Broadcom -> broadcom
+  | Vendor.Atmel_t60 -> atmel_t60
+  | Vendor.Atmel_tep -> atmel_tep
+  | Vendor.Infineon -> infineon
+  | Vendor.Ideal -> ideal
+
+let draw rng p mean =
+  if p.jitter = 0. || mean = Time.zero then mean
+  else begin
+    let m = float_of_int (Time.to_ns mean) in
+    let sample = Rng.gaussian rng ~mean:m ~stdev:(p.jitter *. m) in
+    Time.ns (int_of_float (Float.max 0. sample))
+  end
+
+let scaled p ~factor =
+  let s t = Time.scale_f t factor in
+  {
+    pcr_extend = s p.pcr_extend;
+    seal_base = s p.seal_base;
+    seal_per_byte = s p.seal_per_byte;
+    unseal_base = s p.unseal_base;
+    unseal_per_byte = s p.unseal_per_byte;
+    quote = s p.quote;
+    get_random_base = s p.get_random_base;
+    get_random_per_byte = s p.get_random_per_byte;
+    pcr_read = s p.pcr_read;
+    hash_start = s p.hash_start;
+    hash_data_wait = s p.hash_data_wait;
+    hash_end = s p.hash_end;
+    jitter = p.jitter;
+  }
+
+let seal_time p ~payload_bytes =
+  Time.add p.seal_base (Time.scale p.seal_per_byte payload_bytes)
+
+let unseal_time p ~payload_bytes =
+  Time.add p.unseal_base (Time.scale p.unseal_per_byte payload_bytes)
+
+let get_random_time p ~bytes =
+  Time.add p.get_random_base (Time.scale p.get_random_per_byte bytes)

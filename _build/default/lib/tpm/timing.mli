@@ -1,0 +1,50 @@
+(** Per-vendor TPM latency profiles.
+
+    Calibrated against the paper's measurements:
+
+    - Figure 3 (TPM microbenchmarks, 20 trials each) fixes the base latency
+      of PCR Extend, Seal, Quote, Unseal and GetRandom for each vendor.
+    - Table 1 fixes the per-transaction LPC long-wait stall each TPM inserts
+      while absorbing a PAL via TPM_HASH_DATA (the Broadcom part stalls
+      ~10.8 µs per 4-byte transaction, which is what inflates a 64 KB
+      SKINIT from 8.8 ms to 177.5 ms).
+    - §5.7's cross-checks pin Seal payload sensitivity: the same Broadcom
+      part is quoted at 11.39 ms and 20.01 ms for different payloads, which
+      we model with a per-byte Seal cost.
+
+    Latencies are means; [draw] adds the per-vendor Gaussian dispersion
+    observed in Figure 3's error bars. *)
+
+type profile = {
+  pcr_extend : Sea_sim.Time.t;
+  seal_base : Sea_sim.Time.t;
+  seal_per_byte : Sea_sim.Time.t;
+  unseal_base : Sea_sim.Time.t;
+  unseal_per_byte : Sea_sim.Time.t;
+  quote : Sea_sim.Time.t;
+  get_random_base : Sea_sim.Time.t;
+  get_random_per_byte : Sea_sim.Time.t;
+  pcr_read : Sea_sim.Time.t;
+  hash_start : Sea_sim.Time.t;  (** TPM_HASH_START command processing. *)
+  hash_data_wait : Sea_sim.Time.t;
+      (** LPC long-wait stall the TPM inserts per TPM_HASH_DATA
+          transaction. This is the dominant SKINIT cost (§4.3.1). *)
+  hash_end : Sea_sim.Time.t;
+      (** TPM_HASH_END processing, including the internal PCR 17 extend. *)
+  jitter : float;  (** Relative std-dev applied by {!draw}. *)
+}
+
+val profile : Vendor.t -> profile
+
+val draw : Sea_sim.Rng.t -> profile -> Sea_sim.Time.t -> Sea_sim.Time.t
+(** [draw rng p mean] samples one operation latency: Gaussian around
+    [mean] with std-dev [p.jitter ×  mean], truncated at zero. *)
+
+val scaled : profile -> factor:float -> profile
+(** Uniformly speed up (factor < 1) or slow down (factor > 1) a profile.
+    Used by the "just make the TPM faster" ablation (§5.7, last
+    paragraph). *)
+
+val seal_time : profile -> payload_bytes:int -> Sea_sim.Time.t
+val unseal_time : profile -> payload_bytes:int -> Sea_sim.Time.t
+val get_random_time : profile -> bytes:int -> Sea_sim.Time.t

@@ -1,0 +1,47 @@
+type locality = int
+
+type t = { tpm : Tpm.t; mutable active : locality option }
+
+let create tpm = { tpm; active = None }
+let tpm t = t.tpm
+let active t = t.active
+
+let valid l = l >= 0 && l <= 4
+
+let request t ~locality ~hardware =
+  if not (valid locality) then Error "no such locality"
+  else if locality >= 3 && not hardware then
+    Error "localities 3-4 are reserved for the CPU hardware"
+  else begin
+    match t.active with
+    | None ->
+        t.active <- Some locality;
+        Ok ()
+    | Some current when current = locality -> Ok ()
+    | Some _ when locality = 4 && hardware ->
+        (* The late-launch path preempts whatever software held. *)
+        t.active <- Some 4;
+        Ok ()
+    | Some current ->
+        Error (Printf.sprintf "locality %d is active" current)
+  end
+
+let relinquish t ~locality =
+  match t.active with
+  | Some current when current = locality ->
+      t.active <- None;
+      Ok ()
+  | Some current -> Error (Printf.sprintf "locality %d is active, not %d" current locality)
+  | None -> Error "no active locality"
+
+let as_caller t ~cpu =
+  match t.active with
+  | None -> Error "no active locality"
+  | Some l when l >= 3 -> Ok (Tpm.Cpu cpu)
+  | Some _ -> Ok Tpm.Software
+
+let hash_start t ~cpu =
+  match t.active with
+  | Some 4 -> Tpm.hash_start t.tpm ~caller:(Tpm.Cpu cpu)
+  | Some l -> Error (Printf.sprintf "TPM_HASH_START requires locality 4 (active: %d)" l)
+  | None -> Error "no active locality"

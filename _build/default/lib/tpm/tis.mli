@@ -1,0 +1,48 @@
+(** The TPM Interface Specification (TIS) locality model.
+
+    The PC-client TIS (referenced as [24] in the paper) maps the TPM at
+    memory addresses whose page determines the {e locality} (0–4) of the
+    requester. Locality is a hardware-enforced statement about who is
+    talking:
+
+    - locality 4: the CPU microcode itself — the SKINIT/SENTER path;
+      the only locality allowed to issue TPM_HASH_START (reset the
+      dynamic PCRs);
+    - locality 3: an ACMod / trusted code launched by it;
+    - localities 0–2: ordinary software strata.
+
+    This module arbitrates locality ownership the way the memory-mapped
+    interface does: software can request/relinquish localities 0–2, only
+    the hardware path can hold 3–4, and one locality is active at a
+    time. {!as_caller} converts an active locality into the
+    {!Tpm.caller} evidence the command layer checks, so the two views of
+    authority stay consistent. *)
+
+type locality = int
+(** 0–4. *)
+
+type t
+
+val create : Tpm.t -> t
+val tpm : t -> Tpm.t
+
+val active : t -> locality option
+(** The locality currently driving the TPM, if any. *)
+
+val request : t -> locality:locality -> hardware:bool -> (unit, string) result
+(** Claim a locality. [hardware] asserts the request originates from CPU
+    microcode (SKINIT/SENTER); localities 3–4 require it. Fails when
+    another locality is active — the TIS has a single active-locality
+    register — except that a {e hardware} request for locality 4 seizes
+    the interface (the CPU's late-launch path preempts software, as
+    SKINIT does). *)
+
+val relinquish : t -> locality:locality -> (unit, string) result
+
+val as_caller : t -> cpu:int -> (Tpm.caller, string) result
+(** The command-layer identity of the active locality: [Cpu cpu] for
+    localities 3–4, [Software] for 0–2, error when none is active. *)
+
+val hash_start : t -> cpu:int -> (unit, string) result
+(** TPM_HASH_START through the interface: requires active locality 4
+    (the check the paper cites from the TIS spec, §2.1.3). *)

@@ -1,0 +1,20 @@
+type t = Broadcom | Atmel_t60 | Atmel_tep | Infineon | Ideal
+
+let measured = [ Atmel_t60; Broadcom; Infineon; Atmel_tep ]
+let all = measured @ [ Ideal ]
+
+let name = function
+  | Broadcom -> "Broadcom"
+  | Atmel_t60 -> "T60 Atmel"
+  | Atmel_tep -> "TEP Atmel"
+  | Infineon -> "Infineon"
+  | Ideal -> "Ideal"
+
+let machine = function
+  | Broadcom -> "HP dc5750"
+  | Atmel_t60 -> "Lenovo T60"
+  | Atmel_tep -> "Intel TEP (MPC ClientPro 385)"
+  | Infineon -> "AMD workstation"
+  | Ideal -> "hypothetical"
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,29 @@
+(** The TPM implementations benchmarked in the paper.
+
+    Section 4.3.3 measures four v1.2 TPMs and finds that "different TPM
+    implementations optimize different operations". Each vendor below maps
+    to a calibrated timing profile in {!Timing}. [Ideal] models the paper's
+    hypothetical future TPM that can operate at full LPC bus speed with
+    negligible command latency (end of §4.3.1 and §5.7's "faster TPM"
+    alternative). *)
+
+type t =
+  | Broadcom  (** HP dc5750 — fastest Seal, slowest Quote/Unseal. *)
+  | Atmel_t60  (** Lenovo T60 laptop. *)
+  | Atmel_tep  (** Intel TXT Technology Enabling Platform (different model
+                   from the T60 part). *)
+  | Infineon  (** AMD workstation — best average performance. *)
+  | Ideal  (** Hypothetical wait-free TPM. *)
+
+val all : t list
+(** The four real vendors, in the paper's presentation order, then
+    [Ideal]. *)
+
+val measured : t list
+(** Just the four vendors of Figure 3. *)
+
+val name : t -> string
+val machine : t -> string
+(** Host machine each TPM was measured in (Figure 3 caption). *)
+
+val pp : Format.formatter -> t -> unit

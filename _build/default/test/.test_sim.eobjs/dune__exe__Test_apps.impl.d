@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Bgp_attest Cert_authority Char Codec Factoring List Machine Printf Rootkit_detector Sea_apps Sea_core Sea_crypto Sea_hw Sea_tpm Ssh_password String

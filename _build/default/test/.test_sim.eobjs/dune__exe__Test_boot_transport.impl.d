@@ -1,0 +1,1 @@
+test/test_boot_transport.ml: Alcotest Boot Char List Machine Printf Sea_core Sea_crypto Sea_hw Sea_os Sea_tpm String

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Engine Lpc QCheck QCheck_alcotest Sea_bus Sea_sim Time

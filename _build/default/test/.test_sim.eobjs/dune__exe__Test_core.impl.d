@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Attestation Cpu Generic Lifecycle List Machine Option Pal Printf QCheck QCheck_alcotest Result Sea_core Sea_hw Sea_sim Sea_tpm Session Slaunch_session String Time

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aead Alcotest Bignum Buffer Char Drbg Hmac Keyvault List Printf QCheck QCheck_alcotest Rsa Sea_crypto Sha1 Sha256 String Unix Wire

@@ -1,0 +1,1 @@
+test/test_crypto.mli:

@@ -1,0 +1,1 @@
+test/test_hw.ml: Access_control Alcotest Array Char Cpu Insn Int List Machine Memctrl Memory Option Printf QCheck QCheck_alcotest Sea_crypto Sea_hw Sea_sim Sea_tpm Secb Stats String Time

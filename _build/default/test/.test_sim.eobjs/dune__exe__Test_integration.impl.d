@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Attestation Generic List Machine Pal Printf Sea_apps Sea_core Sea_crypto Sea_hw Sea_sim Sea_tpm Session Slaunch_session String Time

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Lifecycle List Machine Memctrl Pal Printf QCheck QCheck_alcotest Result Sea_core Sea_hw Sea_sim Secb Slaunch_session String Time

@@ -1,0 +1,1 @@
+test/test_os.ml: Adversary Alcotest Generic List Machine Memctrl Netload Option Pal Printf Scheduler Sea_core Sea_hw Sea_os Sea_sim Secb Session Slaunch_session Stats String Time

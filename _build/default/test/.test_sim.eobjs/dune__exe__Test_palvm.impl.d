@@ -1,0 +1,1 @@
+test/test_palvm.ml: Alcotest Array Asm Format Isa List Machine Pal QCheck QCheck_alcotest Sea_core Sea_crypto Sea_hw Sea_palvm Sea_tpm Session String Toctou Vm

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Engine Event_queue Fun List Option QCheck QCheck_alcotest Rng Sea_sim Stats Time

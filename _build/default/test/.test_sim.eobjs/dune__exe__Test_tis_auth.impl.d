@@ -1,0 +1,1 @@
+test/test_tis_auth.ml: Alcotest Auth Engine QCheck QCheck_alcotest Sea_sim Sea_tpm String Tis Tpm

@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest Char Engine List Pcr QCheck QCheck_alcotest Result Sea_crypto Sea_sim Sea_tpm Sepcr Sha1 String Time Timing Tpm Vendor

@@ -1,0 +1,220 @@
+(* Tests for the measured-boot event log + trusted-boot verifier (the
+   layered-TCB world of §1/§2.1.1 the paper contrasts against) and for
+   TPM secure transport sessions (§3.3's argument for excluding the
+   south bridge from the TCB). *)
+
+open Sea_hw
+open Sea_os
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ok = function Ok x -> x | Error e -> Alcotest.fail e
+let expect_error = function Error _ -> () | Ok _ -> Alcotest.fail "expected error"
+
+let machine () = Machine.create (Machine.low_fidelity Machine.hp_dc5750)
+
+(* --- Event log --- *)
+
+let test_log_replay_matches_pcrs () =
+  let m = machine () in
+  let tpm = Machine.tpm_exn m in
+  let log = ok (Boot.boot m (Boot.standard_stack ())) in
+  let replayed = Sea_tpm.Event_log.replay (Sea_tpm.Event_log.events log) in
+  List.iter
+    (fun (idx, value) ->
+      Alcotest.(check string)
+        (Printf.sprintf "PCR %d matches replay" idx)
+        value (Sea_tpm.Tpm.pcr_read tpm idx))
+    replayed;
+  checki "seven components logged" 7 (Sea_tpm.Event_log.length log)
+
+let test_log_rejects_dynamic_pcrs () =
+  let log = Sea_tpm.Event_log.create () in
+  ignore (Sea_tpm.Event_log.record log ~pcr_index:17 ~description:"bad" ~data:"x");
+  Alcotest.check_raises "dynamic PCR in boot log"
+    (Invalid_argument "Event_log.replay: dynamic PCRs are not boot-log rooted")
+    (fun () -> ignore (Sea_tpm.Event_log.replay (Sea_tpm.Event_log.events log)))
+
+let test_log_order_sensitive () =
+  let mk order =
+    let log = Sea_tpm.Event_log.create () in
+    List.iter
+      (fun d -> ignore (Sea_tpm.Event_log.record log ~pcr_index:0 ~description:d ~data:d))
+      order;
+    Sea_tpm.Event_log.replay (Sea_tpm.Event_log.events log)
+  in
+  checkb "order changes the chain" true (mk [ "a"; "b" ] <> mk [ "b"; "a" ])
+
+(* --- Trusted boot end-to-end --- *)
+
+let whitelist_of stack =
+  List.map
+    (fun c -> (c.Boot.name, Sea_crypto.Sha1.digest c.Boot.image))
+    stack
+
+let test_trusted_boot_accepts_known_stack () =
+  let m = machine () in
+  let stack = Boot.standard_stack () in
+  let log = ok (Boot.boot m stack) in
+  let nonce = "tb1" in
+  let q = ok (Boot.attest m ~nonce) in
+  ok
+    (Boot.verify
+       ~ca:(Sea_tpm.Tpm.privacy_ca_public ())
+       ~nonce
+       ~log:(Sea_tpm.Event_log.events log)
+       ~known_good:(whitelist_of stack)
+       (Sea_core.Attestation.gather m q))
+
+let test_trusted_boot_catches_bootkit () =
+  let m = machine () in
+  let stack = Boot.standard_stack () in
+  let compromised =
+    List.map (fun c -> if c.Boot.name = "MBR bootloader" then Boot.compromise c else c) stack
+  in
+  let log = ok (Boot.boot m compromised) in
+  let nonce = "tb2" in
+  let q = ok (Boot.attest m ~nonce) in
+  (match
+     Boot.verify
+       ~ca:(Sea_tpm.Tpm.privacy_ca_public ())
+       ~nonce
+       ~log:(Sea_tpm.Event_log.events log)
+       ~known_good:(whitelist_of stack)
+       (Sea_core.Attestation.gather m q)
+   with
+  | Error e -> checkb "names the component" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "bootkit accepted")
+
+let test_trusted_boot_catches_log_lies () =
+  (* The OS cannot hide a loaded component by editing the log: the
+     replayed chain stops matching the signed PCRs. *)
+  let m = machine () in
+  let stack = Boot.standard_stack () in
+  let compromised = List.map Boot.compromise stack in
+  let _log = ok (Boot.boot m compromised) in
+  (* Present the log of the CLEAN stack instead. *)
+  let clean_log = Sea_tpm.Event_log.create () in
+  List.iter
+    (fun c ->
+      ignore
+        (Sea_tpm.Event_log.record clean_log ~pcr_index:c.Boot.pcr_index
+           ~description:c.Boot.name ~data:c.Boot.image))
+    stack;
+  let nonce = "tb3" in
+  let q = ok (Boot.attest m ~nonce) in
+  (match
+     Boot.verify
+       ~ca:(Sea_tpm.Tpm.privacy_ca_public ())
+       ~nonce
+       ~log:(Sea_tpm.Event_log.events clean_log)
+       ~known_good:(whitelist_of stack)
+       (Sea_core.Attestation.gather m q)
+   with
+  | Error e -> checkb "log/PCR mismatch detected" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "forged log accepted")
+
+let test_tcb_contrast () =
+  (* The paper's headline motivation, quantified: the trusted-boot
+     verifier judges the whole stack; the late-launch verifier judges
+     one PAL. *)
+  let m = machine () in
+  let log = ok (Boot.boot m (Boot.standard_stack ())) in
+  let trusted_boot_tcb = Boot.tcb_entries log in
+  let late_launch_tcb = 1 (* the PAL measurement *) in
+  checkb
+    (Printf.sprintf "trusted boot trusts %d components, late launch %d"
+       trusted_boot_tcb late_launch_tcb)
+    true
+    (trusted_boot_tcb > late_launch_tcb)
+
+(* --- Transport sessions --- *)
+
+let session () =
+  let m = machine () in
+  let tpm = Machine.tpm_exn m in
+  (m, tpm, ok (Sea_tpm.Transport.establish tpm ~client_entropy:"pal-entropy"))
+
+let test_transport_commands () =
+  let _, tpm, s = session () in
+  (match ok (Sea_tpm.Transport.execute tpm s (Sea_tpm.Transport.Get_random 32)) with
+  | Sea_tpm.Transport.Random_bytes b -> checki "32 random bytes" 32 (String.length b)
+  | _ -> Alcotest.fail "wrong response");
+  (match
+     ok (Sea_tpm.Transport.execute tpm s (Sea_tpm.Transport.Pcr_extend (10, "m")))
+   with
+  | Sea_tpm.Transport.New_pcr_value v ->
+      Alcotest.(check string) "extend through the channel is real" v
+        (Sea_tpm.Tpm.pcr_read tpm 10)
+  | _ -> Alcotest.fail "wrong response");
+  match ok (Sea_tpm.Transport.execute tpm s (Sea_tpm.Transport.Pcr_read 10)) with
+  | Sea_tpm.Transport.Pcr_value v ->
+      Alcotest.(check string) "read matches" v (Sea_tpm.Tpm.pcr_read tpm 10)
+  | _ -> Alcotest.fail "wrong response"
+
+let test_transport_confidentiality () =
+  (* A south-bridge eavesdropper sees the wire form; the plaintext
+     command must not appear in it. *)
+  let _, _, s = session () in
+  let secret_data = "super-secret-extend-value" in
+  let wire =
+    Sea_tpm.Transport.seal_request s (Sea_tpm.Transport.Pcr_extend (10, secret_data))
+  in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "plaintext invisible on the bus" false (contains ~needle:secret_data wire)
+
+let test_transport_tamper_rejected () =
+  let _, tpm, s = session () in
+  let wire = Sea_tpm.Transport.seal_request s (Sea_tpm.Transport.Get_random 8) in
+  let tampered =
+    String.mapi
+      (fun i c -> if i = String.length wire / 2 then Char.chr (Char.code c lxor 1) else c)
+      wire
+  in
+  expect_error (Sea_tpm.Transport.tpm_execute tpm s tampered)
+
+let test_transport_replay_rejected () =
+  let _, tpm, s = session () in
+  let wire = Sea_tpm.Transport.seal_request s (Sea_tpm.Transport.Get_random 8) in
+  ignore (ok (Sea_tpm.Transport.tpm_execute tpm s wire));
+  (* The bridge replays the captured request. *)
+  expect_error (Sea_tpm.Transport.tpm_execute tpm s wire)
+
+let test_transport_cross_session_isolated () =
+  let m = machine () in
+  let tpm = Machine.tpm_exn m in
+  let s1 = ok (Sea_tpm.Transport.establish tpm ~client_entropy:"one") in
+  let s2 = ok (Sea_tpm.Transport.establish tpm ~client_entropy:"two") in
+  let wire = Sea_tpm.Transport.seal_request s1 (Sea_tpm.Transport.Get_random 8) in
+  expect_error (Sea_tpm.Transport.tpm_execute tpm s2 wire)
+
+let () =
+  Alcotest.run "boot-transport"
+    [
+      ( "event-log",
+        [
+          Alcotest.test_case "replay matches PCRs" `Quick test_log_replay_matches_pcrs;
+          Alcotest.test_case "dynamic PCRs rejected" `Quick test_log_rejects_dynamic_pcrs;
+          Alcotest.test_case "order sensitive" `Quick test_log_order_sensitive;
+        ] );
+      ( "trusted-boot",
+        [
+          Alcotest.test_case "accepts known stack" `Quick test_trusted_boot_accepts_known_stack;
+          Alcotest.test_case "catches a bootkit" `Quick test_trusted_boot_catches_bootkit;
+          Alcotest.test_case "catches log lies" `Quick test_trusted_boot_catches_log_lies;
+          Alcotest.test_case "TCB contrast with late launch" `Quick test_tcb_contrast;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "commands through the channel" `Quick test_transport_commands;
+          Alcotest.test_case "confidentiality on the bus" `Quick test_transport_confidentiality;
+          Alcotest.test_case "tampering rejected" `Quick test_transport_tamper_rejected;
+          Alcotest.test_case "replay rejected" `Quick test_transport_replay_rejected;
+          Alcotest.test_case "sessions isolated" `Quick test_transport_cross_session_isolated;
+        ] );
+    ]

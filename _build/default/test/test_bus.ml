@@ -1,0 +1,106 @@
+(* LPC bus model tests: transaction arithmetic, the Table 1 calibration
+   anchors (wait-free 64 KB ≈ 8.85 ms; the Broadcom long-wait transfer
+   ≈ 177 ms), traffic accounting, and qcheck monotonicity properties. *)
+
+open Sea_sim
+open Sea_bus
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+let fresh () =
+  let e = Engine.create () in
+  (e, Lpc.create e)
+
+let test_default_config () =
+  let cfg = Lpc.default_config in
+  checki "33 MHz cycle" 30 (Time.to_ns cfg.Lpc.cycle);
+  checki "4 bytes per txn" 4 cfg.Lpc.data_bytes_per_txn;
+  (* Data-cycle-only ceiling is the canonical 16.67 MB/s figure. *)
+  checkb "peak bandwidth ~16.67 MB/s" true
+    (abs_float (Lpc.peak_bandwidth_bytes_per_s cfg -. 16.67e6) < 0.1e6)
+
+let test_transaction_time () =
+  let _, lpc = fresh () in
+  checki "wait-free txn = 18 cycles" 540
+    (Time.to_ns (Lpc.transaction_time lpc ~device_wait:Time.zero));
+  checki "device wait adds" 1540
+    (Time.to_ns (Lpc.transaction_time lpc ~device_wait:(Time.ns 1000)))
+
+let test_transfer_time_rounding () =
+  let _, lpc = fresh () in
+  let t1 = Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:1 in
+  let t4 = Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:4 in
+  let t5 = Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:5 in
+  checkb "partial chunk costs a full txn" true (t1 = t4);
+  checkb "5 bytes = 2 txns" true (t5 = Time.scale t4 2);
+  checki "zero bytes free" 0 (Time.to_ns (Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:0))
+
+let test_table1_tyan_anchor () =
+  (* 64 KB wait-free: the Tyan n3600R row of Table 1 measured 8.82 ms. *)
+  let _, lpc = fresh () in
+  let t = Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:(64 * 1024) in
+  checkb "within 2% of 8.82 ms" true (abs_float (Time.to_ms t -. 8.82) < 0.18)
+
+let test_table1_broadcom_anchor () =
+  (* 64 KB against the Broadcom's 10.246 us long wait: ≈ 176.7 ms of bus
+     time (the remaining ~0.8 ms of the 177.52 ms SKINIT is TPM command
+     processing). *)
+  let _, lpc = fresh () in
+  let wait = Time.us 10.246 in
+  let t = Lpc.transfer_time lpc ~device_wait:wait ~bytes:(64 * 1024) in
+  checkb "within 1% of 176.7 ms" true (abs_float (Time.to_ms t -. 176.7) < 1.8)
+
+let test_transfer_advances_clock_and_counts () =
+  let e, lpc = fresh () in
+  Lpc.transfer lpc ~device_wait:Time.zero ~bytes:100;
+  checki "clock advanced" (25 * 540) (Time.to_ns (Engine.now e));
+  checki "bytes counted" 100 (Lpc.total_bytes lpc);
+  checki "transactions counted" 25 (Lpc.total_transactions lpc);
+  Lpc.transfer lpc ~device_wait:Time.zero ~bytes:4;
+  checki "accumulates" 104 (Lpc.total_bytes lpc)
+
+let test_custom_config () =
+  let e = Engine.create () in
+  let config = { Lpc.cycle = Time.ns 10; data_bytes_per_txn = 8; base_cycles_per_txn = 10 } in
+  let lpc = Lpc.create ~config e in
+  checki "custom txn time" 100 (Time.to_ns (Lpc.transaction_time lpc ~device_wait:Time.zero));
+  checkf "config stored" 10. (float_of_int (Lpc.config lpc).Lpc.base_cycles_per_txn)
+
+let prop_transfer_monotone_in_bytes =
+  QCheck.Test.make ~name:"transfer time monotone in byte count" ~count:200
+    QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+    (fun (a, b) ->
+      let _, lpc = fresh () in
+      let lo = min a b and hi = max a b in
+      Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:lo
+      <= Lpc.transfer_time lpc ~device_wait:Time.zero ~bytes:hi)
+
+let prop_transfer_linear_in_txns =
+  QCheck.Test.make ~name:"transfer time = txns × txn time" ~count:200
+    QCheck.(pair (int_range 1 100_000) (int_bound 20_000))
+    (fun (bytes, wait_ns) ->
+      let _, lpc = fresh () in
+      let wait = Time.ns wait_ns in
+      let txns = (bytes + 3) / 4 in
+      Lpc.transfer_time lpc ~device_wait:wait ~bytes
+      = Time.scale (Lpc.transaction_time lpc ~device_wait:wait) txns)
+
+let () =
+  Alcotest.run "bus"
+    [
+      ( "lpc",
+        [
+          Alcotest.test_case "default configuration" `Quick test_default_config;
+          Alcotest.test_case "transaction time" `Quick test_transaction_time;
+          Alcotest.test_case "chunk rounding" `Quick test_transfer_time_rounding;
+          Alcotest.test_case "Table 1 anchor: Tyan (no TPM)" `Quick test_table1_tyan_anchor;
+          Alcotest.test_case "Table 1 anchor: Broadcom wait" `Quick test_table1_broadcom_anchor;
+          Alcotest.test_case "clock and traffic accounting" `Quick
+            test_transfer_advances_clock_and_counts;
+          Alcotest.test_case "custom configuration" `Quick test_custom_config;
+          QCheck_alcotest.to_alcotest prop_transfer_monotone_in_bytes;
+          QCheck_alcotest.to_alcotest prop_transfer_linear_in_txns;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* Tests for the from-scratch crypto substrate: SHA-1/SHA-256 against
+   published vectors, HMAC vectors, bignum ring laws (qcheck), RSA
+   roundtrips and negative cases, DRBG determinism, AEAD tamper
+   resistance, and Wire codec totality. *)
+
+open Sea_crypto
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* --- SHA-1: RFC 3174 / FIPS vectors --- *)
+
+let test_sha1_vectors () =
+  checks "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Sha1.hex "");
+  checks "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.hex "abc");
+  checks "two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  checks "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_sha1_streaming_equivalence () =
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  (* Feed in awkward chunk sizes across block boundaries. *)
+  List.iter
+    (fun chunk ->
+      let ctx = Sha1.init () in
+      let rec go off =
+        if off < String.length msg then begin
+          let len = min chunk (String.length msg - off) in
+          Sha1.update ctx (String.sub msg off len);
+          go (off + len)
+        end
+      in
+      go 0;
+      checks
+        (Printf.sprintf "chunk=%d" chunk)
+        (Sha1.digest msg) (Sha1.finalize ctx))
+    [ 1; 3; 63; 64; 65; 127; 1000 ]
+
+let test_sha1_length_padding_edges () =
+  (* 55/56/64 bytes straddle the padding boundary. *)
+  List.iter
+    (fun n ->
+      let m = String.make n 'x' in
+      checkb
+        (Printf.sprintf "len %d consistent" n)
+        true
+        (Sha1.digest m = Sha1.digest m && String.length (Sha1.digest m) = 20))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120 ]
+
+(* --- SHA-256: FIPS 180-4 vectors --- *)
+
+let test_sha256_vectors () =
+  checks "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  checks "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  checks "two-block"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+(* --- HMAC: RFC 2202 / RFC 4231 vectors --- *)
+
+let hex_of s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let test_hmac_sha1_vectors () =
+  checks "rfc2202 case 1" "b617318655057264e28bc0b6fb378c8ef146be00"
+    (hex_of (Hmac.sha1 ~key:(String.make 20 '\x0b') "Hi There"));
+  checks "rfc2202 case 2" "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    (hex_of (Hmac.sha1 ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_sha256_vector () =
+  checks "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex_of (Hmac.sha256 ~key:(String.make 20 '\x0b') "Hi There"))
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size must be hashed first. *)
+  let k = String.make 131 '\xaa' in
+  checks "rfc4231 case 6 (sha256)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex_of
+       (Hmac.sha256 ~key:k "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_constant_time_equal () =
+  checkb "equal" true (Hmac.equal_constant_time "abc" "abc");
+  checkb "different" false (Hmac.equal_constant_time "abc" "abd");
+  checkb "length mismatch" false (Hmac.equal_constant_time "abc" "abcd");
+  checkb "empty" true (Hmac.equal_constant_time "" "")
+
+(* --- Bignum: unit tests --- *)
+
+let bn = Alcotest.testable Bignum.pp Bignum.equal
+
+let test_bignum_of_to_int () =
+  check bn "zero" Bignum.zero (Bignum.of_int 0);
+  checkb "to_int roundtrip" true
+    (Bignum.to_int_opt (Bignum.of_int 123456789) = Some 123456789);
+  checkb "to_int max_int" true (Bignum.to_int_opt (Bignum.of_int max_int) = Some max_int);
+  checkb "to_int overflow" true
+    (Bignum.to_int_opt (Bignum.mul (Bignum.of_int max_int) (Bignum.of_int 2)) = None);
+  Alcotest.check_raises "negative" (Invalid_argument "Bignum.of_int: negative")
+    (fun () -> ignore (Bignum.of_int (-1)))
+
+let test_bignum_hex_roundtrip () =
+  let cases = [ "0"; "1"; "ff"; "deadbeef"; "123456789abcdef0123456789abcdef" ] in
+  List.iter
+    (fun h ->
+      checks ("hex " ^ h) h (Bignum.to_hex (Bignum.of_hex h)))
+    cases;
+  check bn "leading zeros" (Bignum.of_hex "ff") (Bignum.of_hex "00ff")
+
+let test_bignum_bytes_roundtrip () =
+  let v = Bignum.of_hex "0102030405060708090a" in
+  checks "to_bytes" "\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a" (Bignum.to_bytes_be v);
+  check bn "of_bytes" v (Bignum.of_bytes_be (Bignum.to_bytes_be v));
+  checks "padded" "\x00\x00\x01" (Bignum.to_bytes_be ~pad_to:3 Bignum.one);
+  Alcotest.check_raises "pad too small"
+    (Invalid_argument "Bignum.to_bytes_be: value exceeds pad_to") (fun () ->
+      ignore (Bignum.to_bytes_be ~pad_to:1 (Bignum.of_hex "ffff")))
+
+let test_bignum_sub_negative () =
+  Alcotest.check_raises "negative result"
+    (Invalid_argument "Bignum.sub: negative result") (fun () ->
+      ignore (Bignum.sub Bignum.one Bignum.two))
+
+let test_bignum_division_cases () =
+  let a = Bignum.of_hex "ffffffffffffffffffffffffffffffffff" in
+  let q, r = Bignum.divmod a (Bignum.of_int 1) in
+  check bn "div by 1" a q;
+  check bn "rem by 1" Bignum.zero r;
+  let q, r = Bignum.divmod Bignum.one a in
+  check bn "small / large" Bignum.zero q;
+  check bn "small mod large" Bignum.one r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bignum.divmod a Bignum.zero))
+
+let test_bignum_shifts () =
+  let v = Bignum.of_hex "1234" in
+  check bn "shl 0" v (Bignum.shift_left v 0);
+  check bn "shl 4" (Bignum.of_hex "12340") (Bignum.shift_left v 4);
+  check bn "shr 4" (Bignum.of_hex "123") (Bignum.shift_right v 4);
+  check bn "shr beyond" Bignum.zero (Bignum.shift_right v 100);
+  check bn "shl across limbs"
+    (Bignum.of_hex "48d000000000000000")
+    (Bignum.shift_left v 58)
+
+let test_bignum_bit_ops () =
+  Alcotest.(check int) "bitlen 0" 0 (Bignum.bit_length Bignum.zero);
+  Alcotest.(check int) "bitlen 1" 1 (Bignum.bit_length Bignum.one);
+  Alcotest.(check int) "bitlen 0x100" 9 (Bignum.bit_length (Bignum.of_hex "100"));
+  checkb "testbit" true (Bignum.test_bit (Bignum.of_int 5) 0);
+  checkb "testbit clear" false (Bignum.test_bit (Bignum.of_int 5) 1);
+  checkb "testbit high" true (Bignum.test_bit (Bignum.of_int 5) 2)
+
+let test_bignum_modpow_known () =
+  let m = Bignum.of_int 1000000007 in
+  (* Fermat: 2^(p-1) = 1 mod p for prime p (odd -> Montgomery path). *)
+  check bn "fermat"
+    Bignum.one
+    (Bignum.mod_pow ~base:Bignum.two ~exp:(Bignum.sub m Bignum.one) ~m);
+  (* Even modulus exercises the non-Montgomery path. *)
+  check bn "even modulus"
+    (Bignum.of_int 6)
+    (Bignum.mod_pow ~base:(Bignum.of_int 6) ~exp:Bignum.one ~m:(Bignum.of_int 10));
+  check bn "exp zero" Bignum.one
+    (Bignum.mod_pow ~base:(Bignum.of_int 12345) ~exp:Bignum.zero ~m);
+  check bn "mod one" Bignum.zero
+    (Bignum.mod_pow ~base:Bignum.two ~exp:Bignum.two ~m:Bignum.one)
+
+let test_bignum_mod_inverse () =
+  (match Bignum.mod_inverse (Bignum.of_int 3) ~m:(Bignum.of_int 7) with
+  | Some i -> check bn "3^-1 mod 7" (Bignum.of_int 5) i
+  | None -> Alcotest.fail "inverse should exist");
+  checkb "no inverse when gcd > 1" true
+    (Bignum.mod_inverse (Bignum.of_int 4) ~m:(Bignum.of_int 8) = None);
+  checkb "mod 1" true (Bignum.mod_inverse Bignum.two ~m:Bignum.one = None)
+
+let test_bignum_gcd () =
+  check bn "gcd(12,18)" (Bignum.of_int 6)
+    (Bignum.gcd (Bignum.of_int 12) (Bignum.of_int 18));
+  check bn "gcd with zero" (Bignum.of_int 5) (Bignum.gcd (Bignum.of_int 5) Bignum.zero)
+
+(* --- Bignum: qcheck ring laws --- *)
+
+let gen_bignum =
+  (* Random naturals up to ~256 bits, built from hex strings. *)
+  QCheck.Gen.(
+    map
+      (fun digits ->
+        let s = String.concat "" (List.map (Printf.sprintf "%x") digits) in
+        Bignum.of_hex (if s = "" then "0" else s))
+      (list_size (int_range 1 64) (int_bound 15)))
+
+let arb_bignum = QCheck.make ~print:Bignum.to_hex gen_bignum
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"bignum add commutes" ~count:300
+    (QCheck.pair arb_bignum arb_bignum) (fun (a, b) ->
+      Bignum.equal (Bignum.add a b) (Bignum.add b a))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"bignum add associates" ~count:300
+    (QCheck.triple arb_bignum arb_bignum arb_bignum) (fun (a, b, c) ->
+      Bignum.equal
+        (Bignum.add (Bignum.add a b) c)
+        (Bignum.add a (Bignum.add b c)))
+
+let prop_mul_comm =
+  QCheck.Test.make ~name:"bignum mul commutes" ~count:200
+    (QCheck.pair arb_bignum arb_bignum) (fun (a, b) ->
+      Bignum.equal (Bignum.mul a b) (Bignum.mul b a))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"bignum mul distributes over add" ~count:200
+    (QCheck.triple arb_bignum arb_bignum arb_bignum) (fun (a, b, c) ->
+      Bignum.equal
+        (Bignum.mul a (Bignum.add b c))
+        (Bignum.add (Bignum.mul a b) (Bignum.mul a c)))
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"a = (a/b)*b + a mod b, with a mod b < b" ~count:300
+    (QCheck.pair arb_bignum arb_bignum) (fun (a, b) ->
+      QCheck.assume (not (Bignum.is_zero b));
+      let q, r = Bignum.divmod a b in
+      Bignum.equal a (Bignum.add (Bignum.mul q b) r) && Bignum.compare r b < 0)
+
+let prop_sub_add_roundtrip =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:300
+    (QCheck.pair arb_bignum arb_bignum) (fun (a, b) ->
+      Bignum.equal a (Bignum.sub (Bignum.add a b) b))
+
+let prop_shift_mul =
+  QCheck.Test.make ~name:"a << k = a * 2^k" ~count:200
+    (QCheck.pair arb_bignum (QCheck.int_bound 100)) (fun (a, k) ->
+      Bignum.equal (Bignum.shift_left a k)
+        (Bignum.mul a (Bignum.mod_pow ~base:Bignum.two ~exp:(Bignum.of_int k)
+                         ~m:(Bignum.shift_left Bignum.one 200))))
+
+let prop_modpow_matches_naive =
+  QCheck.Test.make ~name:"Montgomery mod_pow matches naive square-multiply"
+    ~count:100
+    (QCheck.triple (QCheck.int_range 2 10_000) (QCheck.int_range 0 50)
+       (QCheck.int_range 3 10_000))
+    (fun (base, e, m) ->
+      let m = if m mod 2 = 0 then m + 1 else m in
+      let naive =
+        let rec go acc k = if k = 0 then acc else go (acc * base mod m) (k - 1) in
+        go 1 e
+      in
+      let fast =
+        Bignum.mod_pow ~base:(Bignum.of_int base) ~exp:(Bignum.of_int e)
+          ~m:(Bignum.of_int m)
+      in
+      Bignum.to_int_opt fast = Some naive)
+
+let prop_mod_inverse_correct =
+  QCheck.Test.make ~name:"mod_inverse: a * a^-1 = 1 (mod m)" ~count:200
+    (QCheck.pair (QCheck.int_range 1 100_000) (QCheck.int_range 3 100_000))
+    (fun (a, m) ->
+      let a = Bignum.of_int a and m = Bignum.of_int m in
+      match Bignum.mod_inverse a ~m with
+      | None -> not (Bignum.equal (Bignum.gcd a m) Bignum.one)
+      | Some inv -> Bignum.equal (Bignum.mod_mul a inv ~m) (Bignum.rem Bignum.one m))
+
+(* --- RSA --- *)
+
+let drbg () = Drbg.create ~seed:"test-crypto-rsa"
+
+let test_rsa_sign_verify () =
+  let key = Rsa.generate ~bits:512 (drbg ()) in
+  let msg = "attestation payload" in
+  let s = Rsa.sign key msg in
+  Alcotest.(check int) "signature length" (Rsa.key_bytes key.Rsa.pub) (String.length s);
+  checkb "verifies" true (Rsa.verify key.Rsa.pub ~msg ~signature:s);
+  checkb "wrong message" false (Rsa.verify key.Rsa.pub ~msg:"other" ~signature:s);
+  let tampered = String.mapi (fun i c -> if i = 5 then Char.chr (Char.code c lxor 1) else c) s in
+  checkb "tampered signature" false (Rsa.verify key.Rsa.pub ~msg ~signature:tampered);
+  checkb "wrong length" false (Rsa.verify key.Rsa.pub ~msg ~signature:"short")
+
+let test_rsa_encrypt_decrypt () =
+  let d = drbg () in
+  let key = Rsa.generate ~bits:512 d in
+  let pt = "seal me" in
+  let ct = Rsa.encrypt key.Rsa.pub d pt in
+  checkb "decrypts" true (Rsa.decrypt key ct = Some pt);
+  let other = Rsa.generate ~bits:512 d in
+  checkb "wrong key fails" true (Rsa.decrypt other ct = None);
+  let tampered =
+    String.mapi (fun i c -> if i = 10 then Char.chr (Char.code c lxor 1) else c) ct
+  in
+  (* Tampered ciphertext: padding check almost surely fails, and even if it
+     decodes, the plaintext must differ. *)
+  checkb "tampered ciphertext" true (Rsa.decrypt key tampered <> Some pt)
+
+let test_rsa_encrypt_limits () =
+  let d = drbg () in
+  let key = Rsa.generate ~bits:512 d in
+  let max = Rsa.max_plaintext key.Rsa.pub in
+  Alcotest.(check int) "max payload" (64 - 11) max;
+  let big = String.make (max + 1) 'x' in
+  Alcotest.check_raises "too long" (Invalid_argument "Rsa.encrypt: plaintext too long")
+    (fun () -> ignore (Rsa.encrypt key.Rsa.pub d big));
+  let edge = String.make max 'x' in
+  checkb "exactly max roundtrips" true
+    (Rsa.decrypt key (Rsa.encrypt key.Rsa.pub d edge) = Some edge);
+  checkb "empty roundtrips" true (Rsa.decrypt key (Rsa.encrypt key.Rsa.pub d "") = Some "")
+
+let test_rsa_deterministic_from_seed () =
+  let k1 = Rsa.generate ~bits:256 (Drbg.create ~seed:"same") in
+  let k2 = Rsa.generate ~bits:256 (Drbg.create ~seed:"same") in
+  checkb "same seed, same key" true (Bignum.equal k1.Rsa.pub.Rsa.n k2.Rsa.pub.Rsa.n);
+  let k3 = Rsa.generate ~bits:256 (Drbg.create ~seed:"different") in
+  checkb "different seed, different key" false
+    (Bignum.equal k1.Rsa.pub.Rsa.n k3.Rsa.pub.Rsa.n)
+
+let test_rsa_modulus_size () =
+  List.iter
+    (fun bits ->
+      let k = Rsa.generate ~bits (drbg ()) in
+      Alcotest.(check int)
+        (Printf.sprintf "%d-bit modulus" bits)
+        bits
+        (Bignum.bit_length k.Rsa.pub.Rsa.n))
+    [ 64; 128; 512 ]
+
+let test_miller_rabin () =
+  let d = drbg () in
+  let prime p = Rsa.is_probable_prime (Bignum.of_int p) ~rounds:10 d in
+  List.iter (fun p -> checkb (Printf.sprintf "%d prime" p) true (prime p))
+    [ 2; 3; 5; 101; 251; 257; 65537; 1000003 ];
+  List.iter (fun c -> checkb (Printf.sprintf "%d composite" c) false (prime c))
+    [ 1; 4; 100; 255; 65535; 1000001; 561 (* Carmichael *); 8911 ]
+
+(* --- DRBG --- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"s" and b = Drbg.create ~seed:"s" in
+  checks "same stream" (Drbg.generate_string a 64) (Drbg.generate_string b 64);
+  checkb "stream advances" true
+    (Drbg.generate_string a 16 <> Drbg.generate_string a 16)
+
+let test_drbg_seed_and_reseed () =
+  let a = Drbg.create ~seed:"s1" and b = Drbg.create ~seed:"s2" in
+  checkb "different seeds" true
+    (Drbg.generate_string a 32 <> Drbg.generate_string b 32);
+  let c = Drbg.create ~seed:"s1" and d = Drbg.create ~seed:"s1" in
+  ignore (Drbg.generate_string c 32);
+  ignore (Drbg.generate_string d 32);
+  Drbg.reseed c "extra entropy";
+  checkb "reseed diverges" true
+    (Drbg.generate_string c 32 <> Drbg.generate_string d 32)
+
+let test_drbg_output_sizes () =
+  let d = Drbg.create ~seed:"sz" in
+  List.iter
+    (fun n -> Alcotest.(check int) (Printf.sprintf "%d bytes" n) n
+        (String.length (Drbg.generate_string d n)))
+    [ 1; 31; 32; 33; 100; 1000 ]
+
+(* --- AEAD --- *)
+
+let test_aead_roundtrip () =
+  let key = String.make Aead.key_size 'k' and nonce = String.make Aead.nonce_size 'n' in
+  let pt = "PAL state to protect across a context switch" in
+  let ct = Aead.encrypt ~key ~nonce pt in
+  Alcotest.(check int) "overhead" (String.length pt + Aead.overhead) (String.length ct);
+  checkb "roundtrip" true (Aead.decrypt ~key ~nonce ct = Some pt);
+  checkb "empty plaintext" true
+    (Aead.decrypt ~key ~nonce (Aead.encrypt ~key ~nonce "") = Some "")
+
+let test_aead_tamper_detect () =
+  let key = String.make Aead.key_size 'k' and nonce = String.make Aead.nonce_size 'n' in
+  let ct = Aead.encrypt ~key ~nonce "secret" in
+  for i = 0 to String.length ct - 1 do
+    let t = String.mapi (fun j c -> if i = j then Char.chr (Char.code c lxor 1) else c) ct in
+    checkb (Printf.sprintf "bit flip at %d detected" i) true
+      (Aead.decrypt ~key ~nonce t = None)
+  done
+
+let test_aead_wrong_key_nonce () =
+  let key = String.make Aead.key_size 'k' and nonce = String.make Aead.nonce_size 'n' in
+  let ct = Aead.encrypt ~key ~nonce "secret" in
+  checkb "wrong key" true
+    (Aead.decrypt ~key:(String.make Aead.key_size 'x') ~nonce ct = None);
+  checkb "wrong nonce" true
+    (Aead.decrypt ~key ~nonce:(String.make Aead.nonce_size 'x') ct = None);
+  checkb "truncated" true (Aead.decrypt ~key ~nonce "short" = None);
+  Alcotest.check_raises "bad key size" (Invalid_argument "Aead: bad key size")
+    (fun () -> ignore (Aead.encrypt ~key:"short" ~nonce "x"))
+
+let prop_aead_roundtrip =
+  QCheck.Test.make ~name:"AEAD roundtrips arbitrary payloads" ~count:100
+    QCheck.(string_of_size (QCheck.Gen.int_bound 2048))
+    (fun pt ->
+      let key = Sha256.digest "k" and nonce = String.sub (Sha256.digest "n") 0 16 in
+      Aead.decrypt ~key ~nonce (Aead.encrypt ~key ~nonce pt) = Some pt)
+
+(* --- Wire --- *)
+
+let test_wire_roundtrip () =
+  let enc = Wire.encoder () in
+  Wire.add_string enc "hello";
+  Wire.add_int enc 123456789;
+  Wire.add_list enc (fun x -> Wire.add_string enc x) [ "a"; "bb"; "" ];
+  let d = Wire.decoder (Wire.contents enc) in
+  checkb "string" true (Wire.read_string d = Some "hello");
+  checkb "int" true (Wire.read_int d = Some 123456789);
+  checkb "list" true (Wire.read_list d (fun () -> Wire.read_string d) = Some [ "a"; "bb"; "" ]);
+  checkb "at end" true (Wire.at_end d)
+
+let test_wire_malformed_is_total () =
+  (* Arbitrary junk must decode to None, never raise. *)
+  List.iter
+    (fun junk ->
+      let d = Wire.decoder junk in
+      ignore (Wire.read_string d);
+      let d = Wire.decoder junk in
+      ignore (Wire.read_int d);
+      let d = Wire.decoder junk in
+      ignore (Wire.read_list d (fun () -> Wire.read_string d)))
+    [ ""; "\xff"; "\xff\xff\xff\xff"; "\x00\x00\x00\x10abc"; String.make 3 '\x00' ];
+  checkb "truncated string" true (Wire.read_string (Wire.decoder "\x00\x00\x00\x05ab") = None);
+  checkb "short int" true (Wire.read_int (Wire.decoder "\x00\x00\x00") = None);
+  checkb "huge count rejected" true
+    (Wire.read_list (Wire.decoder "\x7f\xff\xff\xff") (fun () -> Some ()) = None)
+
+let prop_wire_string_roundtrip =
+  QCheck.Test.make ~name:"wire string roundtrip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_bound 300))
+    (fun s ->
+      let enc = Wire.encoder () in
+      Wire.add_string enc s;
+      Wire.read_string (Wire.decoder (Wire.contents enc)) = Some s)
+
+(* --- Keyvault --- *)
+
+let test_keyvault_memoizes () =
+  let a = Keyvault.get ~label:"test-kv" ~bits:256 in
+  let b = Keyvault.get ~label:"test-kv" ~bits:256 in
+  checkb "same object" true (a == b);
+  let c = Keyvault.get ~label:"test-kv-2" ~bits:256 in
+  checkb "distinct labels distinct keys" false
+    (Bignum.equal a.Rsa.pub.Rsa.n c.Rsa.pub.Rsa.n)
+
+let test_keyvault_embedded () =
+  (* The embedded 2048-bit keys must load fast and be valid signing keys. *)
+  let t0 = Unix.gettimeofday () in
+  let k = Keyvault.get ~label:"privacy-ca" ~bits:2048 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  checkb "loads without generation" true (elapsed < 1.0);
+  Alcotest.(check int) "2048 bits" 2048 (Bignum.bit_length k.Rsa.pub.Rsa.n);
+  let s = Rsa.sign k "check" in
+  checkb "valid key" true (Rsa.verify k.Rsa.pub ~msg:"check" ~signature:s)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha1",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha1_vectors;
+          Alcotest.test_case "streaming equivalence" `Quick test_sha1_streaming_equivalence;
+          Alcotest.test_case "padding edge lengths" `Quick test_sha1_length_padding_edges;
+        ] );
+      ("sha256", [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors ]);
+      ( "hmac",
+        [
+          Alcotest.test_case "HMAC-SHA1 RFC2202" `Quick test_hmac_sha1_vectors;
+          Alcotest.test_case "HMAC-SHA256 RFC4231" `Quick test_hmac_sha256_vector;
+          Alcotest.test_case "long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "constant-time equality" `Quick test_constant_time_equal;
+        ] );
+      ( "bignum",
+        [
+          Alcotest.test_case "of/to int" `Quick test_bignum_of_to_int;
+          Alcotest.test_case "hex roundtrip" `Quick test_bignum_hex_roundtrip;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bignum_bytes_roundtrip;
+          Alcotest.test_case "sub underflow" `Quick test_bignum_sub_negative;
+          Alcotest.test_case "division cases" `Quick test_bignum_division_cases;
+          Alcotest.test_case "shifts" `Quick test_bignum_shifts;
+          Alcotest.test_case "bit operations" `Quick test_bignum_bit_ops;
+          Alcotest.test_case "mod_pow known values" `Quick test_bignum_modpow_known;
+          Alcotest.test_case "mod_inverse" `Quick test_bignum_mod_inverse;
+          Alcotest.test_case "gcd" `Quick test_bignum_gcd;
+          QCheck_alcotest.to_alcotest prop_add_comm;
+          QCheck_alcotest.to_alcotest prop_add_assoc;
+          QCheck_alcotest.to_alcotest prop_mul_comm;
+          QCheck_alcotest.to_alcotest prop_distributive;
+          QCheck_alcotest.to_alcotest prop_divmod_identity;
+          QCheck_alcotest.to_alcotest prop_sub_add_roundtrip;
+          QCheck_alcotest.to_alcotest prop_shift_mul;
+          QCheck_alcotest.to_alcotest prop_modpow_matches_naive;
+          QCheck_alcotest.to_alcotest prop_mod_inverse_correct;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "encrypt/decrypt" `Quick test_rsa_encrypt_decrypt;
+          Alcotest.test_case "payload limits" `Quick test_rsa_encrypt_limits;
+          Alcotest.test_case "deterministic from seed" `Quick test_rsa_deterministic_from_seed;
+          Alcotest.test_case "modulus size" `Quick test_rsa_modulus_size;
+          Alcotest.test_case "Miller-Rabin" `Quick test_miller_rabin;
+        ] );
+      ( "drbg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "seed and reseed" `Quick test_drbg_seed_and_reseed;
+          Alcotest.test_case "output sizes" `Quick test_drbg_output_sizes;
+        ] );
+      ( "aead",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_aead_roundtrip;
+          Alcotest.test_case "tamper detection" `Quick test_aead_tamper_detect;
+          Alcotest.test_case "wrong key/nonce" `Quick test_aead_wrong_key_nonce;
+          QCheck_alcotest.to_alcotest prop_aead_roundtrip;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "malformed input is total" `Quick test_wire_malformed_is_total;
+          QCheck_alcotest.to_alcotest prop_wire_string_roundtrip;
+        ] );
+      ( "keyvault",
+        [
+          Alcotest.test_case "memoization" `Quick test_keyvault_memoizes;
+          Alcotest.test_case "embedded 2048-bit keys" `Quick test_keyvault_embedded;
+        ] );
+    ]

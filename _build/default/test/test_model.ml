@@ -1,0 +1,255 @@
+(* Model-based testing of the SLAUNCH session machinery: random command
+   sequences run against both the real implementation (full machine, TPM,
+   access-control table) and a tiny reference model of Figure 6 + the §6
+   multicore rules. The two must agree on every command's outcome and on
+   the lifecycle state throughout — so no interleaving of slice / resume /
+   kill / join / leave / quote can drive the hardware model somewhere the
+   paper's state machine does not allow. *)
+
+open Sea_sim
+open Sea_hw
+open Sea_core
+
+(* --- commands --- *)
+
+type cmd =
+  | Slice of int (* budget in ms, 1..20 *)
+  | Resume of int (* cpu 0..3 *)
+  | Kill
+  | Join of int
+  | Leave of int
+  | Quote
+
+let cmd_to_string = function
+  | Slice b -> Printf.sprintf "Slice(%dms)" b
+  | Resume c -> Printf.sprintf "Resume(cpu%d)" c
+  | Kill -> "Kill"
+  | Join c -> Printf.sprintf "Join(cpu%d)" c
+  | Leave c -> Printf.sprintf "Leave(cpu%d)" c
+  | Quote -> "Quote"
+
+let gen_cmd =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun b -> Slice b) (int_range 1 20));
+        (3, map (fun c -> Resume c) (int_range 0 3));
+        (1, return Kill);
+        (2, map (fun c -> Join c) (int_range 0 3));
+        (2, map (fun c -> Leave c) (int_range 0 3));
+        (1, return Quote);
+      ])
+
+let arb_cmds =
+  QCheck.make
+    ~print:(fun cmds -> String.concat "; " (List.map cmd_to_string cmds))
+    QCheck.Gen.(list_size (int_range 1 25) gen_cmd)
+
+(* --- reference model --- *)
+
+type model = {
+  mutable m_state : Lifecycle.state;
+  mutable m_remaining : int; (* ms of work left *)
+  mutable m_primary : int;
+  mutable m_joined : int list;
+  mutable m_exited_clean : bool; (* SFREE (not SKILL) *)
+  mutable m_quoted : bool;
+}
+
+let model_apply model cmd =
+  (* Returns whether the command should succeed, and updates the model. *)
+  match cmd with
+  | Slice budget ->
+      if model.m_state <> Lifecycle.Execute then false
+      else begin
+        let rate = 1 + List.length model.m_joined in
+        let progress = budget * rate in
+        if progress < model.m_remaining then begin
+          model.m_remaining <- model.m_remaining - progress;
+          model.m_joined <- [];
+          model.m_state <- Lifecycle.Suspend;
+          true
+        end
+        else begin
+          model.m_remaining <- 0;
+          model.m_joined <- [];
+          model.m_state <- Lifecycle.Done;
+          model.m_exited_clean <- true;
+          true
+        end
+      end
+  | Resume cpu ->
+      if model.m_state = Lifecycle.Suspend then begin
+        model.m_state <- Lifecycle.Execute;
+        model.m_primary <- cpu;
+        true
+      end
+      else false
+  | Kill ->
+      if model.m_state = Lifecycle.Suspend then begin
+        model.m_state <- Lifecycle.Done;
+        true
+      end
+      else false
+  | Join cpu ->
+      if
+        model.m_state = Lifecycle.Execute
+        && cpu <> model.m_primary
+        && not (List.mem cpu model.m_joined)
+      then begin
+        model.m_joined <- cpu :: model.m_joined;
+        true
+      end
+      else false
+  | Leave cpu ->
+      if List.mem cpu model.m_joined then begin
+        model.m_joined <- List.filter (fun c -> c <> cpu) model.m_joined;
+        true
+      end
+      else false
+  | Quote ->
+      if model.m_state = Lifecycle.Done && model.m_exited_clean && not model.m_quoted
+      then begin
+        model.m_quoted <- true;
+        true
+      end
+      else false
+
+(* --- the property --- *)
+
+let work_ms = 60
+
+let run_real session cmd =
+  match cmd with
+  | Slice budget -> (
+      match
+        Slaunch_session.run_slice session ~cpu:0 ~budget:(Time.ms (float_of_int budget)) ()
+      with
+      | Ok _ -> true
+      | Error _ -> false)
+  | Resume cpu -> Result.is_ok (Slaunch_session.resume session ~cpu)
+  | Kill -> Result.is_ok (Slaunch_session.kill session)
+  | Join cpu -> Result.is_ok (Slaunch_session.join session ~cpu)
+  | Leave cpu -> Result.is_ok (Slaunch_session.leave session ~cpu)
+  | Quote -> Result.is_ok (Slaunch_session.quote_after_exit session ~nonce:"model")
+
+(* The real run_slice is driven from the primary CPU; after a resume the
+   primary may have moved, so Slice must target the current primary. The
+   model tracks it; we thread it through. *)
+let run_real_tracked session primary cmd =
+  match cmd with
+  | Slice budget -> (
+      match
+        Slaunch_session.run_slice session ~cpu:primary
+          ~budget:(Time.ms (float_of_int budget)) ()
+      with
+      | Ok _ -> true
+      | Error _ -> false)
+  | _ -> run_real session cmd
+
+let prop_model_agreement =
+  QCheck.Test.make ~name:"SLAUNCH sessions agree with the Figure 6 model"
+    ~count:120 arb_cmds (fun cmds ->
+      let cfg = Machine.low_fidelity (Machine.proposed_variant Machine.hp_dc5750) in
+      let m = Machine.create { cfg with Machine.cpu_count = 4 } in
+      let pal =
+        Pal.create ~name:"model-pal" ~code_size:4096
+          ~compute_time:(Time.ms (float_of_int work_ms)) (fun _ _ -> Ok "out")
+      in
+      match Slaunch_session.start m ~cpu:0 pal ~input:"" with
+      | Error _ -> false
+      | Ok session ->
+          let model =
+            {
+              m_state = Lifecycle.Execute;
+              m_remaining = work_ms;
+              m_primary = 0;
+              m_joined = [];
+              m_exited_clean = false;
+              m_quoted = false;
+            }
+          in
+          let ok_so_far =
+            List.for_all
+              (fun cmd ->
+                let primary = model.m_primary in
+                let expected = model_apply model cmd in
+                let actual = run_real_tracked session primary cmd in
+                let states_agree = Slaunch_session.state session = model.m_state in
+                let workers_agree =
+                  Slaunch_session.worker_count session
+                  = (if model.m_state = Lifecycle.Execute then
+                       1 + List.length model.m_joined
+                     else 0)
+                in
+                expected = actual && states_agree && workers_agree)
+              cmds
+          in
+          Slaunch_session.release session;
+          ok_so_far)
+
+(* A second, adversarial flavour: whatever the command sequence, the PAL's
+   pages are never readable by a non-member CPU or by DMA. *)
+let prop_isolation_invariant =
+  QCheck.Test.make ~name:"no command sequence opens a PAL's pages" ~count:80
+    arb_cmds (fun cmds ->
+      let cfg = Machine.low_fidelity (Machine.proposed_variant Machine.hp_dc5750) in
+      let m = Machine.create { cfg with Machine.cpu_count = 4 } in
+      let pal =
+        Pal.create ~name:"inv-pal" ~code_size:4096
+          ~compute_time:(Time.ms (float_of_int work_ms)) (fun _ _ -> Ok "")
+      in
+      match Slaunch_session.start m ~cpu:0 pal ~input:"" with
+      | Error _ -> false
+      | Ok session ->
+          let model =
+            {
+              m_state = Lifecycle.Execute;
+              m_remaining = work_ms;
+              m_primary = 0;
+              m_joined = [];
+              m_exited_clean = false;
+              m_quoted = false;
+            }
+          in
+          let page = List.nth (Slaunch_session.secb session).Secb.pages 1 in
+          let holds = ref true in
+          List.iter
+            (fun cmd ->
+              let primary = model.m_primary in
+              ignore (model_apply model cmd);
+              ignore (run_real_tracked session primary cmd);
+              (* While the PAL is live (not Done), only member CPUs may
+                 read; DMA never may. *)
+              if model.m_state <> Lifecycle.Done then begin
+                let members = model.m_primary :: model.m_joined in
+                for c = 0 to 3 do
+                  let allowed =
+                    model.m_state = Lifecycle.Execute && List.mem c members
+                  in
+                  let got =
+                    Result.is_ok
+                      (Memctrl.read m.Machine.memctrl (Memctrl.Cpu c) ~page ~off:0
+                         ~len:4)
+                  in
+                  if got <> allowed then holds := false
+                done;
+                if
+                  Result.is_ok
+                    (Memctrl.read m.Machine.memctrl (Memctrl.Device "dma") ~page
+                       ~off:0 ~len:4)
+                then holds := false
+              end)
+            cmds;
+          Slaunch_session.release session;
+          !holds)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "slaunch-session",
+        [
+          QCheck_alcotest.to_alcotest prop_model_agreement;
+          QCheck_alcotest.to_alcotest prop_isolation_invariant;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Untrusted-OS layer tests: every attack in the §3.2 threat model must
+   come back Blocked, and the multiprogramming scheduler must reproduce
+   the paper's qualitative claims (whole-platform stall today, ~full
+   legacy throughput with the proposed hardware). *)
+
+open Sea_sim
+open Sea_hw
+open Sea_core
+open Sea_os
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ok = function Ok x -> x | Error e -> Alcotest.fail e
+
+let blocked name = function
+  | Adversary.Blocked _ -> ()
+  | Adversary.Succeeded what -> Alcotest.fail (name ^ ": " ^ what)
+
+let proposed () =
+  Machine.create (Machine.low_fidelity (Machine.proposed_variant Machine.hp_dc5750))
+
+let running_session m =
+  let pal =
+    Pal.create ~name:"victim" ~code_size:8192 ~compute_time:(Time.ms 10.)
+      (fun services _ -> services.Pal.seal "victim secret")
+  in
+  ok (Slaunch_session.start m ~cpu:0 ~preemption_timer:(Time.ms 2.) pal ~input:"")
+
+(* --- Attacks against an executing PAL --- *)
+
+let test_dma_read_blocked_current_hw () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  (* Put an SLB under DEV protection, as SKINIT does. *)
+  let pages = Machine.alloc_pages m 2 in
+  Memctrl.dev_protect m.Machine.memctrl pages;
+  blocked "DMA vs DEV"
+    (Adversary.dma_read_protected_page m ~device:"evil-nic" ~page:(List.hd pages))
+
+let test_dma_read_blocked_proposed_hw () =
+  let m = proposed () in
+  let s = running_session m in
+  let page = List.hd (Slaunch_session.secb s).Secb.pages in
+  blocked "DMA vs ACL" (Adversary.dma_read_protected_page m ~device:"evil-nic" ~page)
+
+let test_cpu_read_blocked_while_executing () =
+  let m = proposed () in
+  let s = running_session m in
+  let page = List.nth (Slaunch_session.secb s).Secb.pages 1 in
+  blocked "cross-CPU read" (Adversary.cpu_read_pal_page m ~cpu:1 ~page)
+
+let test_cpu_read_blocked_while_suspended () =
+  let m = proposed () in
+  let s = running_session m in
+  (match ok (Slaunch_session.run_slice s ~cpu:0 ()) with
+  | `Yielded -> ()
+  | `Finished -> Alcotest.fail "expected preemption");
+  let page = List.nth (Slaunch_session.secb s).Secb.pages 1 in
+  (* Even the CPU that was running it is locked out now. *)
+  blocked "read of suspended PAL" (Adversary.cpu_read_pal_page m ~cpu:0 ~page);
+  blocked "other-CPU read of suspended PAL" (Adversary.cpu_read_pal_page m ~cpu:1 ~page)
+
+let test_forge_measured_flag () =
+  let m = proposed () in
+  let pal = Pal.create ~name:"forged" ~code_size:4096 (fun _ _ -> Ok "") in
+  blocked "forged Measured Flag" (Adversary.forge_measured_flag m ~cpu:0 pal)
+
+let test_double_resume () =
+  let m = proposed () in
+  let s = running_session m in
+  (* PAL executing on CPU 0; adversary SLAUNCHes the same SECB on CPU 1. *)
+  blocked "double resume" (Adversary.double_resume m ~cpu:1 (Slaunch_session.secb s))
+
+let test_software_pcr17_reset () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  blocked "software PCR 17 reset" (Adversary.software_pcr17_reset m)
+
+let test_unseal_after_exit () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  let outcome = ok (Session.execute m ~cpu:0 (Generic.pal_gen ()) ~input:"") in
+  blocked "post-exit unseal" (Adversary.unseal_after_pal_exit m ~blob:outcome.Session.output)
+
+let test_tamper_quote () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  let pal = Generic.pal_gen () in
+  ignore (ok (Session.execute m ~cpu:0 pal ~input:""));
+  let q, _ = ok (Session.quote m ~nonce:"n") in
+  blocked "tampered quote" (Adversary.tamper_quote m q ~nonce:"n" pal)
+
+let test_extend_foreign_sepcr () =
+  let m = proposed () in
+  let s = running_session m in
+  let handle = Option.get (Slaunch_session.sepcr_handle s) in
+  blocked "foreign sePCR extend" (Adversary.extend_foreign_sepcr m ~cpu:1 handle)
+
+let test_sfree_from_outside () =
+  let m = proposed () in
+  let s = running_session m in
+  blocked "external SFREE" (Adversary.sfree_from_outside m ~cpu:1 (Slaunch_session.secb s))
+
+let test_skill_left_no_secrets () =
+  (* After SKILL, no residue of the PAL's memory is observable. *)
+  let m = proposed () in
+  let s = running_session m in
+  (match ok (Slaunch_session.run_slice s ~cpu:0 ()) with
+  | `Yielded -> ()
+  | `Finished -> Alcotest.fail "expected preemption");
+  ok (Slaunch_session.kill s);
+  List.iter
+    (fun page ->
+      let data = ok (Memctrl.read m.Machine.memctrl (Memctrl.Cpu 1) ~page ~off:0 ~len:256) in
+      checkb "page zeroed" true (String.for_all (fun c -> c = '\000') data))
+    (Slaunch_session.secb s).Secb.pages
+
+(* --- Scheduler --- *)
+
+let jobs n =
+  List.init n (fun i ->
+      Scheduler.job
+        ~label:(Printf.sprintf "j%d" i)
+        ~arrival:(Time.ms (10. *. float_of_int i))
+        ~chunks:4 ~chunk_work:(Time.ms 5.) ~code_size:8192 ())
+
+let test_scheduler_current_stalls_platform () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  let r = Scheduler.run m ~mode:Scheduler.Current ~jobs:(jobs 3) ~window:(Time.s 15.) in
+  checki "all jobs complete" 3 r.Scheduler.completed;
+  checki "none fail" 0 r.Scheduler.failed;
+  (* Every chunk pays a late launch + unseal/seal: ~1.1 s per chunk. *)
+  checkb "platform stalled for seconds" true (Time.to_s r.Scheduler.stalled > 5.);
+  checkb "legacy throughput crushed" true (r.Scheduler.legacy_utilization < 0.7)
+
+let test_scheduler_proposed_keeps_legacy_running () =
+  let m = proposed () in
+  let r = Scheduler.run m ~mode:Scheduler.Proposed ~jobs:(jobs 3) ~window:(Time.s 15.) in
+  checki "all jobs complete" 3 r.Scheduler.completed;
+  checkb "no whole-platform stall" true (r.Scheduler.stalled = Time.zero);
+  checkb "legacy keeps >99% of the platform" true (r.Scheduler.legacy_utilization > 0.99)
+
+let test_scheduler_latency_gap () =
+  (* The same batch finishes orders of magnitude sooner per job under the
+     proposed hardware. *)
+  let mc = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  let rc = Scheduler.run mc ~mode:Scheduler.Current ~jobs:(jobs 2) ~window:(Time.s 30.) in
+  let mp = proposed () in
+  let rp = Scheduler.run mp ~mode:Scheduler.Proposed ~jobs:(jobs 2) ~window:(Time.s 30.) in
+  let mean_c = Stats.mean rc.Scheduler.pal_latency_ms in
+  let mean_p = Stats.mean rp.Scheduler.pal_latency_ms in
+  checkb
+    (Printf.sprintf "latency gap >10x (current %.0f ms, proposed %.0f ms)" mean_c mean_p)
+    true
+    (mean_c > 10. *. mean_p)
+
+let test_scheduler_mode_mismatch () =
+  let tyan = Machine.create Machine.tyan_n3600r in
+  (try
+     ignore (Scheduler.run tyan ~mode:Scheduler.Current ~jobs:[] ~window:Time.zero);
+     Alcotest.fail "expected failure"
+   with Failure _ -> ());
+  let plain = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  (try
+     ignore (Scheduler.run plain ~mode:Scheduler.Proposed ~jobs:[] ~window:Time.zero);
+     Alcotest.fail "expected failure"
+   with Failure _ -> ())
+
+let test_scheduler_job_validation () =
+  (try
+     ignore (Scheduler.job ~chunks:0 ());
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ())
+
+
+(* --- Netload: packet loss during platform stalls --- *)
+
+let test_netload_no_stall_no_loss () =
+  let r =
+    Netload.simulate ~rate_pps:1000 ~duration:(Time.s 1.) ~ring_slots:64
+      ~stall_windows:[]
+  in
+  checki "offered" 1000 r.Netload.offered;
+  checki "no drops" 0 r.Netload.dropped;
+  checki "ring never fills" 0 r.Netload.peak_occupancy
+
+let test_netload_stall_overflows_ring () =
+  (* One 500 ms stall at 1000 pps with a 100-slot ring: 500 arrivals in
+     the window, 100 absorbed, 400 dropped. *)
+  let r =
+    Netload.simulate ~rate_pps:1000 ~duration:(Time.s 1.) ~ring_slots:100
+      ~stall_windows:[ (Time.ms 100., Time.ms 600.) ]
+  in
+  checki "drops" 400 r.Netload.dropped;
+  checki "peak = ring size" 100 r.Netload.peak_occupancy;
+  checki "delivered" 600 r.Netload.delivered
+
+let test_netload_short_stall_absorbed () =
+  (* A 50 ms stall fits in the ring: zero loss, visible occupancy. *)
+  let r =
+    Netload.simulate ~rate_pps:1000 ~duration:(Time.s 1.) ~ring_slots:100
+      ~stall_windows:[ (Time.ms 100., Time.ms 150.) ]
+  in
+  checki "no drops" 0 r.Netload.dropped;
+  checkb "ring absorbed the burst" true (r.Netload.peak_occupancy = 50)
+
+let test_netload_validation () =
+  (try
+     ignore (Netload.simulate ~rate_pps:0 ~duration:(Time.s 1.) ~ring_slots:1
+               ~stall_windows:[]);
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Netload.simulate ~rate_pps:1 ~duration:(Time.s 1.) ~ring_slots:0
+               ~stall_windows:[]);
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ())
+
+let test_netload_collect_windows () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  let windows =
+    ok
+      (Netload.collect_stall_windows m ~sessions:3 ~period:(Time.s 2.)
+         (Generic.pal_use ()))
+  in
+  checki "three windows" 3 (List.length windows);
+  List.iter
+    (fun (s, e) -> checkb "window has positive width" true (e > s))
+    windows;
+  (* The Use sessions stall for over a second (Figure 2). *)
+  let _, last = List.nth windows 2 in
+  let s2, e2 = List.nth windows 2 in
+  checkb "Use session stalls > 1 s" true (Time.to_ms (Time.sub e2 s2) > 1000.);
+  ignore last
+
+let () =
+  Alcotest.run "os"
+    [
+      ( "threat-model",
+        [
+          Alcotest.test_case "DMA blocked (DEV, current hw)" `Quick test_dma_read_blocked_current_hw;
+          Alcotest.test_case "DMA blocked (ACL, proposed hw)" `Quick test_dma_read_blocked_proposed_hw;
+          Alcotest.test_case "cross-CPU read blocked (executing)" `Quick
+            test_cpu_read_blocked_while_executing;
+          Alcotest.test_case "reads blocked (suspended)" `Quick
+            test_cpu_read_blocked_while_suspended;
+          Alcotest.test_case "forged Measured Flag" `Quick test_forge_measured_flag;
+          Alcotest.test_case "double resume" `Quick test_double_resume;
+          Alcotest.test_case "software PCR 17 reset" `Quick test_software_pcr17_reset;
+          Alcotest.test_case "unseal after PAL exit" `Quick test_unseal_after_exit;
+          Alcotest.test_case "tampered quote" `Quick test_tamper_quote;
+          Alcotest.test_case "foreign sePCR extend" `Quick test_extend_foreign_sepcr;
+          Alcotest.test_case "SFREE from outside" `Quick test_sfree_from_outside;
+          Alcotest.test_case "SKILL leaves no secrets" `Quick test_skill_left_no_secrets;
+        ] );
+      ( "netload",
+        [
+          Alcotest.test_case "no stall, no loss" `Quick test_netload_no_stall_no_loss;
+          Alcotest.test_case "stall overflows the ring" `Quick test_netload_stall_overflows_ring;
+          Alcotest.test_case "short stall absorbed" `Quick test_netload_short_stall_absorbed;
+          Alcotest.test_case "validation" `Quick test_netload_validation;
+          Alcotest.test_case "window collection" `Quick test_netload_collect_windows;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "current hw stalls the platform" `Slow
+            test_scheduler_current_stalls_platform;
+          Alcotest.test_case "proposed hw keeps legacy running" `Quick
+            test_scheduler_proposed_keeps_legacy_running;
+          Alcotest.test_case "latency gap" `Slow test_scheduler_latency_gap;
+          Alcotest.test_case "mode/machine mismatch" `Quick test_scheduler_mode_mismatch;
+          Alcotest.test_case "job validation" `Quick test_scheduler_job_validation;
+        ] );
+    ]

@@ -1,0 +1,365 @@
+(* PALVM tests: ISA encode/decode, the assembler, the interpreter (and
+   its service bridge through real SEA sessions), and the footnote-3
+   TOCTOU demonstration — including the property that makes it dangerous:
+   the attestation of the vulnerable gate is IDENTICAL for the benign and
+   the exploited run. *)
+
+open Sea_hw
+open Sea_core
+open Sea_palvm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let ok = function Ok x -> x | Error e -> Alcotest.fail e
+let expect_error = function Error _ -> () | Ok _ -> Alcotest.fail "expected error"
+
+(* Null services for pure-VM tests. *)
+let null_services =
+  {
+    Pal.seal = (fun s -> Ok ("SEALED:" ^ s));
+    unseal =
+      (fun s ->
+        if String.length s > 7 && String.sub s 0 7 = "SEALED:" then
+          Ok (String.sub s 7 (String.length s - 7))
+        else Error "bad blob");
+    get_random = (fun n -> String.make n 'r');
+    extend_measurement = (fun _ -> ());
+    machine_name = "null";
+  }
+
+let run_ops ?(input = "") ops =
+  Vm.run ~code:(Isa.encode_program ops) ~services:null_services ~input ()
+
+(* --- ISA --- *)
+
+let all_ops =
+  Isa.
+    [
+      Halt; Loadi (3, 0xDEAD); Mov (1, 2); Add (0, 1, 2); Sub (3, 4, 5);
+      Mul (6, 7, 0); Xor (1, 1, 1); And (2, 3, 4); Or (5, 6, 7); Shl (0, 1, 2);
+      Shr (3, 4, 5); Ldb (0, 1, 100); Stb (2, 3, 200); Ldw (4, 5, 300);
+      Stw (6, 7, 400); Jmp 48; Jz (0, 8); Jnz (7, 16); Svc 3; Lt (0, 1, 2);
+      Eq (3, 4, 5);
+    ]
+
+let test_isa_roundtrip () =
+  List.iter
+    (fun op ->
+      let enc = Isa.encode op in
+      checki "8 bytes" Isa.insn_size (String.length enc);
+      match Isa.decode enc ~pos:0 with
+      | Ok op' -> checkb (Format.asprintf "%a" Isa.pp op) true (op = op')
+      | Error e -> Alcotest.fail e)
+    all_ops
+
+let test_isa_decode_errors () =
+  expect_error (Isa.decode "\xff\x00\x00\x00\x00\x00\x00\x00" ~pos:0);
+  expect_error (Isa.decode "\x03\x09\x00\x00\x00\x00\x00\x00" ~pos:0);
+  expect_error (Isa.decode "short" ~pos:0);
+  expect_error (Isa.decode (Isa.encode Isa.Halt) ~pos:4);
+  Alcotest.check_raises "bad register" (Invalid_argument "Isa: register out of range")
+    (fun () -> ignore (Isa.encode (Isa.Mov (8, 0))))
+
+(* --- VM basics --- *)
+
+let test_vm_arith () =
+  let o =
+    ok
+      (run_ops
+         Isa.[ Loadi (0, 6); Loadi (1, 7); Mul (2, 0, 1); Add (2, 2, 2); Halt ])
+  in
+  checki "6*7*2" 84 o.Vm.registers.(2);
+  checki "steps" 5 o.Vm.steps
+
+let test_vm_wraparound () =
+  let o =
+    ok
+      (run_ops
+         Isa.[ Loadi (0, 0xFFFFFFFF); Loadi (1, 1); Add (2, 0, 1); Sub (3, 1, 0); Halt ])
+  in
+  checki "add wraps to 0" 0 o.Vm.registers.(2);
+  checki "sub wraps" 2 o.Vm.registers.(3)
+
+let test_vm_loop () =
+  (* Sum 1..10 with a jnz loop. *)
+  let src = {|
+  loadi r0, 0        ; acc
+  loadi r1, 10       ; i
+  loadi r2, 1
+loop:
+  add r0, r0, r1
+  sub r1, r1, r2
+  jnz r1, loop
+  halt
+|} in
+  let code = ok (Asm.assemble src) in
+  let o = ok (Vm.run ~code ~services:null_services ~input:"" ()) in
+  checki "sum 1..10" 55 o.Vm.registers.(0)
+
+let test_vm_memory_ops () =
+  let o =
+    ok
+      (run_ops
+         Isa.
+           [
+             Loadi (0, 0xAB); Loadi (1, 2000); Stb (0, 1, 0); Ldb (2, 1, 0);
+             Loadi (3, 0x01020304); Stw (3, 1, 8); Ldw (4, 1, 8); Halt;
+           ])
+  in
+  checki "byte roundtrip" 0xAB o.Vm.registers.(2);
+  checki "word roundtrip" 0x01020304 o.Vm.registers.(4)
+
+let test_vm_faults () =
+  expect_error (run_ops Isa.[ Loadi (1, 1 lsl 20); Ldb (0, 1, 0); Halt ]);
+  expect_error (run_ops Isa.[ Jmp 999999 ]);
+  expect_error (Vm.run ~fuel:10 ~code:(Isa.encode_program Isa.[ Jmp 0 ])
+                  ~services:null_services ~input:"" ());
+  (* Running off the end of the program = fetch of zeroed memory; opcode 0
+     is Halt, so falling through halts — document that deliberately. *)
+  let o = ok (run_ops Isa.[ Loadi (0, 1) ]) in
+  checkb "fallthrough halts" true (o.Vm.steps >= 1)
+
+let test_vm_services_io () =
+  let src = {|
+  loadi r0, 512
+  loadi r1, 64
+  svc 2              ; input_read -> r0 = bytes copied
+  mov r1, r0
+  loadi r0, 512
+  svc 3              ; output the same bytes
+  halt
+|} in
+  let code = ok (Asm.assemble src) in
+  let o = ok (Vm.run ~code ~services:null_services ~input:"echo me" ()) in
+  checks "echo" "echo me" o.Vm.output
+
+let test_vm_self_modification () =
+  (* The program overwrites its own third instruction (a jump target of
+     sorts): store a HALT over the instruction at offset 16, which would
+     otherwise set r0 := 7. Self-modification is observable. *)
+  let patched =
+    Isa.
+      [
+        Loadi (1, 0) (* r1 := 0, encodes opcode byte 1 at mem[16] below *);
+        Stb (1, 1, 16) (* overwrite opcode of next insn with 0 = HALT *);
+        Loadi (0, 7);
+        Halt;
+      ]
+  in
+  let o = ok (run_ops patched) in
+  checki "patched instruction never ran" 0 o.Vm.registers.(0);
+  checki "halted early" 3 o.Vm.steps
+
+(* --- assembler --- *)
+
+let test_asm_directives_and_labels () =
+  let src = {|
+  loadi r0, msg
+  loadi r1, 5
+  svc 3
+  halt
+msg:
+  .bytes "hello"
+|} in
+  let code = ok (Asm.assemble src) in
+  let o = ok (Vm.run ~code ~services:null_services ~input:"" ()) in
+  checks "data labels" "hello" o.Vm.output
+
+let test_asm_align_after_data () =
+  let src = {|
+  jmp entry
+data:
+  .bytes "xyz"
+entry:
+  loadi r0, data
+  loadi r1, 3
+  svc 3
+  halt
+|} in
+  let code = ok (Asm.assemble src) in
+  let o = ok (Vm.run ~code ~services:null_services ~input:"" ()) in
+  checks "code after unaligned data" "xyz" o.Vm.output
+
+let test_asm_errors () =
+  expect_error (Asm.assemble "loadi r9, 1");
+  expect_error (Asm.assemble "jmp nowhere");
+  expect_error (Asm.assemble "frobnicate r0");
+  expect_error (Asm.assemble "dup:\n dup:\n halt");
+  expect_error (Asm.assemble ".zero banana");
+  expect_error (Asm.assemble ".bytes unquoted")
+
+let test_disassemble () =
+  let code = Isa.encode_program Isa.[ Loadi (0, 42); Halt ] in
+  let listing = Asm.disassemble code in
+  checkb "mentions loadi" true
+    (String.length listing > 0
+    && (let re = "loadi r0, 42" in
+        let n = String.length re and h = String.length listing in
+        let rec go i = i + n <= h && (String.sub listing i n = re || go (i + 1)) in
+        go 0))
+
+(* --- integration with real sessions --- *)
+
+let machine () = Machine.create (Machine.low_fidelity Machine.hp_dc5750)
+
+let test_palvm_pal_in_session () =
+  (* A PALVM program that seals its input and outputs the blob — the
+     PAL Gen pattern, in actual measured bytecode. *)
+  let src = {|
+  loadi r0, 1024
+  loadi r1, 256
+  svc 2               ; read input -> r0 = len
+  mov r1, r0
+  loadi r0, 1024
+  loadi r2, 8192
+  svc 4               ; seal -> r0 = blob len at 8192
+  mov r1, r0
+  loadi r0, 8192
+  svc 3               ; output the blob
+  halt
+|} in
+  let code = ok (Asm.assemble src) in
+  let pal = Vm.to_pal ~name:"bytecode-gen" ~code () in
+  let m = machine () in
+  let outcome = ok (Session.execute m ~cpu:0 pal ~input:"bytecode secret") in
+  checkb "output is a blob" true (String.length outcome.Session.output > 32);
+  (* The measured bytes are exactly the program image. *)
+  checks "measurement = H(image)" (Sea_crypto.Sha1.digest code)
+    outcome.Session.measurement;
+  (* And the blob unseals only for the same bytecode identity. *)
+  let unsealer_src = {|
+  loadi r0, 1024
+  loadi r1, 4096
+  svc 2
+  mov r1, r0
+  loadi r0, 1024
+  loadi r2, 16384
+  svc 5               ; unseal
+  mov r1, r0
+  loadi r0, 16384
+  svc 3
+  halt
+|} in
+  let unsealer_code = ok (Asm.assemble unsealer_src) in
+  let thief = Vm.to_pal ~name:"bytecode-thief" ~code:unsealer_code () in
+  match Session.execute m ~cpu:0 thief ~input:outcome.Session.output with
+  | Ok o ->
+      (* unseal refused -> r0 = -1 -> output attempt of length 2^32-1
+         faults, or the program outputs nothing; either way it must not
+         recover the secret. *)
+      checkb "secret not recovered" false (o.Session.output = "bytecode secret")
+  | Error _ -> ()
+
+(* --- TOCTOU --- *)
+
+let run_gate pal input =
+  let m = machine () in
+  let outcome = ok (Session.execute m ~cpu:0 pal ~input) in
+  (m, outcome)
+
+let test_toctou_benign () =
+  let _, o = run_gate (Toctou.vulnerable_gate ()) Toctou.benign_input in
+  checks "benign request denied" "denied" o.Session.output
+
+let test_toctou_exploit_flips_decision () =
+  let _, o = run_gate (Toctou.vulnerable_gate ()) Toctou.exploit_input in
+  checks "exploit granted itself access" "granted" o.Session.output
+
+let test_toctou_attestation_blind () =
+  (* The dangerous part: both runs attest identically — load-time
+     measurement cannot see the rewrite. *)
+  let m1, _ = run_gate (Toctou.vulnerable_gate ()) Toctou.benign_input in
+  let m2, _ = run_gate (Toctou.vulnerable_gate ()) Toctou.exploit_input in
+  let q1, _ = ok (Session.quote m1 ~nonce:"n") in
+  let q2, _ = ok (Session.quote m2 ~nonce:"n") in
+  checkb "identical attestations for benign and exploited runs" true
+    (q1.Sea_tpm.Tpm.selection = q2.Sea_tpm.Tpm.selection)
+
+let test_toctou_hardened () =
+  let _, o = run_gate (Toctou.hardened_gate ()) Toctou.exploit_input in
+  checks "bounded copy: exploit truncated, denied" "denied" o.Session.output
+
+let test_toctou_measured_gate_detected () =
+  (* The measured gate is still exploitable at runtime... *)
+  let exploit = Toctou.exploit_for ~prologue_insns:6 in
+  let m_bad, o = run_gate (Toctou.measured_gate ()) exploit in
+  checks "still granted (mitigation is detection, not prevention)" "granted"
+    o.Session.output;
+  (* ...but the attestation now covers the input: a verifier expecting
+     the benign-input chain rejects the exploited run. *)
+  let m_good, _ = run_gate (Toctou.measured_gate ()) Toctou.benign_input in
+  let q_bad, _ = ok (Session.quote m_bad ~nonce:"n") in
+  let q_good, _ = ok (Session.quote m_good ~nonce:"n") in
+  checkb "attestations now differ" true
+    (q_bad.Sea_tpm.Tpm.selection <> q_good.Sea_tpm.Tpm.selection)
+
+let test_toctou_distinct_gates () =
+  checkb "three distinct identities" true (Toctou.gates_share_nothing ())
+
+
+(* --- fuzzing: arbitrary bytes are a safe program --- *)
+
+let prop_vm_total_on_garbage =
+  QCheck.Test.make ~name:"random images never escape the interpreter" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_bound 256))
+    (fun image ->
+      QCheck.assume (String.length image > 0);
+      match
+        Vm.run ~fuel:2000 ~code:image ~services:null_services ~input:"fuzz" ()
+      with
+      | Ok _ | Error _ -> true)
+
+let prop_asm_roundtrip_through_disasm =
+  QCheck.Test.make ~name:"encode_program length is 8 bytes per instruction" ~count:100
+    QCheck.(int_bound 20)
+    (fun n ->
+      let ops = List.init n (fun _ -> Isa.Halt) in
+      String.length (Isa.encode_program ops) = 8 * List.length ops)
+
+let () =
+  Alcotest.run "palvm"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_isa_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_isa_decode_errors;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_vm_arith;
+          Alcotest.test_case "32-bit wraparound" `Quick test_vm_wraparound;
+          Alcotest.test_case "loop" `Quick test_vm_loop;
+          Alcotest.test_case "memory ops" `Quick test_vm_memory_ops;
+          Alcotest.test_case "faults" `Quick test_vm_faults;
+          Alcotest.test_case "service I/O" `Quick test_vm_services_io;
+          Alcotest.test_case "self-modification" `Quick test_vm_self_modification;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "directives and labels" `Quick test_asm_directives_and_labels;
+          Alcotest.test_case "align after data" `Quick test_asm_align_after_data;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "disassemble" `Quick test_disassemble;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_vm_total_on_garbage;
+          QCheck_alcotest.to_alcotest prop_asm_roundtrip_through_disasm;
+        ] );
+      ( "sessions",
+        [ Alcotest.test_case "bytecode PAL end-to-end" `Quick test_palvm_pal_in_session ]
+      );
+      ( "toctou",
+        [
+          Alcotest.test_case "benign input denied" `Quick test_toctou_benign;
+          Alcotest.test_case "exploit flips the decision" `Quick
+            test_toctou_exploit_flips_decision;
+          Alcotest.test_case "attestation is blind to it" `Quick test_toctou_attestation_blind;
+          Alcotest.test_case "hardened gate immune" `Quick test_toctou_hardened;
+          Alcotest.test_case "measured gate: detected" `Quick
+            test_toctou_measured_gate_detected;
+          Alcotest.test_case "distinct gate identities" `Quick test_toctou_distinct_gates;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Unit and property tests for the simulation substrate: time arithmetic,
+   the deterministic RNG, statistics accumulators, the event queue's
+   ordering guarantees, and the engine's two usage styles. *)
+
+open Sea_sim
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Time --- *)
+
+let test_time_units () =
+  checki "1 us = 1000 ns" 1000 (Time.to_ns (Time.us 1.));
+  checki "1 ms = 1e6 ns" 1_000_000 (Time.to_ns (Time.ms 1.));
+  checki "1 s = 1e9 ns" 1_000_000_000 (Time.to_ns (Time.s 1.));
+  check (Alcotest.float 1e-9) "roundtrip ms" 177.52 (Time.to_ms (Time.ms 177.52));
+  checki "rounding" 1 (Time.to_ns (Time.us 0.0006))
+
+let test_time_arith () =
+  let a = Time.ms 2. and b = Time.us 500. in
+  checki "add" 2_500_000 (Time.to_ns (Time.add a b));
+  checki "sub" 1_500_000 (Time.to_ns (Time.sub a b));
+  checki "scale" 10_000_000 (Time.to_ns (Time.scale a 5));
+  checki "scale_f" 3_000_000 (Time.to_ns (Time.scale_f a 1.5));
+  checkb "compare" true (Time.compare a b > 0);
+  checki "min" (Time.to_ns b) (Time.to_ns (Time.min a b));
+  checki "max" (Time.to_ns a) (Time.to_ns (Time.max a b))
+
+let test_time_pp () =
+  check Alcotest.string "ms rendering" "177.52 ms" (Time.to_string (Time.ms 177.52));
+  check Alcotest.string "us rendering" "1.500 us" (Time.to_string (Time.us 1.5));
+  check Alcotest.string "ns rendering" "42 ns" (Time.to_string (Time.ns 42));
+  check Alcotest.string "s rendering" "1.500 s" (Time.to_string (Time.s 1.5))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L () and b = Rng.create ~seed:42L () in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  checkb "different seeds diverge" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7L () in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.int64 b) in
+  checkb "split streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create () in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    checkb "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float rng 3.5 in
+    checkb "float in range" true (f >= 0. && f < 3.5)
+  done;
+  Alcotest.check_raises "nonpositive bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:99L () in
+  let n = 20_000 in
+  let acc = Stats.create () in
+  for _ = 1 to n do
+    Stats.add acc (Rng.gaussian rng ~mean:10. ~stdev:2.)
+  done;
+  checkb "mean near 10" true (abs_float (Stats.mean acc -. 10.) < 0.1);
+  checkb "stdev near 2" true (abs_float (Stats.stdev acc -. 2.) < 0.1)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:5L () in
+  let acc = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add acc (Rng.exponential rng ~mean:4.)
+  done;
+  checkb "mean near 4" true (abs_float (Stats.mean acc -. 4.) < 0.15)
+
+let test_rng_bytes () =
+  let rng = Rng.create () in
+  let b = Rng.bytes rng 64 in
+  checki "length" 64 (Bytes.length b);
+  checkb "not all equal" true
+    (Bytes.exists (fun c -> c <> Bytes.get b 0) b)
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  checki "count" 5 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 3. (Stats.mean s);
+  check (Alcotest.float 1e-9) "stdev" (sqrt 2.5) (Stats.stdev s);
+  check (Alcotest.float 1e-9) "min" 1. (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 5. (Stats.max s);
+  check (Alcotest.float 1e-9) "median" 3. (Stats.percentile s 50.);
+  check (Alcotest.float 1e-9) "p100" 5. (Stats.percentile s 100.)
+
+let test_stats_empty_and_single () =
+  let s = Stats.create () in
+  check (Alcotest.float 0.) "empty mean" 0. (Stats.mean s);
+  check (Alcotest.float 0.) "empty stdev" 0. (Stats.stdev s);
+  Stats.add s 7.;
+  check (Alcotest.float 0.) "single stdev" 0. (Stats.stdev s);
+  check (Alcotest.float 0.) "single mean" 7. (Stats.mean s)
+
+let test_stats_add_time () =
+  let s = Stats.create () in
+  Stats.add_time s (Time.ms 12.5);
+  check (Alcotest.float 1e-9) "stored in ms" 12.5 (Stats.mean s)
+
+let test_stats_samples_order () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 3.; 1.; 2. ];
+  check Alcotest.(list (float 0.)) "insertion order" [ 3.; 1.; 2. ] (Stats.samples s)
+
+(* --- Event queue --- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:(Time.ms 3.) "c";
+  Event_queue.push q ~time:(Time.ms 1.) "a";
+  Event_queue.push q ~time:(Time.ms 2.) "b";
+  let pop () = match Event_queue.pop q with Some (_, x) -> x | None -> "?" in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  checkb "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_at_same_time () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:(Time.ms 1.) i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  check Alcotest.(list int) "FIFO among equal timestamps" (List.init 10 Fun.id) order
+
+let test_queue_peek_clear () =
+  let q = Event_queue.create () in
+  checkb "peek empty" true (Event_queue.peek_time q = None);
+  Event_queue.push q ~time:(Time.ms 5.) ();
+  checkb "peek" true (Event_queue.peek_time q = Some (Time.ms 5.));
+  checki "length" 1 (Event_queue.length q);
+  Event_queue.clear q;
+  checkb "cleared" true (Event_queue.is_empty q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 1_000_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain min_int)
+
+(* --- Engine --- *)
+
+let test_engine_advance () =
+  let e = Engine.create () in
+  checki "starts at zero" 0 (Time.to_ns (Engine.now e));
+  Engine.advance e (Time.ms 2.);
+  checki "advanced" 2_000_000 (Time.to_ns (Engine.now e));
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Engine.advance: negative duration") (fun () ->
+      Engine.advance e (Time.ns (-1)))
+
+let test_engine_elapse_to () =
+  let e = Engine.create () in
+  Engine.elapse_to e (Time.ms 5.);
+  checki "moved forward" 5_000_000 (Time.to_ns (Engine.now e));
+  Engine.elapse_to e (Time.ms 1.);
+  checki "never moves back" 5_000_000 (Time.to_ns (Engine.now e))
+
+let test_engine_events_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~after:(Time.ms 2.) (fun _ -> log := "b" :: !log);
+  Engine.schedule e ~after:(Time.ms 1.) (fun _ -> log := "a" :: !log);
+  Engine.schedule e ~after:(Time.ms 3.) (fun _ -> log := "c" :: !log);
+  Engine.run e;
+  check Alcotest.(list string) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  checki "clock at last event" 3_000_000 (Time.to_ns (Engine.now e))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~after:(Time.ms 1.) (fun _ -> incr fired);
+  Engine.schedule e ~after:(Time.ms 10.) (fun _ -> incr fired);
+  Engine.run ~until:(Time.ms 5.) e;
+  checki "only first fired" 1 !fired;
+  checki "one pending" 1 (Engine.pending e);
+  checki "clock at limit" 5_000_000 (Time.to_ns (Engine.now e));
+  Engine.run e;
+  checki "second fired" 2 !fired
+
+let test_engine_cascading_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    if !count < 5 then Engine.schedule engine ~after:(Time.ms 1.) tick
+  in
+  Engine.schedule e ~after:(Time.ms 1.) tick;
+  Engine.run e;
+  checki "chain of 5" 5 !count;
+  checki "clock after chain" 5_000_000 (Time.to_ns (Engine.now e))
+
+let test_engine_step () =
+  let e = Engine.create () in
+  checkb "step on empty" false (Engine.step e);
+  Engine.schedule e ~after:(Time.ms 1.) (fun _ -> ());
+  checkb "step fires" true (Engine.step e)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "bytes" `Quick test_rng_bytes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary statistics" `Quick test_stats_basic;
+          Alcotest.test_case "empty and single" `Quick test_stats_empty_and_single;
+          Alcotest.test_case "add_time unit" `Quick test_stats_add_time;
+          Alcotest.test_case "samples order" `Quick test_stats_samples_order;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "FIFO at equal times" `Quick test_queue_fifo_at_same_time;
+          Alcotest.test_case "peek and clear" `Quick test_queue_peek_clear;
+          QCheck_alcotest.to_alcotest prop_queue_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "advance" `Quick test_engine_advance;
+          Alcotest.test_case "elapse_to" `Quick test_engine_elapse_to;
+          Alcotest.test_case "events in order" `Quick test_engine_events_in_order;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "cascading events" `Quick test_engine_cascading_events;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the TIS locality model (the hardware basis of §2.1.3's
+   "only a hardware command from the CPU can reset PCR 17") and for
+   OIAP-style authorization sessions with auth-protected NVRAM. *)
+
+open Sea_sim
+open Sea_tpm
+
+let checkb = Alcotest.(check bool)
+
+let ok = function Ok x -> x | Error e -> Alcotest.fail e
+let expect_error = function Error _ -> () | Ok _ -> Alcotest.fail "expected error"
+
+let fresh () =
+  let e = Engine.create () in
+  Tpm.create ~key_bits:512 e
+
+(* --- TIS localities --- *)
+
+let test_locality_software_range () =
+  let tis = Tis.create (fresh ()) in
+  ok (Tis.request tis ~locality:0 ~hardware:false);
+  checkb "active 0" true (Tis.active tis = Some 0);
+  ok (Tis.relinquish tis ~locality:0);
+  ok (Tis.request tis ~locality:2 ~hardware:false);
+  ok (Tis.relinquish tis ~locality:2);
+  expect_error (Tis.request tis ~locality:5 ~hardware:false);
+  expect_error (Tis.request tis ~locality:(-1) ~hardware:true)
+
+let test_locality_hardware_reserved () =
+  let tis = Tis.create (fresh ()) in
+  expect_error (Tis.request tis ~locality:4 ~hardware:false);
+  expect_error (Tis.request tis ~locality:3 ~hardware:false);
+  ok (Tis.request tis ~locality:4 ~hardware:true);
+  checkb "hardware holds 4" true (Tis.active tis = Some 4)
+
+let test_locality_exclusion_and_preemption () =
+  let tis = Tis.create (fresh ()) in
+  ok (Tis.request tis ~locality:1 ~hardware:false);
+  expect_error (Tis.request tis ~locality:0 ~hardware:false);
+  (* The late-launch path seizes the interface. *)
+  ok (Tis.request tis ~locality:4 ~hardware:true);
+  checkb "hardware preempted software" true (Tis.active tis = Some 4);
+  expect_error (Tis.relinquish tis ~locality:1);
+  ok (Tis.relinquish tis ~locality:4)
+
+let test_locality_hash_start_gate () =
+  let tpm = fresh () in
+  let tis = Tis.create tpm in
+  expect_error (Tis.hash_start tis ~cpu:0);
+  ok (Tis.request tis ~locality:2 ~hardware:false);
+  expect_error (Tis.hash_start tis ~cpu:0);
+  ok (Tis.request tis ~locality:4 ~hardware:true);
+  ok (Tis.hash_start tis ~cpu:0);
+  checkb "dynamic PCRs reset" true
+    (Tpm.pcr_read tpm 17 = String.make 20 '\000')
+
+let test_locality_as_caller () =
+  let tis = Tis.create (fresh ()) in
+  expect_error (Tis.as_caller tis ~cpu:0);
+  ok (Tis.request tis ~locality:1 ~hardware:false);
+  checkb "software locality = Software" true
+    (Tis.as_caller tis ~cpu:0 = Ok Tpm.Software);
+  ok (Tis.request tis ~locality:4 ~hardware:true);
+  checkb "hardware locality = Cpu" true (Tis.as_caller tis ~cpu:3 = Ok (Tpm.Cpu 3))
+
+(* --- OIAP / NVRAM --- *)
+
+let test_auth_roundtrip () =
+  let tpm = fresh () in
+  let session = Tpm.oiap_open tpm in
+  ok (Tpm.nv_define tpm ~index:1 ~size:64 ~auth_secret:"s3cret");
+  let data = "important persistent state" in
+  let command = Tpm.nv_write_command ~index:1 ~data in
+  let auth =
+    Auth.client_authorize session ~secret:"s3cret" ~command ~nonce_odd:"odd1"
+  in
+  ok (Tpm.nv_write tpm ~session ~index:1 ~data ~nonce_odd:"odd1" ~auth);
+  let stored = ok (Tpm.nv_read tpm ~index:1) in
+  checkb "data stored (zero-padded)" true
+    (String.sub stored 0 (String.length data) = data
+    && String.length stored = 64)
+
+let test_auth_wrong_secret_rejected () =
+  let tpm = fresh () in
+  let session = Tpm.oiap_open tpm in
+  ok (Tpm.nv_define tpm ~index:1 ~size:16 ~auth_secret:"right");
+  let data = "x" in
+  let command = Tpm.nv_write_command ~index:1 ~data in
+  let auth = Auth.client_authorize session ~secret:"wrong" ~command ~nonce_odd:"o" in
+  expect_error (Tpm.nv_write tpm ~session ~index:1 ~data ~nonce_odd:"o" ~auth)
+
+let test_auth_replay_rejected () =
+  (* The rolling nonce makes each auth value single-use: a bus observer
+     replaying a captured write fails. *)
+  let tpm = fresh () in
+  let session = Tpm.oiap_open tpm in
+  ok (Tpm.nv_define tpm ~index:1 ~size:16 ~auth_secret:"s");
+  let data = "v1" in
+  let command = Tpm.nv_write_command ~index:1 ~data in
+  let auth = Auth.client_authorize session ~secret:"s" ~command ~nonce_odd:"o" in
+  ok (Tpm.nv_write tpm ~session ~index:1 ~data ~nonce_odd:"o" ~auth);
+  expect_error (Tpm.nv_write tpm ~session ~index:1 ~data ~nonce_odd:"o" ~auth)
+
+let test_auth_binds_command () =
+  (* An auth value computed for one write cannot authorize a different
+     one (e.g. the bridge swapping the data). *)
+  let tpm = fresh () in
+  let session = Tpm.oiap_open tpm in
+  ok (Tpm.nv_define tpm ~index:1 ~size:16 ~auth_secret:"s");
+  let auth =
+    Auth.client_authorize session ~secret:"s"
+      ~command:(Tpm.nv_write_command ~index:1 ~data:"good")
+      ~nonce_odd:"o"
+  in
+  expect_error (Tpm.nv_write tpm ~session ~index:1 ~data:"evil" ~nonce_odd:"o" ~auth)
+
+let test_nv_definition_rules () =
+  let tpm = fresh () in
+  ok (Tpm.nv_define tpm ~index:1 ~size:16 ~auth_secret:"s");
+  expect_error (Tpm.nv_define tpm ~index:1 ~size:16 ~auth_secret:"s");
+  expect_error (Tpm.nv_define tpm ~index:2 ~size:0 ~auth_secret:"s");
+  expect_error (Tpm.nv_define tpm ~index:3 ~size:(Tpm.nv_max_size + 1) ~auth_secret:"s");
+  expect_error (Tpm.nv_read tpm ~index:99);
+  (* Oversized write. *)
+  let session = Tpm.oiap_open tpm in
+  let data = String.make 17 'x' in
+  let auth =
+    Auth.client_authorize session ~secret:"s"
+      ~command:(Tpm.nv_write_command ~index:1 ~data)
+      ~nonce_odd:"o"
+  in
+  expect_error (Tpm.nv_write tpm ~session ~index:1 ~data ~nonce_odd:"o" ~auth)
+
+let test_nv_survives_reboot () =
+  let tpm = fresh () in
+  let session = Tpm.oiap_open tpm in
+  ok (Tpm.nv_define tpm ~index:1 ~size:8 ~auth_secret:"s");
+  let data = "persist" in
+  let auth =
+    Auth.client_authorize session ~secret:"s"
+      ~command:(Tpm.nv_write_command ~index:1 ~data)
+      ~nonce_odd:"o"
+  in
+  ok (Tpm.nv_write tpm ~session ~index:1 ~data ~nonce_odd:"o" ~auth);
+  Tpm.reboot tpm;
+  checkb "NV survives power cycle" true
+    (match Tpm.nv_read tpm ~index:1 with
+    | Ok s -> String.sub s 0 7 = "persist"
+    | Error _ -> false)
+
+let prop_auth_requires_secret =
+  QCheck.Test.make ~name:"auth forged without the secret never verifies" ~count:100
+    QCheck.(pair small_string small_string)
+    (fun (guess, nonce_odd) ->
+      QCheck.assume (guess <> "the-real-secret");
+      let session = Auth.create ~nonce_even:"even" in
+      let command = "cmd" in
+      let forged = Auth.client_authorize session ~secret:guess ~command ~nonce_odd in
+      not
+        (Auth.tpm_verify session ~secret:"the-real-secret" ~command ~nonce_odd
+           ~auth:forged))
+
+let () =
+  Alcotest.run "tis-auth"
+    [
+      ( "locality",
+        [
+          Alcotest.test_case "software range" `Quick test_locality_software_range;
+          Alcotest.test_case "hardware reserved" `Quick test_locality_hardware_reserved;
+          Alcotest.test_case "exclusion and preemption" `Quick
+            test_locality_exclusion_and_preemption;
+          Alcotest.test_case "HASH_START gate" `Quick test_locality_hash_start_gate;
+          Alcotest.test_case "as_caller" `Quick test_locality_as_caller;
+        ] );
+      ( "oiap-nvram",
+        [
+          Alcotest.test_case "authorized write roundtrip" `Quick test_auth_roundtrip;
+          Alcotest.test_case "wrong secret rejected" `Quick test_auth_wrong_secret_rejected;
+          Alcotest.test_case "replay rejected" `Quick test_auth_replay_rejected;
+          Alcotest.test_case "auth binds the command" `Quick test_auth_binds_command;
+          Alcotest.test_case "definition rules" `Quick test_nv_definition_rules;
+          Alcotest.test_case "NV survives reboot" `Quick test_nv_survives_reboot;
+          QCheck_alcotest.to_alcotest prop_auth_requires_secret;
+        ] );
+    ]
