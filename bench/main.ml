@@ -625,6 +625,74 @@ module Micro = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Static-analyzer throughput: images/sec vs image size                *)
+(* ------------------------------------------------------------------ *)
+
+module Analyzer_throughput = struct
+  (* Synthetic but fully decodable images: blocks of register shuffling
+     with a forward branch each, so the CFG and the interval dataflow do
+     real work. [loopy] adds one back-edge per block. *)
+  let make_image ~insns ~loopy =
+    let ops = ref [] in
+    let block = 16 in
+    for i = insns - 2 downto 0 do
+      let pc = i * Sea_isa.Isa.insn_size in
+      let op =
+        match i mod block with
+        | 0 -> Sea_isa.Isa.Loadi (i mod 8, (i * 37) land 0xFFFF)
+        | 1 -> Sea_isa.Isa.Add (1, 2, 3)
+        | 2 -> Sea_isa.Isa.Xor (4, 5, 6)
+        | 3 ->
+            (* Forward skip of one instruction. *)
+            Sea_isa.Isa.Jz (2, pc + (2 * Sea_isa.Isa.insn_size))
+        | 4 when loopy ->
+            (* Back-edge to the head of this block. *)
+            Sea_isa.Isa.Jnz (3, pc - (4 * Sea_isa.Isa.insn_size))
+        | 5 -> Sea_isa.Isa.Or (5, 6, 7)
+        | 6 -> Sea_isa.Isa.Mov (i mod 8, (i + 3) mod 8)
+        | _ -> Sea_isa.Isa.Sub (2, 3, 4)
+      in
+      ops := op :: !ops
+    done;
+    Sea_isa.Isa.encode_program (!ops @ [ Sea_isa.Isa.Halt ])
+
+  let time_analyses code =
+    (* Host CPU time; repeat until the clock has something to measure. *)
+    let reps = ref 0 in
+    let t0 = Sys.time () in
+    let elapsed () = Sys.time () -. t0 in
+    while elapsed () < 0.25 do
+      ignore (Sea_analysis.Analyzer.analyze code);
+      incr reps
+    done;
+    float_of_int !reps /. elapsed ()
+
+  let run () =
+    section "Analyzer throughput: images/sec vs image size (host time)";
+    Printf.printf "%-10s %-12s %12s %12s %14s\n" "size" "variant" "insns"
+      "images/s" "MB/s";
+    List.iter
+      (fun kb ->
+        List.iter
+          (fun loopy ->
+            let insns = kb * 1024 / Sea_isa.Isa.insn_size in
+            let code = make_image ~insns ~loopy in
+            let report = Sea_analysis.Analyzer.analyze code in
+            if not (Sea_analysis.Report.is_clean report) then
+              failwith
+                ("bench image unexpectedly dirty:\n"
+                ^ Sea_analysis.Report.render report);
+            let ips = time_analyses code in
+            Printf.printf "%-10s %-12s %12d %12.1f %14.2f\n"
+              (Printf.sprintf "%dKB" kb)
+              (if loopy then "loops" else "straight")
+              insns ips
+              (ips *. float_of_int (String.length code) /. 1e6))
+          [ false; true ])
+      [ 1; 4; 16; 64 ]
+end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -638,6 +706,7 @@ let all =
     ("io-loss", Io_loss.run);
     ("multicore", Multicore.run);
     ("micro", Micro.run);
+    ("analyzer", Analyzer_throughput.run);
   ]
 
 let () =

@@ -5,7 +5,8 @@
      session     run a PAL in a Flicker-style session and show the breakdown
      attest      run the full remote-attestation protocol
      lifecycle   walk the SLAUNCH lifecycle (Figure 6) with timings
-     attack      mount the §3.2 threat-model attacks and report verdicts *)
+     attack      mount the §3.2 threat-model attacks and report verdicts
+     analyze     run the PAL bytecode static analyzer over shipped images *)
 
 open Cmdliner
 open Sea_sim
@@ -356,6 +357,68 @@ let toctou_cmd =
        ~doc:"Footnote 3's load-time-attestation TOCTOU on real bytecode")
     Term.(const run_toctou $ const ())
 
+(* --- analyze --- *)
+
+let analyzable_images () =
+  let open Sea_palvm in
+  [
+    ("toctou-vulnerable", (Toctou.vulnerable_gate ()).Pal.code);
+    ("toctou-hardened", (Toctou.hardened_gate ()).Pal.code);
+    ("toctou-measured", (Toctou.measured_gate ()).Pal.code);
+  ]
+  @ Samples.all
+
+let run_analyze name =
+  let open Sea_analysis in
+  let analyze_one (name, code) =
+    let report = Analyzer.analyze code in
+    Printf.printf "%s\n%s\n" name (Report.render report);
+    Report.is_clean report
+  in
+  match name with
+  | "all" ->
+      (* The shipped corpus behind the @analyze build alias: everything
+         we ship except the deliberately vulnerable TOCTOU exemplar must
+         come back with no error findings. *)
+      let shipped =
+        List.filter (fun (n, _) -> n <> "toctou-vulnerable") (analyzable_images ())
+      in
+      let verdicts =
+        List.map
+          (fun img ->
+            let clean = analyze_one img in
+            print_newline ();
+            clean)
+          shipped
+      in
+      if List.for_all Fun.id verdicts then
+        Printf.printf "all %d shipped images are clean\n" (List.length verdicts)
+      else exit 1
+  | name -> (
+      match List.assoc_opt name (analyzable_images ()) with
+      | None ->
+          Printf.eprintf "unknown PAL image %S; known: all, %s\n" name
+            (String.concat ", " (List.map fst (analyzable_images ())));
+          exit 2
+      | Some code -> if not (analyze_one (name, code)) then exit 1)
+
+let analyze_cmd =
+  let name_arg =
+    let doc =
+      "Image to analyze: $(b,all) (every shipped image that must be clean) \
+       or one of the named PALVM images (toctou-vulnerable, toctou-hardened, \
+       toctou-measured, seal-echo, xor-checksum, random-nonce, hash-input)."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"PAL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis of PAL bytecode: CFG + TOCTOU/self-modification, \
+          secret-flow taint, bounds and service-policy rules. Exits non-zero \
+          on error findings.")
+    Term.(const run_analyze $ name_arg)
+
 (* --- main --- *)
 
 let () =
@@ -368,5 +431,5 @@ let () =
        (Cmd.group info
           [
             machines_cmd; session_cmd; attest_cmd; lifecycle_cmd; attack_cmd;
-            boot_cmd; toctou_cmd;
+            boot_cmd; toctou_cmd; analyze_cmd;
           ]))

@@ -1,0 +1,104 @@
+open Sea_isa
+
+type node = {
+  pc : int;
+  decoded : (Isa.op, string) result;
+  truncated : bool;
+  off_image : bool;
+  succs : int list;
+}
+
+type t = {
+  code : string;
+  image_size : int;
+  nodes : (int, node) Hashtbl.t;
+  order : int list;
+  back_edges : (int * int) list;
+  code_spans : (int * int) list;
+}
+
+let successors_of op ~pc =
+  let next = pc + Isa.insn_size in
+  match op with
+  | Isa.Halt -> []
+  | Isa.Jmp t -> [ t ]
+  | Isa.Jz (_, t) | Isa.Jnz (_, t) -> [ t; next ]
+  | _ -> [ next ]
+
+let merge_spans spans =
+  let sorted = List.sort compare spans in
+  List.fold_left
+    (fun acc (lo, hi) ->
+      match acc with
+      | (alo, ahi) :: rest when lo <= ahi -> (alo, max ahi hi) :: rest
+      | _ -> (lo, hi) :: acc)
+    [] sorted
+  |> List.rev
+
+let build ?(mem_size = Isa.default_mem_size) code =
+  let image_size = String.length code in
+  let nodes = Hashtbl.create 64 in
+  let back_edges = ref [] in
+  let rec explore pc =
+    if not (Hashtbl.mem nodes pc) then begin
+      let node =
+        if pc >= image_size then
+          (* Zero-filled memory decodes as Halt; nothing to follow. *)
+          {
+            pc;
+            decoded = Error "past the measured image";
+            truncated = false;
+            off_image = true;
+            succs = [];
+          }
+        else if pc + Isa.insn_size > image_size then
+          {
+            pc;
+            decoded = Error "instruction truncated by image end";
+            truncated = true;
+            off_image = false;
+            succs = [];
+          }
+        else
+          let decoded = Isa.decode code ~pos:pc in
+          let succs =
+            match decoded with Ok op -> successors_of op ~pc | Error _ -> []
+          in
+          { pc; decoded; truncated = false; off_image = false; succs }
+      in
+      Hashtbl.replace nodes pc node;
+      List.iter
+        (fun s ->
+          if s <= pc then back_edges := (pc, s) :: !back_edges;
+          (* Out-of-memory targets fault at fetch; record the edge but
+             do not materialize a node for them. *)
+          if s >= 0 && s < mem_size then explore s)
+        node.succs
+    end
+  in
+  if image_size > 0 then explore 0;
+  let order =
+    Hashtbl.fold (fun pc _ acc -> pc :: acc) nodes [] |> List.sort compare
+  in
+  let code_spans =
+    List.filter_map
+      (fun pc ->
+        let n = Hashtbl.find nodes pc in
+        if n.off_image then None
+        else Some (pc, min (pc + Isa.insn_size) image_size))
+      order
+    |> merge_spans
+  in
+  { code; image_size; nodes; order; back_edges = List.rev !back_edges; code_spans }
+
+let node t pc = Hashtbl.find t.nodes pc
+
+let reachable_insns t =
+  List.length
+    (List.filter
+       (fun pc -> Result.is_ok (Hashtbl.find t.nodes pc).decoded)
+       t.order)
+
+let overlaps_code t ~lo ~hi =
+  lo < hi
+  && List.exists (fun (slo, shi) -> lo < shi && slo < hi) t.code_spans

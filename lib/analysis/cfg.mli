@@ -1,0 +1,50 @@
+(** Control-flow graph of a PALVM image.
+
+    The image is decoded exactly as the interpreter would fetch it: the
+    program is loaded at offset 0 of a zero-filled memory, the entry
+    point is 0, and every instruction is 8 bytes starting from wherever
+    the program counter lands (the hardware imposes no alignment — an
+    off-grid jump is legal for the VM and is flagged by the analyzer,
+    not hidden by the CFG). Reachability is computed over the static
+    image; what a self-modifying program executes {e after} rewriting
+    itself is precisely what the analyzer's store/TOCTOU rules bound. *)
+
+type node = {
+  pc : int;
+  decoded : (Sea_isa.Isa.op, string) result;
+      (** The decoder's verdict at [pc] — the same {!Sea_isa.Isa.decode}
+          the interpreter uses. *)
+  truncated : bool;
+      (** [pc] is inside the image but the instruction runs past its
+          end: the measured bytes end mid-instruction. *)
+  off_image : bool;
+      (** [pc] is past the image: execution continues in zero-filled,
+          unmeasured memory (opcode 0 = implicit Halt). Not decoded. *)
+  succs : int list;
+      (** Successor program counters, including out-of-image targets
+          (recorded so the analyzer can flag the edge). *)
+}
+
+type t = {
+  code : string;
+  image_size : int;
+  nodes : (int, node) Hashtbl.t;  (** Keyed by reachable [pc]. *)
+  order : int list;  (** Reachable pcs, ascending. *)
+  back_edges : (int * int) list;
+      (** [(src, dst)] edges with [dst <= src] — loops. *)
+  code_spans : (int * int) list;
+      (** Merged half-open byte spans covered by reachable instructions
+          — the "code bytes" that stores must not touch. *)
+}
+
+val build : ?mem_size:int -> string -> t
+(** Explore from pc 0. [mem_size] bounds which jump targets are worth
+    exploring (default {!Sea_isa.Isa.default_mem_size}). *)
+
+val node : t -> int -> node
+val reachable_insns : t -> int
+(** Count of reachable, successfully decoded instructions. *)
+
+val overlaps_code : t -> lo:int -> hi:int -> bool
+(** Does the half-open byte range [\[lo, hi)] intersect any reachable
+    instruction's bytes? *)

@@ -1,0 +1,228 @@
+open Sea_isa
+
+type taint = Input | Secret_unseal | Secret_random
+
+type region = { lo : int; hi : int; taint : taint }
+
+type state = {
+  regs : Interval.t array;
+  regions : region list;
+  input_measured : bool;
+}
+
+let initial =
+  {
+    regs = Array.make 8 (Interval.const 0);
+    regions = [];
+    input_measured = false;
+  }
+
+(* How many region entries a state may carry before same-taint entries
+   collapse to their hull, and how many joins a node absorbs before its
+   register intervals widen. Both bound the fixpoint. *)
+let max_regions = 32
+let widen_after = 8
+
+let normalize_regions regions =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.taint b.taint with 0 -> compare a.lo b.lo | c -> c)
+      regions
+  in
+  let merged =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | prev :: rest when prev.taint = r.taint && r.lo <= prev.hi ->
+            { prev with hi = max prev.hi r.hi } :: rest
+        | _ -> r :: acc)
+      [] sorted
+    |> List.rev
+  in
+  if List.length merged <= max_regions then merged
+  else
+    (* Too fragmented: keep one hull per taint kind. *)
+    List.fold_left
+      (fun acc r ->
+        match List.partition (fun h -> h.taint = r.taint) acc with
+        | [ h ], rest ->
+            { taint = r.taint; lo = min h.lo r.lo; hi = max h.hi r.hi } :: rest
+        | _ -> r :: acc)
+      [] merged
+
+let add_region st ~lo ~hi ~taint =
+  if lo >= hi then st
+  else { st with regions = normalize_regions ({ lo; hi; taint } :: st.regions) }
+
+let regions_overlapping st ~lo ~hi =
+  List.filter (fun r -> lo < r.hi && r.lo < hi) st.regions
+
+let state_equal a b =
+  Array.for_all2 Interval.equal a.regs b.regs
+  && a.regions = b.regions
+  && a.input_measured = b.input_measured
+
+let join a b =
+  {
+    regs = Array.map2 Interval.join a.regs b.regs;
+    regions = normalize_regions (a.regions @ b.regions);
+    input_measured = a.input_measured && b.input_measured;
+  }
+
+let widen old next =
+  { next with regs = Array.map2 Interval.widen old.regs next.regs }
+
+let clamp ~mem_size v = min v mem_size
+
+let write_range ~mem_size ~ptr ~len =
+  let open Interval in
+  if len.hi = 0 then None
+  else
+    let lo = clamp ~mem_size ptr.lo in
+    let hi = clamp ~mem_size (ptr.hi + len.hi) in
+    if lo >= hi then None else Some (lo, hi)
+
+(* Transfer function: the abstract mirror of the interpreter's [step]. *)
+let transfer ~mem_size st op =
+  let regs = Array.copy st.regs in
+  let st = { st with regs } in
+  let set a v = regs.(a) <- v in
+  let sr = st.regs in
+  let binop a b c f = set a (f sr.(b) sr.(c)) in
+  let top_binop a = set a Interval.top in
+  let exact2 b c f =
+    if Interval.is_const sr.(b) && Interval.is_const sr.(c) then
+      Interval.const (f sr.(b).Interval.lo sr.(c).Interval.lo)
+    else Interval.top
+  in
+  match op with
+  | Isa.Halt -> st
+  | Isa.Loadi (a, imm) ->
+      set a (Interval.const imm);
+      st
+  | Isa.Mov (a, b) ->
+      set a sr.(b);
+      st
+  | Isa.Add (a, b, c) ->
+      binop a b c Interval.add;
+      st
+  | Isa.Sub (a, b, c) ->
+      binop a b c Interval.sub;
+      st
+  | Isa.Mul (a, b, c) ->
+      binop a b c Interval.mul;
+      st
+  | Isa.Xor (a, b, c) ->
+      set a (exact2 b c (fun x y -> x lxor y));
+      st
+  | Isa.And (a, b, c) ->
+      set a (exact2 b c (fun x y -> x land y));
+      st
+  | Isa.Or (a, b, c) ->
+      set a (exact2 b c (fun x y -> x lor y));
+      st
+  | Isa.Shl (a, b, c) ->
+      set a
+        (exact2 b c (fun x y -> x lsl (y land 31) land Interval.max32));
+      st
+  | Isa.Shr (a, b, c) ->
+      set a (exact2 b c (fun x y -> x lsr (y land 31)));
+      st
+  | Isa.Ldb (a, _, _) ->
+      set a (Interval.make ~lo:0 ~hi:255);
+      st
+  | Isa.Ldw (a, _, _) ->
+      top_binop a;
+      st
+  | Isa.Stb _ | Isa.Stw _ -> st
+  | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ -> st
+  | Isa.Lt (a, _, _) | Isa.Eq (a, _, _) ->
+      set a (Interval.make ~lo:0 ~hi:1);
+      st
+  | Isa.Svc n ->
+      let ptr = sr.(0) and len = sr.(1) and dst = sr.(2) in
+      if n = Isa.svc_input_len then begin
+        set 0 Interval.top;
+        st
+      end
+      else if n = Isa.svc_input_read then begin
+        (* r0 := bytes copied, at most the requested length. *)
+        set 0 (Interval.make ~lo:0 ~hi:len.Interval.hi);
+        match write_range ~mem_size ~ptr ~len with
+        | None -> st
+        | Some (lo, hi) -> add_region st ~lo ~hi ~taint:Input
+      end
+      else if n = Isa.svc_seal then begin
+        set 0 Interval.top;
+        st
+      end
+      else if n = Isa.svc_unseal then begin
+        set 0 Interval.top;
+        (* Payload length is unknown statically but never exceeds the
+           blob's ([len]): taint [dst, dst+len). *)
+        match write_range ~mem_size ~ptr:dst ~len with
+        | None -> st
+        | Some (lo, hi) -> add_region st ~lo ~hi ~taint:Secret_unseal
+      end
+      else if n = Isa.svc_random then begin
+        match write_range ~mem_size ~ptr ~len with
+        | None -> st
+        | Some (lo, hi) -> add_region st ~lo ~hi ~taint:Secret_random
+      end
+      else if n = Isa.svc_extend then begin
+        (* Extending a range that holds raw input folds the input into
+           the measurement chain — footnote 3's mitigation. *)
+        match write_range ~mem_size ~ptr ~len with
+        | None -> st
+        | Some (lo, hi) ->
+            if
+              List.exists
+                (fun r -> r.taint = Input)
+                (regions_overlapping st ~lo ~hi)
+            then { st with input_measured = true }
+            else st
+      end
+      else (* svc_output, svc_sha256, unknown: no register effects we track *)
+        st
+
+let run (cfg : Cfg.t) ~mem_size =
+  let states = Hashtbl.create 64 in
+  let visits = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace states 0 initial;
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let pc = Queue.pop queue in
+    let node = Cfg.node cfg pc in
+    match node.Cfg.decoded with
+    | Error _ -> ()
+    | Ok op ->
+        let post = transfer ~mem_size (Hashtbl.find states pc) op in
+        List.iter
+          (fun succ ->
+            if Hashtbl.mem cfg.Cfg.nodes succ then begin
+              let updated =
+                match Hashtbl.find_opt states succ with
+                | None -> Some post
+                | Some cur ->
+                    let visits_n =
+                      Option.value ~default:0 (Hashtbl.find_opt visits succ)
+                    in
+                    let next = join cur post in
+                    let next =
+                      if visits_n >= widen_after then widen cur next else next
+                    in
+                    if state_equal cur next then None else Some next
+              in
+              match updated with
+              | None -> ()
+              | Some next ->
+                  Hashtbl.replace states succ next;
+                  Hashtbl.replace visits succ
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt visits succ));
+                  Queue.add succ queue
+            end)
+          node.Cfg.succs
+  done;
+  states

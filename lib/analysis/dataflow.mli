@@ -1,0 +1,38 @@
+(** Abstract interpretation over the CFG: interval values for the eight
+    registers, plus a may-taint map of memory regions and a
+    must-"input-measured" flag.
+
+    The taint kinds track the two secret sources the service interface
+    exposes ([UNSEAL] payloads and [RANDOM] bytes) and where raw input
+    has been copied; the [input_measured] flag records whether an
+    [EXTEND] has folded that input into the measurement chain — the
+    paper's footnote-3 mitigation — on {e every} path reaching a point
+    (it joins with conjunction). *)
+
+type taint =
+  | Input  (** Written by [SVC INPUT_READ]. *)
+  | Secret_unseal  (** Written by [SVC UNSEAL]. *)
+  | Secret_random  (** Written by [SVC RANDOM]. *)
+
+type region = { lo : int; hi : int; taint : taint }
+(** Half-open byte range [\[lo, hi)]. *)
+
+type state = {
+  regs : Interval.t array;  (** Length 8. *)
+  regions : region list;  (** Normalized: sorted, same-taint merged. *)
+  input_measured : bool;
+}
+
+val initial : state
+(** Registers all 0 (the interpreter zeroes them), no taint. *)
+
+val run : Cfg.t -> mem_size:int -> (int, state) Hashtbl.t
+(** Worklist fixpoint; returns the abstract state {e before} each
+    reachable instruction. Widening after a bounded number of visits
+    guarantees termination. *)
+
+val write_range : mem_size:int -> ptr:Interval.t -> len:Interval.t -> (int * int) option
+(** The half-open byte range a service write [\[ptr, ptr+len)] may
+    touch, clamped to memory; [None] when the length is certainly 0. *)
+
+val regions_overlapping : state -> lo:int -> hi:int -> region list

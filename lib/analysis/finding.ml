@@ -1,0 +1,27 @@
+type severity = Error | Warn | Info
+
+type t = { rule : string; severity : severity; offset : int; message : string }
+
+let make ~rule ~severity ~offset message = { rule; severity; offset; message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match Int.compare a.offset b.offset with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%-5s @%04d %s: %s"
+    (severity_to_string f.severity)
+    f.offset f.rule f.message
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)

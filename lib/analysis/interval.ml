@@ -1,0 +1,41 @@
+type t = { lo : int; hi : int }
+
+let max32 = 0xFFFFFFFF
+let top = { lo = 0; hi = max32 }
+let const v = { lo = v land max32; hi = v land max32 }
+
+let make ~lo ~hi =
+  let lo = max 0 (min lo max32) and hi = max 0 (min hi max32) in
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let is_const v = v.lo = v.hi
+let is_top v = v.lo = 0 && v.hi = max32
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let widen old next =
+  {
+    lo = (if next.lo < old.lo then 0 else old.lo);
+    hi = (if next.hi > old.hi then max32 else old.hi);
+  }
+
+(* Exact when no bound escapes 32 bits; a possible wrap means the value
+   could be anything. *)
+let add a b =
+  if a.hi + b.hi > max32 then top else { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+let sub a b =
+  if a.lo - b.hi < 0 then top else { lo = a.lo - b.hi; hi = a.hi - b.lo }
+
+let mul a b =
+  (* Division guard: [a.hi * b.hi] itself can overflow the host int. *)
+  if a.hi <> 0 && b.hi > max32 / a.hi then top
+  else { lo = a.lo * b.lo; hi = a.hi * b.hi }
+
+let add_const v k = add v (const (k land max32))
+
+let to_string v =
+  if is_top v then "[0,2^32)"
+  else if is_const v then string_of_int v.lo
+  else Printf.sprintf "[%d,%d]" v.lo v.hi

@@ -1,0 +1,47 @@
+type t = {
+  image_size : int;
+  reachable_insns : int;
+  loops : int;
+  findings : Finding.t list;
+}
+
+let make ~image_size ~reachable_insns ~loops findings =
+  let dedup =
+    List.fold_left
+      (fun acc f ->
+        if
+          List.exists
+            (fun g -> g.Finding.rule = f.Finding.rule && g.Finding.offset = f.Finding.offset)
+            acc
+        then acc
+        else f :: acc)
+      [] findings
+  in
+  { image_size; reachable_insns; loops; findings = List.sort Finding.compare dedup }
+
+let by_severity s t =
+  List.filter (fun f -> f.Finding.severity = s) t.findings
+
+let errors t = by_severity Finding.Error t
+let warnings t = by_severity Finding.Warn t
+let is_clean t = errors t = []
+
+let verdict t =
+  match (errors t, warnings t) with
+  | [], [] -> "PASS"
+  | [], ws -> Printf.sprintf "PASS (mitigated/warnings: %d)" (List.length ws)
+  | es, _ -> Printf.sprintf "REJECT (%d error%s)" (List.length es)
+               (if List.length es = 1 then "" else "s")
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "image: %d bytes, %d reachable instructions, %d loop back-edge%s\n"
+       t.image_size t.reachable_insns t.loops (if t.loops = 1 then "" else "s"));
+  List.iter
+    (fun f -> Buffer.add_string buf ("  " ^ Finding.to_string f ^ "\n"))
+    t.findings;
+  Buffer.add_string buf ("verdict: " ^ verdict t);
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (render t)

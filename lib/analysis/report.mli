@@ -1,0 +1,27 @@
+(** Rendered result of one analyzer run. *)
+
+type t = {
+  image_size : int;
+  reachable_insns : int;
+  loops : int;  (** Back-edges found in the CFG. *)
+  findings : Finding.t list;  (** Sorted: errors first, then by offset. *)
+}
+
+val make :
+  image_size:int -> reachable_insns:int -> loops:int -> Finding.t list -> t
+(** Deduplicates (rule, offset) pairs and sorts. *)
+
+val errors : t -> Finding.t list
+val warnings : t -> Finding.t list
+
+val is_clean : t -> bool
+(** No [Error]-severity findings: the image may be launched. *)
+
+val verdict : t -> string
+(** ["PASS"], ["PASS (mitigated/warnings: n)"] or ["REJECT (n errors)"]. *)
+
+val render : t -> string
+(** Multi-line human-readable report, one finding per line, ending with
+    the verdict. *)
+
+val pp : Format.formatter -> t -> unit

@@ -35,6 +35,24 @@ let of_code ~name ~code ?(compute_time = Sea_sim.Time.zero) behavior =
     invalid_arg "Pal.of_code: code size must be in (0, 64 KB]";
   { name; code; compute_time; behavior }
 
+(* Pre-launch static analysis. Shared by both launch paths (today's
+   Session and the proposed Slaunch_session), and run strictly before
+   pages are allocated or the TPM touched: an image that [Enforce]
+   rejects is never measured. *)
+let preflight ?policy ?(analyze = Sea_analysis.Analyzer.Off) ?on_report t =
+  match analyze with
+  | Sea_analysis.Analyzer.Off -> Ok ()
+  | Sea_analysis.Analyzer.WarnOnly | Sea_analysis.Analyzer.Enforce -> (
+      let report = Sea_analysis.Analyzer.analyze ?policy t.code in
+      (match on_report with Some f -> f report | None -> ());
+      match (analyze, Sea_analysis.Report.errors report) with
+      | Sea_analysis.Analyzer.Enforce, f :: _ ->
+          Error
+            (Printf.sprintf "static analysis rejected PAL %S (%s): %s" t.name
+               (Sea_analysis.Report.verdict report)
+               (Sea_analysis.Finding.to_string f))
+      | _ -> Ok ())
+
 let measurement t = Sha1.digest t.code
 let code_size t = String.length t.code
 

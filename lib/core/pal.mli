@@ -62,6 +62,21 @@ val of_code :
     is a real program image (see [Sea_palvm]) rather than synthetic
     filler. Size limits as in {!create}. *)
 
+val preflight :
+  ?policy:Sea_analysis.Analyzer.policy ->
+  ?analyze:Sea_analysis.Analyzer.gate ->
+  ?on_report:(Sea_analysis.Report.t -> unit) ->
+  t ->
+  (unit, string) result
+(** Run the PAL bytecode static analyzer over the measured bytes,
+    {e before} launch. Under [~analyze:Enforce] an image whose report
+    has error findings is refused (the returned [Error] summarizes the
+    first one) without ever being measured; under [WarnOnly] the report
+    is handed to [on_report] and the launch proceeds; under [Off] (the
+    default) nothing runs. Only meaningful for PALs whose code is real
+    PALVM bytecode ({!of_code} / [Sea_palvm]); the synthetic filler
+    {!create} generates will not decode. *)
+
 val measurement : t -> string
 (** SHA-1 of the code — what lands in PCR 17 / the sePCR. *)
 

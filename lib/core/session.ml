@@ -43,10 +43,16 @@ let suspend_cost (m : Machine.t) =
 
 let resume_cost = Time.us 30.
 
-let execute (m : Machine.t) ~cpu pal ~input =
-  match m.Machine.tpm with
-  | None -> Error "SEA sessions require a TPM"
-  | Some tpm ->
+let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report pal ~input =
+  match
+    (* Analyzed before the OS is suspended, pages claimed or the TPM
+       touched: an image the gate refuses is never measured. *)
+    ( Pal.preflight ?policy:analysis_policy ?analyze ?on_report pal,
+      m.Machine.tpm )
+  with
+  | Error e, _ -> Error e
+  | Ok (), None -> Error "SEA sessions require a TPM"
+  | Ok (), Some tpm ->
       let engine = m.Machine.engine in
       let t_start = Engine.now engine in
       (* 1. Suspend the untrusted OS. *)

@@ -39,12 +39,19 @@ val exit_marker : string
 val execute :
   Sea_hw.Machine.t ->
   cpu:int ->
+  ?analyze:Sea_analysis.Analyzer.gate ->
+  ?analysis_policy:Sea_analysis.Analyzer.policy ->
+  ?on_report:(Sea_analysis.Report.t -> unit) ->
   Pal.t ->
   input:string ->
   (outcome, string) result
 (** Run one complete session. Fails on machines without a TPM, if the PAL
     does not fit the late-launch limit, or if the PAL's behaviour fails;
-    the OS is resumed and pages freed on all paths. *)
+    the OS is resumed and pages freed on all paths.
+
+    [?analyze] (default [Off]) runs {!Pal.preflight} first: under
+    [Enforce] a PALVM image with error findings is refused {e before}
+    the OS is suspended or the TPM measures anything. *)
 
 val quote :
   Sea_hw.Machine.t ->

@@ -18,12 +18,19 @@ val start :
   Sea_hw.Machine.t ->
   cpu:int ->
   ?preemption_timer:Sea_sim.Time.t ->
+  ?analyze:Sea_analysis.Analyzer.gate ->
+  ?analysis_policy:Sea_analysis.Analyzer.policy ->
+  ?on_report:(Sea_analysis.Report.t -> unit) ->
   Pal.t ->
   input:string ->
   (t, string) result
 (** Allocate pages + SECB, load the PAL, and SLAUNCH it for the first time
     (Protect → Measure → Execute). The PAL is left {e executing} on
-    [cpu]; drive it with {!run_slice}. *)
+    [cpu]; drive it with {!run_slice}.
+
+    [?analyze] (default [Off]) runs {!Pal.preflight} first: under
+    [Enforce] a PALVM image with error findings is refused before any
+    SECB is allocated or the sePCR extended. *)
 
 val state : t -> Lifecycle.state
 val secb : t -> Sea_hw.Secb.t

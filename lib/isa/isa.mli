@@ -1,0 +1,81 @@
+(** The PALVM instruction set.
+
+    Most of this repository models PALs as measured-but-synthetic bytes
+    whose semantics live in an OCaml closure. PALVM closes that gap for
+    the cases where it matters: programs are real bytecode, the bytes
+    that the TPM measures are the bytes the interpreter fetches and
+    executes, and self-modification is possible — which is exactly what
+    the paper's footnote 3 (load-time measurement TOCTOU) is about.
+
+    A fixed-width 8-byte encoding: opcode, three register operands, and
+    a 32-bit big-endian immediate. Eight 32-bit registers r0–r7; a flat
+    byte-addressed memory with the program loaded at offset 0 (so code
+    is data — deliberately); services reach the TPM-backed environment
+    ({!Sea_core.Pal.services}). *)
+
+type reg = int
+(** 0–7. *)
+
+type op =
+  | Halt
+  | Loadi of reg * int  (** r := imm *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Xor of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Ldb of reg * reg * int  (** r := mem\[rb + imm\] (byte) *)
+  | Stb of reg * reg * int  (** mem\[rb + imm\] := r (byte) *)
+  | Ldw of reg * reg * int  (** 32-bit big-endian load *)
+  | Stw of reg * reg * int
+  | Jmp of int  (** absolute byte offset *)
+  | Jz of reg * int
+  | Jnz of reg * int
+  | Svc of int  (** service call, see {!Vm} *)
+  | Lt of reg * reg * reg
+  | Eq of reg * reg * reg
+
+val insn_size : int
+(** 8 bytes. *)
+
+val encode : op -> string
+(** Raises [Invalid_argument] on a bad register or out-of-range
+    immediate. *)
+
+val decode : string -> pos:int -> (op, string) result
+(** Decode the instruction at byte [pos]; total function over arbitrary
+    bytes (unknown opcodes and truncated fetches are errors — executing
+    data crashes the PAL, it does not crash the simulator). *)
+
+val decode_bytes : bytes -> pos:int -> (op, string) result
+(** [decode], but straight out of a live memory image without copying —
+    the interpreter's fetch path and the static analyzer share this
+    decoder, so "the bytes analyzed" and "the bytes executed" can only
+    disagree if the program rewrites itself (which the analyzer's
+    self-modification rules are there to catch). *)
+
+val default_fuel : int
+(** The interpreter's default step budget ([Sea_palvm.Vm.run]'s
+    [?fuel]); the static analyzer checks worst-case step estimates
+    against it. *)
+
+val default_mem_size : int
+(** The interpreter's default memory size, 64 KB (SKINIT's limit). *)
+
+val encode_program : op list -> string
+val pp : Format.formatter -> op -> unit
+
+(** Service numbers accepted by [Svc]. *)
+
+val svc_input_len : int
+val svc_input_read : int
+val svc_output : int
+val svc_seal : int
+val svc_unseal : int
+val svc_random : int
+val svc_extend : int
+val svc_sha256 : int

@@ -1,151 +1,5 @@
-type reg = int
-
-type op =
-  | Halt
-  | Loadi of reg * int
-  | Mov of reg * reg
-  | Add of reg * reg * reg
-  | Sub of reg * reg * reg
-  | Mul of reg * reg * reg
-  | Xor of reg * reg * reg
-  | And of reg * reg * reg
-  | Or of reg * reg * reg
-  | Shl of reg * reg * reg
-  | Shr of reg * reg * reg
-  | Ldb of reg * reg * int
-  | Stb of reg * reg * int
-  | Ldw of reg * reg * int
-  | Stw of reg * reg * int
-  | Jmp of int
-  | Jz of reg * int
-  | Jnz of reg * int
-  | Svc of int
-  | Lt of reg * reg * reg
-  | Eq of reg * reg * reg
-
-let insn_size = 8
-
-let svc_input_len = 1
-let svc_input_read = 2
-let svc_output = 3
-let svc_seal = 4
-let svc_unseal = 5
-let svc_random = 6
-let svc_extend = 7
-let svc_sha256 = 8
-
-let check_reg r = if r < 0 || r > 7 then invalid_arg "Isa: register out of range"
-
-let check_imm v =
-  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Isa: immediate out of range"
-
-(* opcode, a, b, c, imm *)
-let fields = function
-  | Halt -> (0, 0, 0, 0, 0)
-  | Loadi (a, imm) -> (1, a, 0, 0, imm)
-  | Mov (a, b) -> (2, a, b, 0, 0)
-  | Add (a, b, c) -> (3, a, b, c, 0)
-  | Sub (a, b, c) -> (4, a, b, c, 0)
-  | Mul (a, b, c) -> (5, a, b, c, 0)
-  | Xor (a, b, c) -> (6, a, b, c, 0)
-  | And (a, b, c) -> (7, a, b, c, 0)
-  | Or (a, b, c) -> (8, a, b, c, 0)
-  | Shl (a, b, c) -> (9, a, b, c, 0)
-  | Shr (a, b, c) -> (10, a, b, c, 0)
-  | Ldb (a, b, imm) -> (11, a, b, 0, imm)
-  | Stb (a, b, imm) -> (12, a, b, 0, imm)
-  | Ldw (a, b, imm) -> (13, a, b, 0, imm)
-  | Stw (a, b, imm) -> (14, a, b, 0, imm)
-  | Jmp imm -> (15, 0, 0, 0, imm)
-  | Jz (a, imm) -> (16, a, 0, 0, imm)
-  | Jnz (a, imm) -> (17, a, 0, 0, imm)
-  | Svc imm -> (18, 0, 0, 0, imm)
-  | Lt (a, b, c) -> (19, a, b, c, 0)
-  | Eq (a, b, c) -> (20, a, b, c, 0)
-
-let encode op =
-  let code, a, b, c, imm = fields op in
-  (match op with
-  | Loadi (a, _) | Jz (a, _) | Jnz (a, _) -> check_reg a
-  | Mov (a, b) | Ldb (a, b, _) | Stb (a, b, _) | Ldw (a, b, _) | Stw (a, b, _) ->
-      check_reg a;
-      check_reg b
-  | Add (a, b, c) | Sub (a, b, c) | Mul (a, b, c) | Xor (a, b, c) | And (a, b, c)
-  | Or (a, b, c) | Shl (a, b, c) | Shr (a, b, c) | Lt (a, b, c) | Eq (a, b, c) ->
-      check_reg a;
-      check_reg b;
-      check_reg c
-  | Halt | Jmp _ | Svc _ -> ());
-  check_imm imm;
-  let bytes = Bytes.create insn_size in
-  Bytes.set bytes 0 (Char.chr code);
-  Bytes.set bytes 1 (Char.chr a);
-  Bytes.set bytes 2 (Char.chr b);
-  Bytes.set bytes 3 (Char.chr c);
-  for i = 0 to 3 do
-    Bytes.set bytes (4 + i) (Char.chr ((imm lsr (8 * (3 - i))) land 0xff))
-  done;
-  Bytes.to_string bytes
-
-let decode s ~pos =
-  if pos < 0 || pos + insn_size > String.length s then Error "fetch out of bounds"
-  else begin
-    let byte i = Char.code s.[pos + i] in
-    let a = byte 1 and b = byte 2 and c = byte 3 in
-    let imm = (byte 4 lsl 24) lor (byte 5 lsl 16) lor (byte 6 lsl 8) lor byte 7 in
-    if a > 7 || b > 7 || c > 7 then Error "invalid register in instruction"
-    else
-      match byte 0 with
-      | 0 -> Ok Halt
-      | 1 -> Ok (Loadi (a, imm))
-      | 2 -> Ok (Mov (a, b))
-      | 3 -> Ok (Add (a, b, c))
-      | 4 -> Ok (Sub (a, b, c))
-      | 5 -> Ok (Mul (a, b, c))
-      | 6 -> Ok (Xor (a, b, c))
-      | 7 -> Ok (And (a, b, c))
-      | 8 -> Ok (Or (a, b, c))
-      | 9 -> Ok (Shl (a, b, c))
-      | 10 -> Ok (Shr (a, b, c))
-      | 11 -> Ok (Ldb (a, b, imm))
-      | 12 -> Ok (Stb (a, b, imm))
-      | 13 -> Ok (Ldw (a, b, imm))
-      | 14 -> Ok (Stw (a, b, imm))
-      | 15 -> Ok (Jmp imm)
-      | 16 -> Ok (Jz (a, imm))
-      | 17 -> Ok (Jnz (a, imm))
-      | 18 -> Ok (Svc imm)
-      | 19 -> Ok (Lt (a, b, c))
-      | 20 -> Ok (Eq (a, b, c))
-      | n -> Error (Printf.sprintf "unknown opcode %d" n)
-  end
-
-let encode_program ops = String.concat "" (List.map encode ops)
-
-let pp fmt op =
-  let r i = Printf.sprintf "r%d" i in
-  let s =
-    match op with
-    | Halt -> "halt"
-    | Loadi (a, imm) -> Printf.sprintf "loadi %s, %d" (r a) imm
-    | Mov (a, b) -> Printf.sprintf "mov %s, %s" (r a) (r b)
-    | Add (a, b, c) -> Printf.sprintf "add %s, %s, %s" (r a) (r b) (r c)
-    | Sub (a, b, c) -> Printf.sprintf "sub %s, %s, %s" (r a) (r b) (r c)
-    | Mul (a, b, c) -> Printf.sprintf "mul %s, %s, %s" (r a) (r b) (r c)
-    | Xor (a, b, c) -> Printf.sprintf "xor %s, %s, %s" (r a) (r b) (r c)
-    | And (a, b, c) -> Printf.sprintf "and %s, %s, %s" (r a) (r b) (r c)
-    | Or (a, b, c) -> Printf.sprintf "or %s, %s, %s" (r a) (r b) (r c)
-    | Shl (a, b, c) -> Printf.sprintf "shl %s, %s, %s" (r a) (r b) (r c)
-    | Shr (a, b, c) -> Printf.sprintf "shr %s, %s, %s" (r a) (r b) (r c)
-    | Ldb (a, b, imm) -> Printf.sprintf "ldb %s, %s, %d" (r a) (r b) imm
-    | Stb (a, b, imm) -> Printf.sprintf "stb %s, %s, %d" (r a) (r b) imm
-    | Ldw (a, b, imm) -> Printf.sprintf "ldw %s, %s, %d" (r a) (r b) imm
-    | Stw (a, b, imm) -> Printf.sprintf "stw %s, %s, %d" (r a) (r b) imm
-    | Jmp imm -> Printf.sprintf "jmp %d" imm
-    | Jz (a, imm) -> Printf.sprintf "jz %s, %d" (r a) imm
-    | Jnz (a, imm) -> Printf.sprintf "jnz %s, %d" (r a) imm
-    | Svc imm -> Printf.sprintf "svc %d" imm
-    | Lt (a, b, c) -> Printf.sprintf "lt %s, %s, %s" (r a) (r b) (r c)
-    | Eq (a, b, c) -> Printf.sprintf "eq %s, %s, %s" (r a) (r b) (r c)
-  in
-  Format.pp_print_string fmt s
+(* The ISA proper lives in [Sea_isa] so that the static analyzer
+   ([Sea_analysis]) can share the decoder without depending on the
+   interpreter (which depends on [Sea_core], which runs the analyzer at
+   launch). Re-exported here so [Sea_palvm.Isa] keeps working. *)
+include Sea_isa.Isa

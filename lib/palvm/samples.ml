@@ -1,0 +1,95 @@
+open Isa
+
+(* Buffer layout shared by the samples: input high at 1024+, results in
+   the 512..1023 scratch area — all comfortably clear of the code bytes
+   at the bottom of memory, which is what keeps the analyzer's
+   self-modification rules quiet. *)
+
+let input_buf = 1024
+let out_buf = 512
+
+let seal_echo =
+  encode_program
+    [
+      Loadi (0, input_buf);
+      Loadi (1, 4096);
+      Svc svc_input_read;
+      (* r0 = bytes read *)
+      Mov (1, 0);
+      Loadi (0, input_buf);
+      Loadi (2, 8192);
+      Svc svc_seal;
+      (* r0 = blob length *)
+      Mov (1, 0);
+      Loadi (0, 8192);
+      Svc svc_output;
+      Halt;
+    ]
+
+(* XOR-fold the input. Offsets are absolute byte addresses; each
+   instruction is 8 bytes, so label arithmetic is [index * 8]. *)
+let xor_checksum =
+  let loop = 6 * insn_size (* the Eq test *) in
+  let done_ = 13 * insn_size in
+  encode_program
+    [
+      (* 0 *) Loadi (0, input_buf);
+      (* 1 *) Loadi (1, 4096);
+      (* 2 *) Svc svc_input_read;
+      (* 3 *) Mov (2, 0) (* n = bytes read *);
+      (* 4 *) Loadi (1, 0) (* i = 0 *);
+      (* 5 *) Loadi (3, 0) (* acc = 0 *);
+      (* 6 *) Eq (4, 1, 2);
+      (* 7 *) Jnz (4, done_);
+      (* 8 *) Ldb (5, 1, input_buf);
+      (* 9 *) Xor (3, 3, 5);
+      (* 10 *) Loadi (6, 1);
+      (* 11 *) Add (1, 1, 6);
+      (* 12 *) Jmp loop;
+      (* 13 *) Stw (3, 7, out_buf) (* r7 is never written: 0 *);
+      (* 14 *) Loadi (0, out_buf);
+      (* 15 *) Loadi (1, 4);
+      (* 16 *) Svc svc_output;
+      (* 17 *) Halt;
+    ]
+
+let random_nonce =
+  encode_program
+    [
+      Loadi (0, out_buf);
+      Loadi (1, 16);
+      Svc svc_random;
+      Loadi (2, input_buf);
+      Svc svc_seal;
+      (* r0 = blob length; the raw nonce at out_buf is never output *)
+      Mov (1, 0);
+      Loadi (0, input_buf);
+      Svc svc_output;
+      Halt;
+    ]
+
+let hash_input =
+  encode_program
+    [
+      Loadi (0, input_buf);
+      Loadi (1, 4096);
+      Svc svc_input_read;
+      Mov (1, 0);
+      Loadi (0, input_buf);
+      Loadi (2, out_buf);
+      Svc svc_sha256;
+      Loadi (0, out_buf);
+      Loadi (1, 32);
+      Svc svc_output;
+      Halt;
+    ]
+
+let all =
+  [
+    ("seal-echo", seal_echo);
+    ("xor-checksum", xor_checksum);
+    ("random-nonce", random_nonce);
+    ("hash-input", hash_input);
+  ]
+
+let pal ~name ~code = Vm.to_pal ~name ~code ()

@@ -4,7 +4,8 @@ type outcome = { output : string; steps : int; registers : int array }
 
 let mask32 = 0xFFFFFFFF
 
-let run ?(mem_size = 64 * 1024) ?(fuel = 1_000_000) ~code ~services ~input () =
+let run ?(mem_size = Isa.default_mem_size) ?(fuel = Isa.default_fuel) ~code
+    ~services ~input () =
   if String.length code > mem_size then Error "program image exceeds memory"
   else begin
     let mem = Bytes.make mem_size '\000' in
@@ -103,9 +104,10 @@ let run ?(mem_size = 64 * 1024) ?(fuel = 1_000_000) ~code ~services ~input () =
       if !steps >= fuel then Error "fuel exhausted (hung PAL)"
       else begin
         incr steps;
-        (* Fetch from live memory: the program can rewrite itself. *)
-        match Isa.decode (Bytes.to_string (Bytes.sub mem !pc Isa.insn_size)) ~pos:0 with
-        | exception Invalid_argument _ -> Error "fetch out of bounds"
+        (* Fetch from live memory: the program can rewrite itself. The
+           decoder reports its own bounds/operand errors — surface them
+           verbatim rather than collapsing them to a generic fault. *)
+        match Isa.decode_bytes mem ~pos:!pc with
         | Error e -> Error e
         | Ok op -> (
             let next = !pc + Isa.insn_size in
