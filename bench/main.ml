@@ -6,7 +6,7 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- table1 figure3 ...
    Experiments: table1 table2 figure2 figure3 impact concurrency
-                faster-tpm micro *)
+                faster-tpm io-loss multicore micro analyzer serving *)
 
 open Sea_sim
 open Sea_hw
@@ -367,6 +367,7 @@ module Concurrency = struct
       (Stats.count si)
       (Stats.percentile si 50.)
       (Stats.max si);
+    Format.printf "Stall tail: %a ms@." Stats.pp_percentiles si;
     Printf.printf
       "\nEvery chunk on current hardware = one full session (SKINIT + Unseal\n\
        + Seal) with the whole platform frozen; on proposed hardware the job\n\
@@ -693,6 +694,79 @@ module Analyzer_throughput = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Serving capacity: max sustainable request rate per hardware mode    *)
+(* ------------------------------------------------------------------ *)
+
+module Serving = struct
+  let duration = Time.s 5.
+  let depth = 8
+
+  let run_at mode rate =
+    let config = Machine.low_fidelity Machine.hp_dc5750 in
+    let config =
+      match mode with
+      | Sea_serve.Server.Current -> config
+      | Sea_serve.Server.Proposed -> Machine.proposed_variant config
+    in
+    let m =
+      Machine.create ~engine:(Engine.create ~seed:7L ()) config
+    in
+    let cfg = Sea_serve.Server.config ~queue_depth:depth ~mode ~duration () in
+    let tenants = Sea_serve.Workload.preset ~tenants:3 (`Open rate) in
+    match Sea_serve.Server.run m cfg tenants with
+    | Ok r -> r
+    | Error e -> failwith ("serving sweep: " ^ e)
+
+  (* Sustainable: nothing shed or dropped, and the backlog drained soon
+     after arrivals stopped (a window stretching far past the arrival
+     duration means the queue was only surviving on the depth bound). *)
+  let sustainable (r : Sea_serve.Report.t) =
+    let a = r.Sea_serve.Report.aggregate in
+    a.Sea_serve.Report.shed = 0
+    && a.Sea_serve.Report.timed_out = 0
+    && a.Sea_serve.Report.failed = 0
+    && Time.compare r.Sea_serve.Report.window (Time.scale_f duration 1.2) <= 0
+
+  let sweep mode rates =
+    let best = ref 0. in
+    let unsustained = ref false in
+    List.iter
+      (fun rate ->
+        if not !unsustained then begin
+          let r = run_at mode rate in
+          let a = r.Sea_serve.Report.aggregate in
+          let ok = sustainable r in
+          if ok then best := rate else unsustained := true;
+          Printf.printf
+            "  %8.1f req/s  offered %5d  goodput %7.2f/s  shed %4d  %s  %s\n"
+            rate a.Sea_serve.Report.offered
+            (Sea_serve.Report.goodput_per_s r a)
+            a.Sea_serve.Report.shed
+            (Format.asprintf "%a" Stats.pp_percentiles
+               a.Sea_serve.Report.latency_ms)
+            (if ok then "sustained" else "OVERLOAD")
+        end)
+      rates;
+    !best
+
+  let run () =
+    section "Serving capacity: 3 tenants (ssh/ca/kv), HP dc5750, depth 8";
+    Printf.printf "current hardware (one full session per request):\n";
+    let c = sweep Sea_serve.Server.Current [ 0.25; 0.5; 1.; 2.; 4. ] in
+    Printf.printf "proposed hardware (resident PALs, both cores):\n";
+    let p =
+      sweep Sea_serve.Server.Proposed [ 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
+    in
+    Printf.printf
+      "\nMax sustainable rate: %.2f req/s on today's hardware vs %.2f req/s\n\
+       on the proposed hardware (%.0fx) — the difference between one stalled\n\
+       platform doing TPM round-trips per request and resident PALs resumed\n\
+       at context-switch cost.\n"
+      c p
+      (if c > 0. then p /. c else Float.infinity)
+end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -707,6 +781,7 @@ let all =
     ("multicore", Multicore.run);
     ("micro", Micro.run);
     ("analyzer", Analyzer_throughput.run);
+    ("serving", Serving.run);
   ]
 
 let () =

@@ -6,7 +6,10 @@
      attest      run the full remote-attestation protocol
      lifecycle   walk the SLAUNCH lifecycle (Figure 6) with timings
      attack      mount the §3.2 threat-model attacks and report verdicts
-     analyze     run the PAL bytecode static analyzer over shipped images *)
+     boot        measured (trusted) boot and its whole-stack verifier
+     toctou      footnote 3's load-time-attestation TOCTOU on real bytecode
+     analyze     run the PAL bytecode static analyzer over shipped images
+     serve       multi-tenant request serving under load, with tail latencies *)
 
 open Cmdliner
 open Sea_sim
@@ -397,9 +400,12 @@ let run_analyze name =
   | name -> (
       match List.assoc_opt name (analyzable_images ()) with
       | None ->
-          Printf.eprintf "unknown PAL image %S; known: all, %s\n" name
-            (String.concat ", " (List.map fst (analyzable_images ())));
-          exit 2
+          (* Same shape and exit code as every other subcommand's
+             failure path (or_die), rather than a bespoke exit 2. *)
+          or_die
+            (Error
+               (Printf.sprintf "unknown PAL image %S; known: all, %s" name
+                  (String.concat ", " (List.map fst (analyzable_images ())))))
       | Some code -> if not (analyze_one (name, code)) then exit 1)
 
 let analyze_cmd =
@@ -419,17 +425,146 @@ let analyze_cmd =
           on error findings.")
     Term.(const run_analyze $ name_arg)
 
+(* --- serve --- *)
+
+let serve_mode_arg =
+  let doc =
+    "Hardware to serve on: $(b,current) (each request is a full SKINIT \
+     session, whole platform stalled) or $(b,proposed) (resident suspended \
+     PALs on every core, §5)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("current", Sea_serve.Server.Current);
+             ("proposed", Sea_serve.Server.Proposed);
+           ])
+        Sea_serve.Server.Current
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let run_serve machine_config mode rate duration_s cores tenants depth
+    discipline timer_ms deadline_ms closed think_ms seed =
+  try
+    (* Crypto fidelity does not affect timing (latency comes from the
+       vendor profile), so serve at small key sizes and keep high
+       request rates cheap to simulate. *)
+    let config = Machine.low_fidelity machine_config in
+    let config =
+      match mode with
+      | Sea_serve.Server.Current -> config
+      | Sea_serve.Server.Proposed -> Machine.proposed_variant config
+    in
+    let config =
+      match cores with
+      | None -> config
+      | Some c ->
+          if c <= 0 then or_die (Error "cores must be positive")
+          else { config with Machine.cpu_count = c }
+    in
+    let m =
+      Machine.create ~engine:(Engine.create ~seed:(Int64.of_int seed) ()) config
+    in
+    let cfg =
+      Sea_serve.Server.config ~queue_depth:depth ~discipline
+        ~preemption_timer:(Time.ms timer_ms) ~mode ~duration:(Time.s duration_s)
+        ()
+    in
+    let deadline = Option.map Time.ms deadline_ms in
+    let process =
+      match closed with
+      | Some clients -> `Closed (clients, Time.ms think_ms)
+      | None -> `Open rate
+    in
+    let workload = Sea_serve.Workload.preset ?deadline ~tenants process in
+    let report = or_die (Sea_serve.Server.run m cfg workload) in
+    print_endline (Sea_serve.Report.render report)
+  with Invalid_argument e -> or_die (Error e)
+
+let serve_cmd =
+  let rate_arg =
+    let doc = "Total open-loop arrival rate, requests/second." in
+    Arg.(value & opt float 16. & info [ "r"; "rate" ] ~docv:"RATE" ~doc)
+  in
+  let duration_arg =
+    let doc = "How long arrivals keep coming, seconds of simulated time." in
+    Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let cores_arg =
+    let doc = "Override the preset's core count." in
+    Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of tenants (single-kind mixes cycling ssh/ca/kv)." in
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let depth_arg =
+    let doc = "Admission queue depth; arrivals beyond it are shed." in
+    Arg.(value & opt int 16 & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let discipline_arg =
+    let doc = "Admission discipline: $(b,fifo) or $(b,weighted)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("fifo", Sea_serve.Admission.Fifo);
+               ("weighted", Sea_serve.Admission.Weighted);
+             ])
+          Sea_serve.Admission.Fifo
+      & info [ "discipline" ] ~docv:"DISC" ~doc)
+  in
+  let timer_arg =
+    let doc = "Preemption-timer slice budget, ms (proposed mode)." in
+    Arg.(value & opt float 10. & info [ "timer" ] ~docv:"MS" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Queueing deadline, ms: requests queued longer are dropped." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let closed_arg =
+    let doc =
+      "Closed-loop mode: this many clients per tenant, each waiting for its \
+       response before the next request (replaces the open-loop $(b,--rate))."
+    in
+    Arg.(value & opt (some int) None & info [ "closed" ] ~docv:"CLIENTS" ~doc)
+  in
+  let think_arg =
+    let doc = "Mean closed-loop think time, ms." in
+    Arg.(value & opt float 0. & info [ "think" ] ~docv:"MS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Simulation seed; identical seeds give identical reports." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a multi-tenant PAL request load and report per-tenant \
+          goodput, shed/timeout counts and p50/p95/p99 latency. Compare \
+          $(b,--mode current) with $(b,--mode proposed) on the same seed to \
+          see what the recommended hardware buys under load.")
+    Term.(
+      const run_serve $ machine_arg $ serve_mode_arg $ rate_arg $ duration_arg
+      $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg $ timer_arg
+      $ deadline_arg $ closed_arg $ think_arg $ seed_arg)
+
 (* --- main --- *)
 
 let () =
   let info =
     Cmd.info "sea-cli" ~version:"1.0"
-      ~doc:"Simulated minimal-TCB code execution (McCune et al., ASPLOS 2008)"
+      ~doc:
+        "Simulated minimal-TCB code execution (McCune et al., ASPLOS 2008). \
+         Subcommands: machines, session, attest, lifecycle, attack, boot, \
+         toctou, analyze, serve."
   in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             machines_cmd; session_cmd; attest_cmd; lifecycle_cmd; attack_cmd;
-            boot_cmd; toctou_cmd; analyze_cmd;
+            boot_cmd; toctou_cmd; analyze_cmd; serve_cmd;
           ]))

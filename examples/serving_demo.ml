@@ -1,0 +1,45 @@
+(* The serving experiment in miniature: the same three tenants firing
+   the same Poisson request stream at the same machine, once on today's
+   hardware (every request a full SKINIT session, whole platform
+   stalled) and once on the proposed hardware (resident suspended PALs,
+   every core serving). Same seed, same workload — only the hardware
+   differs. *)
+
+let seed = 42L
+let rate = 16. (* requests/s across all tenants *)
+let duration = Sea_sim.Time.s 4.
+
+let machine proposed =
+  let config = Sea_hw.Machine.low_fidelity Sea_hw.Machine.hp_dc5750 in
+  let config =
+    if proposed then Sea_hw.Machine.proposed_variant config else config
+  in
+  Sea_hw.Machine.create ~engine:(Sea_sim.Engine.create ~seed ()) config
+
+let serve mode =
+  let m = machine (mode = Sea_serve.Server.Proposed) in
+  let cfg =
+    Sea_serve.Server.config ~queue_depth:8 ~mode ~duration ()
+  in
+  let tenants = Sea_serve.Workload.preset ~tenants:3 (`Open rate) in
+  match Sea_serve.Server.run m cfg tenants with
+  | Ok report -> report
+  | Error e ->
+      Printf.eprintf "serving failed: %s\n" e;
+      exit 1
+
+let () =
+  let current = serve Sea_serve.Server.Current in
+  let proposed = serve Sea_serve.Server.Proposed in
+  print_endline (Sea_serve.Report.render current);
+  print_newline ();
+  print_endline (Sea_serve.Report.render proposed);
+  print_newline ();
+  let goodput r =
+    Sea_serve.Report.goodput_per_s r r.Sea_serve.Report.aggregate
+  in
+  Printf.printf
+    "At %.0f req/s offered, today's hardware sustains %.2f req/s and the \
+     proposed hardware %.2f req/s — %.0fx.\n"
+    rate (goodput current) (goodput proposed)
+    (goodput proposed /. goodput current)

@@ -14,6 +14,19 @@ let simulate ~rate_pps ~duration ~ring_slots ~stall_windows =
   let windows =
     List.sort (fun (a, _) (b, _) -> Time.compare a b) stall_windows
   in
+  (* Two stalls cannot overlap in wall-clock time: each one is the whole
+     platform frozen. Catch malformed window lists instead of silently
+     double-counting their intersection. *)
+  let rec check = function
+    | (s, e) :: _ when Time.compare e s < 0 ->
+        invalid_arg "Netload.simulate: stall window ends before it starts"
+    | (_, e1) :: (((s2, _) :: _) as rest) ->
+        if Time.compare s2 e1 < 0 then
+          invalid_arg "Netload.simulate: stall windows overlap"
+        else check rest
+    | [ _ ] | [] -> ()
+  in
+  check windows;
   let interval_ns = 1_000_000_000 / rate_pps in
   let total_ns = Time.to_ns duration in
   let offered = total_ns / interval_ns in

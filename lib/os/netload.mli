@@ -28,8 +28,10 @@ val simulate :
   stats
 (** Pure occupancy simulation: packets arrive every [1/rate_pps]; the
     OS drains the ring instantaneously outside stall windows and not at
-    all inside them. Windows must be disjoint; order is not required.
-    Raises [Invalid_argument] on a non-positive rate or ring size. *)
+    all inside them. Windows must be disjoint (order is not required)
+    and each must end no earlier than it starts; both properties are
+    checked. Raises [Invalid_argument] on a non-positive rate or ring
+    size, on overlapping windows, or on a window of negative length. *)
 
 val collect_stall_windows :
   Sea_hw.Machine.t ->

@@ -1,0 +1,101 @@
+type discipline = Fifo | Weighted
+
+let discipline_name = function Fifo -> "fifo" | Weighted -> "weighted"
+
+type 'a t = {
+  discipline : discipline;
+  depth : int;
+  tenants : int;
+  weights : int array;
+  queues : 'a Queue.t array; (* Fifo uses only queues.(0)'s sibling below *)
+  fifo : (int * 'a) Queue.t;
+  credits : int array;
+  mutable cursor : int;
+  mutable length : int;
+  mutable high_water : int;
+  tenant_lengths : int array;
+  tenant_high_water : int array;
+}
+
+let create ~discipline ~depth ~weights =
+  if depth <= 0 then invalid_arg "Admission.create: depth must be positive";
+  let tenants = Array.length weights in
+  if tenants = 0 then invalid_arg "Admission.create: no tenants";
+  Array.iter
+    (fun w ->
+      if w <= 0 then invalid_arg "Admission.create: weights must be positive")
+    weights;
+  {
+    discipline;
+    depth;
+    tenants;
+    weights = Array.copy weights;
+    queues = Array.init tenants (fun _ -> Queue.create ());
+    fifo = Queue.create ();
+    credits = Array.copy weights;
+    cursor = 0;
+    length = 0;
+    high_water = 0;
+    tenant_lengths = Array.make tenants 0;
+    tenant_high_water = Array.make tenants 0;
+  }
+
+let length t = t.length
+let tenant_length t i = t.tenant_lengths.(i)
+let high_water t = t.high_water
+let tenant_high_water t i = t.tenant_high_water.(i)
+
+let full t ~tenant =
+  match t.discipline with
+  | Fifo -> t.length >= t.depth
+  | Weighted -> t.tenant_lengths.(tenant) >= t.depth
+
+let offer t ~tenant x =
+  if tenant < 0 || tenant >= t.tenants then
+    invalid_arg "Admission.offer: unknown tenant";
+  if full t ~tenant then false
+  else begin
+    (match t.discipline with
+    | Fifo -> Queue.push (tenant, x) t.fifo
+    | Weighted -> Queue.push x t.queues.(tenant));
+    t.length <- t.length + 1;
+    if t.length > t.high_water then t.high_water <- t.length;
+    t.tenant_lengths.(tenant) <- t.tenant_lengths.(tenant) + 1;
+    if t.tenant_lengths.(tenant) > t.tenant_high_water.(tenant) then
+      t.tenant_high_water.(tenant) <- t.tenant_lengths.(tenant);
+    true
+  end
+
+let took t tenant x =
+  t.length <- t.length - 1;
+  t.tenant_lengths.(tenant) <- t.tenant_lengths.(tenant) - 1;
+  Some (tenant, x)
+
+let take t =
+  if t.length = 0 then None
+  else
+    match t.discipline with
+    | Fifo ->
+        let tenant, x = Queue.pop t.fifo in
+        took t tenant x
+    | Weighted ->
+        (* Weighted round-robin: the cursor tenant is served while it has
+           backlog and credit; otherwise the cursor advances, refilling
+           the next tenant's credit from its weight. A tenant with
+           weight [w] gets up to [w] consecutive dequeues per visit, so
+           service shares follow the weights while empty queues donate
+           their turn. Terminates: some queue is non-empty, and
+           advancing onto a tenant refills its credit. *)
+        let rec find () =
+          if t.tenant_lengths.(t.cursor) > 0 && t.credits.(t.cursor) > 0 then
+            t.cursor
+          else begin
+            t.cursor <- (t.cursor + 1) mod t.tenants;
+            t.credits.(t.cursor) <- t.weights.(t.cursor);
+            find ()
+          end
+        in
+        let i = find () in
+        t.credits.(i) <- t.credits.(i) - 1;
+        let x = Queue.pop t.queues.(i) in
+        took t i x

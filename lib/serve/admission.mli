@@ -1,0 +1,37 @@
+(** Bounded admission queues for the serving layer.
+
+    Two disciplines:
+
+    - [Fifo] — one global bounded queue, strict arrival order, shared
+      [depth]; an arrival finding the queue full is shed.
+    - [Weighted] — one bounded queue per tenant ([depth] each) drained
+      by weighted round-robin: a tenant with weight [w] gets up to [w]
+      dequeues per round while backlogged, so service shares follow the
+      weights and one tenant's burst cannot starve the others.
+
+    Purely mechanical (no clock, no randomness): determinism of the
+    serving loop rests on [take] order being a function of [offer]
+    order alone. High-water marks are tracked for the report. *)
+
+type discipline = Fifo | Weighted
+
+val discipline_name : discipline -> string
+
+type 'a t
+
+val create : discipline:discipline -> depth:int -> weights:int array -> 'a t
+(** One slot-count [depth] (global for [Fifo], per-tenant for
+    [Weighted]); [weights] gives the tenant count and their
+    round-robin shares (ignored by [Fifo]). Raises [Invalid_argument]
+    on a non-positive depth or weight, or zero tenants. *)
+
+val offer : 'a t -> tenant:int -> 'a -> bool
+(** Enqueue, or return [false] (shed) if the relevant bound is hit. *)
+
+val take : 'a t -> (int * 'a) option
+(** Dequeue the next request and its tenant, per the discipline. *)
+
+val length : 'a t -> int
+val tenant_length : 'a t -> int -> int
+val high_water : 'a t -> int
+val tenant_high_water : 'a t -> int -> int

@@ -1,0 +1,66 @@
+open Sea_sim
+
+type row = {
+  tenant : string;
+  weight : int;
+  offered : int;
+  completed : int;
+  shed : int;
+  timed_out : int;
+  failed : int;
+  latency_ms : Stats.t;
+  queue_high_water : int;
+}
+
+type t = {
+  mode : string;
+  machine : string;
+  cores : int;
+  discipline : string;
+  depth : int;
+  window : Time.t;
+  rows : row list;
+  aggregate : row;
+  pal_busy : Time.t;
+  legacy_utilization : float;
+  stalled : Time.t;
+  stall_ms : Stats.t;
+  cold_starts : int;
+  warm_hits : int;
+  evictions : int;
+  sepcr_waits : int;
+  sepcr_wait_ms : Stats.t;
+}
+
+let window_s t = Time.to_ms t.window /. 1000.
+
+let goodput_per_s t row =
+  let s = window_s t in
+  if s <= 0. then 0. else float_of_int row.completed /. s
+
+let pp_row t fmt row =
+  Format.fprintf fmt "%-14s %3d %7d %7d %6d %8d %5d %9.2f  %a %6d"
+    row.tenant row.weight row.offered row.completed row.shed row.timed_out
+    row.failed (goodput_per_s t row) Stats.pp_percentiles row.latency_ms
+    row.queue_high_water
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>serve: %s on %s  cores %d  queue %s depth %d  window %a@,"
+    t.mode t.machine t.cores t.discipline t.depth Time.pp t.window;
+  Format.fprintf fmt
+    "%-14s %3s %7s %7s %6s %8s %5s %9s  %-24s %6s@," "tenant" "w" "offered"
+    "served" "shed" "timedout" "fail" "goodput/s" "latency (ms)" "q-hwm";
+  List.iter (fun row -> Format.fprintf fmt "%a@," (pp_row t) row) t.rows;
+  Format.fprintf fmt "%a@," (pp_row t) t.aggregate;
+  Format.fprintf fmt
+    "PAL cores busy %a  legacy CPU %.1f%%  platform stalled %a (%d stalls, %a)@,"
+    Time.pp t.pal_busy
+    (100. *. t.legacy_utilization)
+    Time.pp t.stalled (Stats.count t.stall_ms) Stats.pp_percentiles t.stall_ms;
+  Format.fprintf fmt
+    "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d (%a)@]"
+    t.cold_starts t.warm_hits t.evictions t.sepcr_waits Stats.pp_percentiles
+    t.sepcr_wait_ms
+
+let render t = Format.asprintf "%a" pp t

@@ -1,0 +1,49 @@
+(** Serving reports: per-tenant and aggregate accounting of one
+    {!Server.run}, with tail latencies.
+
+    Invariant per row: [offered = completed + shed + timed_out + failed]
+    plus any requests still queued when the run was cut off (the server
+    drains its queue, so normally none). Goodput is completed requests
+    over the measurement window; the window extends past the configured
+    duration if the backlog drained later. *)
+
+open Sea_sim
+
+type row = {
+  tenant : string;
+  weight : int;
+  offered : int;  (** Requests that arrived (incl. later shed ones). *)
+  completed : int;  (** Served successfully: the goodput numerator. *)
+  shed : int;  (** Rejected at admission: queue bound hit. *)
+  timed_out : int;  (** Dropped at dispatch: queued past the deadline. *)
+  failed : int;  (** Session/launch errors (normally zero). *)
+  latency_ms : Stats.t;  (** Arrival-to-response, completed requests. *)
+  queue_high_water : int;
+}
+
+type t = {
+  mode : string;
+  machine : string;
+  cores : int;
+  discipline : string;
+  depth : int;
+  window : Time.t;
+  rows : row list;
+  aggregate : row;
+  pal_busy : Time.t;  (** Total core-time spent in or stalled on PALs. *)
+  legacy_utilization : float;
+      (** Fraction of core-time left to the legacy OS, in [0,1]. *)
+  stalled : Time.t;  (** Whole-platform stall (today's hardware only). *)
+  stall_ms : Stats.t;  (** Per-request stall intervals, ms. *)
+  cold_starts : int;  (** Launches that paid full measurement. *)
+  warm_hits : int;  (** Requests served by a resident suspended PAL. *)
+  evictions : int;  (** Residents SKILLed to free an sePCR. *)
+  sepcr_waits : int;  (** Cold starts that blocked on a busy sePCR pool. *)
+  sepcr_wait_ms : Stats.t;
+}
+
+val goodput_per_s : t -> row -> float
+val pp : Format.formatter -> t -> unit
+val render : t -> string
+(** The full report as a string; identical seeds and configuration give
+    bit-identical renders. *)

@@ -1,0 +1,474 @@
+open Sea_sim
+open Sea_tpm
+open Sea_hw
+open Sea_core
+
+type mode = Current | Proposed
+
+let mode_name = function Current -> "current hw" | Proposed -> "proposed hw"
+
+type config = {
+  mode : mode;
+  duration : Time.t;
+  queue_depth : int;
+  discipline : Admission.discipline;
+  preemption_timer : Time.t;
+}
+
+let config ?(queue_depth = 16) ?(discipline = Admission.Fifo)
+    ?(preemption_timer = Time.ms 10.) ~mode ~duration () =
+  if Time.compare duration Time.zero <= 0 then
+    invalid_arg "Server.config: duration must be positive";
+  if queue_depth <= 0 then
+    invalid_arg "Server.config: queue depth must be positive";
+  if Time.compare preemption_timer Time.zero <= 0 then
+    invalid_arg "Server.config: preemption timer must be positive";
+  { mode; duration; queue_depth; discipline; preemption_timer }
+
+(* One queued request. [client] is the closed-loop client slot that will
+   reissue once this request is answered ([None] for open-loop). *)
+type req = {
+  tenant : int;
+  kind : Workload.kind;
+  arrival : Time.t;
+  client : int option;
+}
+
+type ev =
+  | Arrival of { tenant : int; kind : Workload.kind; client : int option }
+  | Core_free of int
+
+(* A PAL kept suspended in access-controlled memory between requests on
+   the proposed hardware. [busy_until] is virtual time: the moment its
+   current burst of requests will have drained. *)
+type resident = {
+  session : Slaunch_session.t;
+  mutable busy_until : Time.t;
+  mutable last_core : int;
+  mutable last_used : Time.t;
+}
+
+exception Serve_error of string
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let run (m : Machine.t) cfg tenant_list =
+  let tenants = Array.of_list tenant_list in
+  let n = Array.length tenants in
+  if n = 0 then invalid_arg "Server.run: no tenants";
+  let engine = m.Machine.engine in
+  let* tpm =
+    match m.Machine.tpm with
+    | Some tpm -> Ok tpm
+    | None -> Error "serving requires a TPM (sealed state and attestation)"
+  in
+  let* () =
+    match cfg.mode with
+    | Current -> Ok ()
+    | Proposed ->
+        if m.Machine.config.Machine.proposed then Ok ()
+        else Error "proposed mode requires the proposed hardware variant"
+  in
+  let nkinds = List.length Workload.kinds in
+  let key tenant kind = (tenant * nkinds) + Workload.kind_index kind in
+  (* --- bootstrap: on today's hardware every (tenant, kind) needs its
+     sealed state created by a full init session before serving. On the
+     proposed hardware state lives with the resident PAL instead. --- *)
+  let states : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let bootstrap_one i kind =
+    let k = key i kind in
+    if Hashtbl.mem states k then Ok ()
+    else
+      let input =
+        Workload.init_input kind ~tenant:tenants.(i).Workload.name
+      in
+      let* outcome = Session.execute m ~cpu:0 (Workload.pal kind) ~input in
+      let* state =
+        Workload.init_state_of_output kind outcome.Session.output
+      in
+      Hashtbl.add states k state;
+      Ok ()
+  in
+  let* () =
+    match cfg.mode with
+    | Proposed -> Ok ()
+    | Current ->
+        let rec boot i =
+          if i = n then Ok ()
+          else
+            let rec kinds = function
+              | [] -> boot (i + 1)
+              | (kind, _) :: rest ->
+                  let* () = bootstrap_one i kind in
+                  kinds rest
+            in
+            kinds tenants.(i).Workload.mix
+        in
+        boot 0
+  in
+  (* The serving window starts after bootstrap, on a clean clock. *)
+  let base = Engine.now engine in
+  let finish_line = Time.add base cfg.duration in
+  let rngs = Array.map (fun _ -> Rng.split (Engine.rng engine)) tenants in
+  let events : ev Event_queue.t = Event_queue.create () in
+  (* Open-loop tenants: the whole Poisson arrival train is drawn up
+     front from the tenant's stream. Closed-loop tenants: one initial
+     arrival per client; reissues are scheduled as responses land. *)
+  Array.iteri
+    (fun i ten ->
+      match ten.Workload.process with
+      | Workload.Open_loop { rate_per_s } ->
+          let mean_ms = 1000. /. rate_per_s in
+          let t = ref base in
+          let continue = ref true in
+          while !continue do
+            t :=
+              Time.add !t (Time.ms (Rng.exponential rngs.(i) ~mean:mean_ms));
+            if Time.compare !t finish_line < 0 then
+              Event_queue.push events ~time:!t
+                (Arrival
+                   { tenant = i; kind = Workload.draw_kind rngs.(i) ten; client = None })
+            else continue := false
+          done
+      | Workload.Closed_loop { clients; _ } ->
+          for c = 0 to clients - 1 do
+            Event_queue.push events ~time:base
+              (Arrival
+                 { tenant = i; kind = Workload.draw_kind rngs.(i) ten; client = Some c })
+          done)
+    tenants;
+  (* --- accounting --- *)
+  let offered = Array.make n 0
+  and completed = Array.make n 0
+  and shed = Array.make n 0
+  and timed_out = Array.make n 0
+  and failed = Array.make n 0 in
+  let latency = Array.init n (fun _ -> Stats.create ()) in
+  let agg_latency = Stats.create () in
+  let seqs = Array.make (n * nkinds) 0 in
+  let next_seq k =
+    let s = seqs.(k) in
+    seqs.(k) <- s + 1;
+    s
+  in
+  let pal_busy = ref Time.zero in
+  let stalled = ref Time.zero in
+  let stall_ms = Stats.create () in
+  let cold_starts = ref 0
+  and warm_hits = ref 0
+  and evictions = ref 0
+  and sepcr_waits = ref 0 in
+  let sepcr_wait_ms = Stats.create () in
+  let last_completion = ref base in
+  let queue : req Admission.t =
+    Admission.create ~discipline:cfg.discipline ~depth:cfg.queue_depth
+      ~weights:(Array.map (fun t -> t.Workload.weight) tenants)
+  in
+  let cores =
+    match cfg.mode with
+    | Current -> [ 0 ] (* one server: a session owns the whole platform *)
+    | Proposed -> List.init (Array.length m.Machine.cpus) Fun.id
+  in
+  let idle : int Queue.t = Queue.create () in
+  List.iter (fun c -> Queue.push c idle) cores;
+  (* --- execution on today's hardware: one full SKINIT session per
+     request, whole platform stalled for its duration. --- *)
+  let serve_current ~t r =
+    Engine.elapse_to engine t;
+    let t0 = Engine.now engine in
+    let k = key r.tenant r.kind in
+    let state = Hashtbl.find states k in
+    let input =
+      Workload.request_input r.kind ~tenant:tenants.(r.tenant).Workload.name
+        ~state ~seq:(next_seq k)
+    in
+    let ok =
+      match Session.execute m ~cpu:0 (Workload.pal r.kind) ~input with
+      | Ok o ->
+          if Workload.updates_state r.kind then
+            Hashtbl.replace states k o.Session.output;
+          true
+      | Error _ -> false
+    in
+    let d = Time.sub (Engine.now engine) t0 in
+    stalled := Time.add !stalled d;
+    Stats.add_time stall_ms d;
+    (d, ok)
+  in
+  (* --- execution on the proposed hardware: requests run against a
+     resident suspended PAL (same measured bytes as the application PAL),
+     consuming the request's compute in preemption-timer slices. A cold
+     start pays SLAUNCH measurement; the sePCR bank bounds how many
+     residents can exist, so beyond it cold starts evict (SKILL) the
+     resident whose burst drains earliest, waiting for it if busy. --- *)
+  let residents : (int, resident) Hashtbl.t = Hashtbl.create 16 in
+  let durable : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let pool = m.Machine.config.Machine.sepcr_count in
+  let fail e = raise (Serve_error e) in
+  let evict ~t =
+    let victim =
+      Hashtbl.fold
+        (fun k res acc ->
+          let rank r kk =
+            (r.busy_until, r.last_used, kk)
+          in
+          match acc with
+          | None -> Some (k, res)
+          | Some (k', res') ->
+              if compare (rank res k) (rank res' k') < 0 then Some (k, res)
+              else acc)
+        residents None
+    in
+    match victim with
+    | None -> Time.zero
+    | Some (vkey, vres) ->
+        let wait = Time.max Time.zero (Time.sub vres.busy_until t) in
+        if Time.compare wait Time.zero > 0 then begin
+          incr sepcr_waits;
+          Stats.add_time sepcr_wait_ms wait
+        end;
+        incr evictions;
+        (* The state hand-off seal the PAL performs at the end of its
+           final burst, accounted at eviction time; the blob is what a
+           future cold start of the same code identity will unseal. *)
+        (match Slaunch_session.sepcr_handle vres.session with
+        | Some h -> (
+            match
+              Tpm.seal tpm
+                ~caller:(Tpm.Cpu vres.last_core)
+                ~sepcr:h ~pcr_policy:[]
+                ("resident-state:" ^ string_of_int vkey)
+            with
+            | Ok blob -> Hashtbl.replace durable vkey blob
+            | Error _ -> ())
+        | None -> ());
+        (match Slaunch_session.kill vres.session with
+        | Ok () -> ()
+        | Error e -> fail ("evicting resident: " ^ e));
+        Slaunch_session.release vres.session;
+        Hashtbl.remove residents vkey;
+        wait
+  in
+  let serve_proposed ~core ~t r =
+    Engine.elapse_to engine t;
+    let e0 = Engine.now engine in
+    let k = key r.tenant r.kind in
+    ignore (next_seq k);
+    try
+      let virtual_wait = ref Time.zero in
+      let res =
+        match Hashtbl.find_opt residents k with
+        | Some res ->
+            incr warm_hits;
+            (* Requests for the same (tenant, kind) serialize behind the
+               single resident's in-flight burst. *)
+            virtual_wait := Time.max Time.zero (Time.sub res.busy_until t);
+            res
+        | None ->
+            incr cold_starts;
+            if Hashtbl.length residents >= pool then
+              virtual_wait := Time.add !virtual_wait (evict ~t);
+            let session =
+              match
+                Slaunch_session.start m ~cpu:core
+                  ~preemption_timer:cfg.preemption_timer
+                  (Workload.resident_pal r.kind) ~input:""
+              with
+              | Ok s -> s
+              | Error e -> fail ("cold start: " ^ e)
+            in
+            (* A re-launch after eviction unseals the durable state the
+               previous incarnation sealed out — same code identity, so
+               the sePCR-bound blob opens. *)
+            (match (Hashtbl.find_opt durable k, Slaunch_session.sepcr_handle session) with
+            | Some blob, Some h ->
+                (match Tpm.unseal tpm ~caller:(Tpm.Cpu core) ~sepcr:h blob with
+                | Ok _ -> ()
+                | Error e -> fail ("reloading durable state: " ^ e))
+            | _ -> ());
+            let res =
+              { session; busy_until = t; last_core = core; last_used = t }
+            in
+            Hashtbl.add residents k res;
+            res
+      in
+      (if Slaunch_session.state res.session = Lifecycle.Suspend then
+         match Slaunch_session.resume res.session ~cpu:core with
+         | Ok () -> ()
+         | Error e -> fail ("resume: " ^ e));
+      let rec consume remaining =
+        if Time.compare remaining Time.zero > 0 then begin
+          let budget = Time.min cfg.preemption_timer remaining in
+          match Slaunch_session.run_slice res.session ~cpu:core ~budget () with
+          | Ok `Yielded ->
+              let remaining = Time.sub remaining budget in
+              if Time.compare remaining Time.zero > 0 then begin
+                (match Slaunch_session.resume res.session ~cpu:core with
+                | Ok () -> ()
+                | Error e -> fail ("resume: " ^ e));
+                consume remaining
+              end
+          | Ok `Finished -> fail "resident PAL ran out of work"
+          | Error e -> fail ("run slice: " ^ e)
+        end
+      in
+      consume (Workload.work r.kind);
+      let d =
+        Time.add !virtual_wait (Time.sub (Engine.now engine) e0)
+      in
+      res.busy_until <- Time.add t d;
+      res.last_used <- res.busy_until;
+      res.last_core <- core;
+      (d, true)
+    with Serve_error _ ->
+      (Time.sub (Engine.now engine) e0, false)
+  in
+  (* --- the event loop: virtual-time queueing over real executions --- *)
+  let reissue tenant client t =
+    match client with
+    | None -> ()
+    | Some c -> (
+        match tenants.(tenant).Workload.process with
+        | Workload.Open_loop _ -> ()
+        | Workload.Closed_loop { think; _ } ->
+            let delay =
+              if Time.compare think Time.zero > 0 then
+                Time.ms
+                  (Rng.exponential rngs.(tenant) ~mean:(Time.to_ms think))
+              else Time.zero
+            in
+            let next = Time.add t delay in
+            if Time.compare next finish_line < 0 then
+              Event_queue.push events ~time:next
+                (Arrival
+                   {
+                     tenant;
+                     kind = Workload.draw_kind rngs.(tenant) tenants.(tenant);
+                     client = Some c;
+                   }))
+  in
+  let rec try_dispatch t =
+    if not (Queue.is_empty idle) then
+      match Admission.take queue with
+      | None -> ()
+      | Some (tenant, r) -> (
+          match tenants.(tenant).Workload.deadline with
+          | Some d when Time.compare (Time.sub t r.arrival) d > 0 ->
+              timed_out.(tenant) <- timed_out.(tenant) + 1;
+              reissue tenant r.client t;
+              try_dispatch t
+          | _ ->
+              let core = Queue.pop idle in
+              let d, ok =
+                match cfg.mode with
+                | Current -> serve_current ~t r
+                | Proposed -> serve_proposed ~core ~t r
+              in
+              let finish = Time.add t d in
+              if ok then begin
+                completed.(tenant) <- completed.(tenant) + 1;
+                let l = Time.to_ms (Time.sub finish r.arrival) in
+                Stats.add latency.(tenant) l;
+                Stats.add agg_latency l
+              end
+              else failed.(tenant) <- failed.(tenant) + 1;
+              let occupied =
+                match cfg.mode with
+                | Current -> Time.scale d (Array.length m.Machine.cpus)
+                | Proposed -> d
+              in
+              pal_busy := Time.add !pal_busy occupied;
+              if Time.compare finish !last_completion > 0 then
+                last_completion := finish;
+              Event_queue.push events ~time:finish (Core_free core);
+              reissue tenant r.client finish;
+              try_dispatch t)
+  in
+  let rec loop () =
+    match Event_queue.pop events with
+    | None -> ()
+    | Some (t, ev) ->
+        (match ev with
+        | Arrival { tenant; kind; client } ->
+            offered.(tenant) <- offered.(tenant) + 1;
+            let r = { tenant; kind; arrival = t; client } in
+            if Admission.offer queue ~tenant r then try_dispatch t
+            else begin
+              shed.(tenant) <- shed.(tenant) + 1;
+              reissue tenant client t
+            end
+        | Core_free core ->
+            Queue.push core idle;
+            try_dispatch t);
+        loop ()
+  in
+  loop ();
+  (* Tear down: SKILL any remaining residents so the machine is clean. *)
+  Hashtbl.iter
+    (fun _ res ->
+      (match Slaunch_session.kill res.session with
+      | Ok () -> ()
+      | Error _ -> ());
+      Slaunch_session.release res.session)
+    residents;
+  Hashtbl.reset residents;
+  (* --- report --- *)
+  let window = Time.max cfg.duration (Time.sub !last_completion base) in
+  let row i ten =
+    {
+      Report.tenant = ten.Workload.name;
+      weight = ten.Workload.weight;
+      offered = offered.(i);
+      completed = completed.(i);
+      shed = shed.(i);
+      timed_out = timed_out.(i);
+      failed = failed.(i);
+      latency_ms = latency.(i);
+      queue_high_water = Admission.tenant_high_water queue i;
+    }
+  in
+  let rows = Array.to_list (Array.mapi row tenants) in
+  let sum f = Array.fold_left (fun acc x -> acc + f x) 0 in
+  let aggregate =
+    {
+      Report.tenant = "aggregate";
+      weight = sum (fun t -> t.Workload.weight) tenants;
+      offered = sum Fun.id offered;
+      completed = sum Fun.id completed;
+      shed = sum Fun.id shed;
+      timed_out = sum Fun.id timed_out;
+      failed = sum Fun.id failed;
+      latency_ms = agg_latency;
+      queue_high_water = Admission.high_water queue;
+    }
+  in
+  let total_core_time =
+    Time.scale window (Array.length m.Machine.cpus)
+  in
+  let legacy_utilization =
+    if Time.compare total_core_time Time.zero <= 0 then 0.
+    else
+      Float.max 0.
+        (Time.to_ms (Time.sub total_core_time !pal_busy)
+        /. Time.to_ms total_core_time)
+  in
+  Ok
+    {
+      Report.mode = mode_name cfg.mode;
+      machine = m.Machine.config.Machine.name;
+      cores = List.length cores;
+      discipline = Admission.discipline_name cfg.discipline;
+      depth = cfg.queue_depth;
+      window;
+      rows;
+      aggregate;
+      pal_busy = !pal_busy;
+      legacy_utilization;
+      stalled = !stalled;
+      stall_ms;
+      cold_starts = !cold_starts;
+      warm_hits = !warm_hits;
+      evictions = !evictions;
+      sepcr_waits = !sepcr_waits;
+      sepcr_wait_ms;
+    }

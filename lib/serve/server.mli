@@ -1,0 +1,62 @@
+(** The serving loop: multi-tenant PAL request service, measured end to
+    end on one simulated machine.
+
+    This is the paper's §4.2 observation turned into a systems
+    experiment. On {e today's} hardware ([Current]) every request is a
+    full {!Sea_core.Session}: SKINIT measurement, TPM Unseal (and Seal
+    for resealing kinds), and a whole-platform stall for the duration —
+    one request at a time, hundreds of milliseconds each. On the
+    {e proposed} hardware ([Proposed]) each (tenant, kind) keeps a
+    resident PAL suspended in access-controlled memory
+    ({!Sea_core.Slaunch_session}): a warm request is a resume plus
+    preemption-timer slices of the request's compute, microseconds of
+    overhead, and every core serves concurrently while the legacy OS
+    keeps running. The finite sePCR bank bounds the resident set: a
+    cold start beyond it must evict (SKILL) another resident — sealing
+    its durable state out, to be unsealed by a later re-launch of the
+    same code identity — and waits if every resident is mid-burst.
+
+    Mechanically the loop is virtual-time queueing over real
+    executions: arrivals, admission and core occupancy are tracked in
+    virtual time off the engine clock, while every service interval is
+    measured by actually running the session or slices on the machine
+    (the engine clock ratchets forward monotonically). All randomness
+    comes from streams split off the machine engine, so a given seed
+    and configuration replays bit-identically. *)
+
+type mode = Current | Proposed
+
+val mode_name : mode -> string
+
+type config = {
+  mode : mode;
+  duration : Sea_sim.Time.t;  (** How long arrivals keep coming. *)
+  queue_depth : int;
+  discipline : Admission.discipline;
+  preemption_timer : Sea_sim.Time.t;  (** Slice budget ([Proposed]). *)
+}
+
+val config :
+  ?queue_depth:int ->
+  ?discipline:Admission.discipline ->
+  ?preemption_timer:Sea_sim.Time.t ->
+  mode:mode ->
+  duration:Sea_sim.Time.t ->
+  unit ->
+  config
+(** Defaults: depth 16, FIFO, 10 ms preemption timer. Raises
+    [Invalid_argument] on non-positive values. *)
+
+val run :
+  Sea_hw.Machine.t ->
+  config ->
+  Workload.tenant list ->
+  (Report.t, string) result
+(** Bootstrap sealed state (on [Current]), generate arrivals for
+    [duration], serve until the admitted backlog drains, and report.
+    The measurement window stretches to the last completion, so slow
+    modes cannot hide a backlog. [Error] covers machine/mode mismatch
+    (no TPM, or [Proposed] without the proposed hardware) and bootstrap
+    failures; per-request errors are counted in the report's [failed]
+    column instead. Raises [Invalid_argument] on an empty tenant
+    list. *)

@@ -1,0 +1,125 @@
+open Sea_sim
+open Sea_core
+
+type kind = Ssh_auth | Ca_sign | Kv_update
+
+let kinds = [ Ssh_auth; Ca_sign; Kv_update ]
+
+let kind_name = function
+  | Ssh_auth -> "ssh-auth"
+  | Ca_sign -> "ca-sign"
+  | Kv_update -> "kv-update"
+
+let kind_of_name = function
+  | "ssh-auth" -> Some Ssh_auth
+  | "ca-sign" -> Some Ca_sign
+  | "kv-update" -> Some Kv_update
+  | _ -> None
+
+let kind_index = function Ssh_auth -> 0 | Ca_sign -> 1 | Kv_update -> 2
+
+(* One shared Pal.t per kind: every invocation of a kind must carry the
+   same measurement, or sealed state created by one request would refuse
+   to unseal in the next. *)
+let ssh_pal = lazy (Sea_apps.Ssh_password.pal ())
+let ca_pal = lazy (Sea_apps.Cert_authority.pal ())
+
+let kv_pal =
+  (* The paper's resealing PAL Use at the full 64 KB SKINIT allows — the
+     distributed-computing pattern, and the heaviest launch in the mix. *)
+  lazy (Generic.pal_use ~reseal:true ~compute_time:(Time.ms 5.) ())
+
+let pal = function
+  | Ssh_auth -> Lazy.force ssh_pal
+  | Ca_sign -> Lazy.force ca_pal
+  | Kv_update -> Lazy.force kv_pal
+
+let work k = (pal k).Pal.compute_time
+
+let password tenant = "pw-" ^ tenant
+
+let init_input k ~tenant =
+  match k with
+  | Ssh_auth -> Sea_apps.Codec.command "setup" [ tenant; password tenant ]
+  | Ca_sign -> Sea_apps.Codec.command "init" []
+  | Kv_update -> "" (* the Gen entry point of the shared Gen/Use binary *)
+
+let init_state_of_output k output =
+  match k with
+  | Ssh_auth | Kv_update -> Ok output
+  | Ca_sign -> (
+      match Sea_apps.Codec.parse_command output with
+      | Some ("init-ok", [ _public; blob ]) -> Ok blob
+      | _ -> Error "unexpected CA init output")
+
+let request_input k ~tenant ~state ~seq =
+  match k with
+  | Ssh_auth -> Sea_apps.Codec.command "auth" [ state; tenant; password tenant ]
+  | Ca_sign ->
+      Sea_apps.Codec.command "sign"
+        [ state; Printf.sprintf "CN=%s/%d" tenant seq ]
+  | Kv_update -> state
+
+let updates_state = function Kv_update -> true | Ssh_auth | Ca_sign -> false
+
+(* The resident flavour of a kind for the proposed hardware: the same
+   measured bytes (so attestation and sealed-state binding are unchanged)
+   but open-ended work, letting the serving layer feed it one request's
+   worth of compute per SLAUNCH/SYIELD cycle and keep it suspended in
+   access-controlled memory between requests. *)
+let resident_pal k =
+  let p = pal k in
+  Pal.of_code ~name:(p.Pal.name ^ "-resident") ~code:p.Pal.code
+    ~compute_time:(Time.s 1_000_000.) (fun _ _ -> Ok "resident")
+
+type process =
+  | Open_loop of { rate_per_s : float }
+  | Closed_loop of { clients : int; think : Time.t }
+
+type tenant = {
+  name : string;
+  weight : int;
+  mix : (kind * int) list;
+  process : process;
+  deadline : Time.t option;
+}
+
+let tenant ?(weight = 1) ?(mix = [ (Ssh_auth, 1) ]) ?deadline ~name process =
+  if weight <= 0 then invalid_arg "Workload.tenant: weight must be positive";
+  if mix = [] then invalid_arg "Workload.tenant: empty request mix";
+  List.iter
+    (fun (_, w) ->
+      if w <= 0 then invalid_arg "Workload.tenant: mix weights must be positive")
+    mix;
+  (match process with
+  | Open_loop { rate_per_s } ->
+      if rate_per_s <= 0. then
+        invalid_arg "Workload.tenant: rate must be positive"
+  | Closed_loop { clients; _ } ->
+      if clients <= 0 then
+        invalid_arg "Workload.tenant: clients must be positive");
+  { name; weight; mix; process; deadline }
+
+let draw_kind rng t =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 t.mix in
+  let x = Rng.int rng total in
+  let rec pick acc = function
+    | [] -> fst (List.hd t.mix)
+    | (k, w) :: rest -> if x < acc + w then k else pick (acc + w) rest
+  in
+  pick 0 t.mix
+
+let preset ?deadline ~tenants process =
+  if tenants <= 0 then invalid_arg "Workload.preset: tenants must be positive";
+  List.init tenants (fun i ->
+      let k = List.nth kinds (i mod List.length kinds) in
+      let process =
+        match process with
+        | `Open total_rate -> Open_loop { rate_per_s = total_rate /. float_of_int tenants }
+        | `Closed (clients, think) -> Closed_loop { clients; think }
+      in
+      tenant
+        ~name:(Printf.sprintf "t%d-%s" i (kind_name k))
+        ~weight:(1 + (i mod 3))
+        ~mix:[ (k, 1) ]
+        ?deadline process)

@@ -1,0 +1,99 @@
+(** Serving workloads: request kinds drawn from the paper's example
+    applications ([lib/apps]) and per-tenant arrival processes.
+
+    A {e request kind} couples a real application PAL (its measured
+    bytes, its protected compute and its sealed-state discipline) with
+    the input framing one request of that application needs:
+
+    - [Ssh_auth] — {!Sea_apps.Ssh_password}: unseal the password record,
+      check an attempt, no reseal (8 KB, 1 ms of protected work);
+    - [Ca_sign] — {!Sea_apps.Cert_authority}: unseal the signing key,
+      sign a CSR, no reseal (16 KB, 2 ms);
+    - [Kv_update] — the paper's resealing PAL Use ({!Sea_core.Generic}):
+      unseal, update, reseal (64 KB, 5 ms) — the distributed-computing
+      pattern, and the heaviest launch in the mix.
+
+    A {e tenant} names a principal sending a weighted mix of request
+    kinds under an arrival process: open-loop Poisson (arrivals keep
+    coming regardless of service — the overload regime) or closed-loop
+    fixed concurrency (each simulated client waits for its response,
+    thinks, and sends the next — the interactive regime). All
+    randomness is drawn from {!Sea_sim.Rng} streams split off the
+    machine engine, so workloads replay bit-identically from a seed. *)
+
+type kind = Ssh_auth | Ca_sign | Kv_update
+
+val kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val kind_index : kind -> int
+
+val pal : kind -> Sea_core.Pal.t
+(** The application PAL serving this kind — one shared [Pal.t] per kind,
+    so every request of a kind carries the same measurement and sealed
+    state round-trips between requests. *)
+
+val work : kind -> Sea_sim.Time.t
+(** Application-specific protected compute per request (the PAL's
+    [compute_time]); what a resident PAL consumes per request on the
+    proposed hardware. *)
+
+val init_input : kind -> tenant:string -> string
+(** The state-creating command (PAL Gen / [setup] / [init]) run once per
+    (tenant, kind) before serving starts on today's hardware. *)
+
+val init_state_of_output : kind -> string -> (string, string) result
+(** Extract the sealed state blob the init session returned. *)
+
+val request_input : kind -> tenant:string -> state:string -> seq:int -> string
+(** Frame one request against the current sealed state blob. *)
+
+val updates_state : kind -> bool
+(** Whether a completed request's output replaces the sealed state blob
+    (the resealing pattern). *)
+
+val resident_pal : kind -> Sea_core.Pal.t
+(** The same measured bytes with open-ended work, for keeping the PAL
+    resident under {!Sea_core.Slaunch_session} on the proposed hardware
+    and feeding it one request's compute per resume/yield cycle. *)
+
+(** {1 Tenants} *)
+
+type process =
+  | Open_loop of { rate_per_s : float }
+      (** Poisson arrivals at the given mean rate. *)
+  | Closed_loop of { clients : int; think : Sea_sim.Time.t }
+      (** [clients] concurrent closed-loop clients; after each response
+          (or rejection) a client thinks for an exponentially
+          distributed time of the given mean ([Time.zero] = none)
+          before its next request. *)
+
+type tenant = {
+  name : string;
+  weight : int;  (** Share under weighted-fair admission. *)
+  mix : (kind * int) list;  (** Weighted request mix. *)
+  process : process;
+  deadline : Sea_sim.Time.t option;
+      (** Queueing deadline: a request still queued this long after
+          arrival is dropped as timed out rather than served. *)
+}
+
+val tenant :
+  ?weight:int ->
+  ?mix:(kind * int) list ->
+  ?deadline:Sea_sim.Time.t ->
+  name:string ->
+  process ->
+  tenant
+(** Validated constructor. Defaults: weight 1, mix 100% [Ssh_auth], no
+    deadline. Raises [Invalid_argument] on non-positive weights, rates,
+    client counts or an empty mix. *)
+
+val draw_kind : Sea_sim.Rng.t -> tenant -> kind
+(** Sample one request kind from the tenant's weighted mix. *)
+
+val preset : ?deadline:Sea_sim.Time.t -> tenants:int -> [ `Open of float | `Closed of int * Sea_sim.Time.t ] -> tenant list
+(** [preset ~tenants:n (`Open total_rate)] builds [n] single-kind
+    tenants cycling through {!kinds} with weights cycling 1–3, the
+    total arrival rate split evenly; [`Closed (clients, think)] gives
+    every tenant that many closed-loop clients instead. *)

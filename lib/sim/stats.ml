@@ -5,13 +5,23 @@ type t = {
   mutable sum_sq : float;
   mutable min : float;
   mutable max : float;
+  mutable sorted : float array option; (* cache, invalidated by [add] *)
 }
 
 let create () =
-  { values = []; count = 0; sum = 0.; sum_sq = 0.; min = infinity; max = neg_infinity }
+  {
+    values = [];
+    count = 0;
+    sum = 0.;
+    sum_sq = 0.;
+    min = infinity;
+    max = neg_infinity;
+    sorted = None;
+  }
 
 let add t x =
   t.values <- x :: t.values;
+  t.sorted <- None;
   t.count <- t.count + 1;
   t.sum <- t.sum +. x;
   t.sum_sq <- t.sum_sq +. (x *. x);
@@ -32,10 +42,18 @@ let stdev t =
 let min t = t.min
 let max t = t.max
 
+let sorted_samples t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list t.values in
+      Array.sort Float.compare arr;
+      t.sorted <- Some arr;
+      arr
+
 let percentile t p =
   if t.count = 0 then invalid_arg "Stats.percentile: empty accumulator";
-  let sorted = List.sort Float.compare t.values in
-  let arr = Array.of_list sorted in
+  let arr = sorted_samples t in
   let rank = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
   let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
   arr.(idx)
@@ -44,3 +62,9 @@ let samples t = List.rev t.values
 
 let pp_summary fmt t =
   Format.fprintf fmt "%.2f ± %.2f (n=%d)" (mean t) (stdev t) t.count
+
+let pp_percentiles fmt t =
+  if t.count = 0 then Format.fprintf fmt "p50/p95/p99 -/-/-"
+  else
+    Format.fprintf fmt "p50/p95/p99 %.2f/%.2f/%.2f" (percentile t 50.)
+      (percentile t 95.) (percentile t 99.)

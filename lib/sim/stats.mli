@@ -26,10 +26,16 @@ val max : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the sorted
-    samples. Raises [Invalid_argument] if the accumulator is empty. *)
+    samples. The sorted view is cached and invalidated by {!add}, so
+    querying several percentiles between additions sorts once. Raises
+    [Invalid_argument] if the accumulator is empty. *)
 
 val samples : t -> float list
 (** All recorded observations, in insertion order. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Renders ["mean ± stdev (n=count)"]. *)
+
+val pp_percentiles : Format.formatter -> t -> unit
+(** Renders ["p50/p95/p99 a/b/c"] (nearest-rank tail percentiles), or
+    ["p50/p95/p99 -/-/-"] for an empty accumulator. *)

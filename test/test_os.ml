@@ -213,6 +213,29 @@ let test_netload_validation () =
      Alcotest.fail "expected invalid_arg"
    with Invalid_argument _ -> ())
 
+let test_netload_rejects_overlapping_windows () =
+  (* Two platform stalls cannot coexist in wall-clock time; a malformed
+     window list must be rejected, not silently double-counted. *)
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Netload.simulate: stall windows overlap") (fun () ->
+      ignore
+        (Netload.simulate ~rate_pps:1000 ~duration:(Time.s 1.) ~ring_slots:8
+           ~stall_windows:
+             [ (Time.ms 100., Time.ms 300.); (Time.ms 200., Time.ms 400.) ]));
+  Alcotest.check_raises "negative-length window"
+    (Invalid_argument "Netload.simulate: stall window ends before it starts")
+    (fun () ->
+      ignore
+        (Netload.simulate ~rate_pps:1000 ~duration:(Time.s 1.) ~ring_slots:8
+           ~stall_windows:[ (Time.ms 300., Time.ms 100.) ]));
+  (* Order independence and shared boundaries stay legal. *)
+  let r =
+    Netload.simulate ~rate_pps:1000 ~duration:(Time.s 1.) ~ring_slots:1000
+      ~stall_windows:
+        [ (Time.ms 500., Time.ms 600.); (Time.ms 400., Time.ms 500.) ]
+  in
+  checki "contiguous windows accepted" 0 r.Netload.dropped
+
 let test_netload_collect_windows () =
   let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
   let windows =
@@ -256,6 +279,8 @@ let () =
           Alcotest.test_case "stall overflows the ring" `Quick test_netload_stall_overflows_ring;
           Alcotest.test_case "short stall absorbed" `Quick test_netload_short_stall_absorbed;
           Alcotest.test_case "validation" `Quick test_netload_validation;
+          Alcotest.test_case "overlapping windows rejected" `Quick
+            test_netload_rejects_overlapping_windows;
           Alcotest.test_case "window collection" `Quick test_netload_collect_windows;
         ] );
       ( "scheduler",

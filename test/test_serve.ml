@@ -1,0 +1,384 @@
+(* Tests for the serving subsystem: admission queues, workload
+   generators, the serving loop on both hardware modes, resource
+   contention on the sePCR pool, and report determinism. *)
+
+open Sea_sim
+open Sea_serve
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let machine ?(seed = 11L) ?(cores = 2) ?sepcr_count proposed =
+  let config = Sea_hw.Machine.low_fidelity Sea_hw.Machine.hp_dc5750 in
+  let config =
+    if proposed then Sea_hw.Machine.proposed_variant ?sepcr_count config
+    else config
+  in
+  let config = { config with Sea_hw.Machine.cpu_count = cores } in
+  Sea_hw.Machine.create ~engine:(Engine.create ~seed ()) config
+
+let serve ?seed ?cores ?sepcr_count ?(depth = 16) ?discipline ?timer ~mode
+    ~duration tenants =
+  let m = machine ?seed ?cores ?sepcr_count (mode = Server.Proposed) in
+  let cfg =
+    Server.config ~queue_depth:depth ?discipline ?preemption_timer:timer ~mode
+      ~duration ()
+  in
+  match Server.run m cfg tenants with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("serve: " ^ e)
+
+let row_consistent (r : Report.t) =
+  List.for_all
+    (fun (row : Report.row) ->
+      row.Report.offered
+      = row.Report.completed + row.Report.shed + row.Report.timed_out
+        + row.Report.failed)
+    (r.Report.aggregate :: r.Report.rows)
+
+let aggregate_sums (r : Report.t) =
+  let sum f = List.fold_left (fun acc row -> acc + f row) 0 r.Report.rows in
+  let a = r.Report.aggregate in
+  a.Report.offered = sum (fun (x : Report.row) -> x.Report.offered)
+  && a.Report.completed = sum (fun x -> x.Report.completed)
+  && a.Report.shed = sum (fun x -> x.Report.shed)
+  && a.Report.timed_out = sum (fun x -> x.Report.timed_out)
+  && a.Report.failed = sum (fun x -> x.Report.failed)
+
+(* --- admission --- *)
+
+let test_admission_fifo () =
+  let q = Admission.create ~discipline:Admission.Fifo ~depth:3 ~weights:[| 1; 1 |] in
+  checkb "a" true (Admission.offer q ~tenant:0 "a");
+  checkb "b" true (Admission.offer q ~tenant:1 "b");
+  checkb "c" true (Admission.offer q ~tenant:0 "c");
+  checkb "full" false (Admission.offer q ~tenant:1 "d");
+  checki "high water" 3 (Admission.high_water q);
+  checkb "fifo order" true
+    (List.init 3 (fun _ -> Admission.take q)
+    = [ Some (0, "a"); Some (1, "b"); Some (0, "c") ]);
+  checkb "empty" true (Admission.take q = None);
+  checki "length" 0 (Admission.length q)
+
+let test_admission_weighted_shares () =
+  let q =
+    Admission.create ~discipline:Admission.Weighted ~depth:16
+      ~weights:[| 1; 2 |]
+  in
+  for i = 0 to 5 do
+    ignore (Admission.offer q ~tenant:(i mod 2) i)
+  done;
+  let order =
+    List.init 6 (fun _ ->
+        match Admission.take q with Some (t, _) -> t | None -> -1)
+  in
+  (* Weight 1 vs 2: one dequeue for tenant 0 per two for tenant 1 while
+     both are backlogged; tenant 1 drains after its third item, so the
+     final slot falls back to tenant 0. *)
+  checkb "wrr order" true (order = [ 0; 1; 1; 0; 1; 0 ])
+
+let test_admission_weighted_donates () =
+  let q =
+    Admission.create ~discipline:Admission.Weighted ~depth:4 ~weights:[| 3; 1 |]
+  in
+  (* Only the light tenant is backlogged: it gets every slot. *)
+  for i = 0 to 3 do
+    ignore (Admission.offer q ~tenant:1 i)
+  done;
+  let order =
+    List.init 4 (fun _ ->
+        match Admission.take q with Some (t, _) -> t | None -> -1)
+  in
+  checkb "idle tenant donates" true (order = [ 1; 1; 1; 1 ])
+
+let test_admission_weighted_per_tenant_depth () =
+  let q =
+    Admission.create ~discipline:Admission.Weighted ~depth:2 ~weights:[| 1; 1 |]
+  in
+  checkb "t0 1" true (Admission.offer q ~tenant:0 0);
+  checkb "t0 2" true (Admission.offer q ~tenant:0 1);
+  checkb "t0 full" false (Admission.offer q ~tenant:0 2);
+  checkb "t1 unaffected" true (Admission.offer q ~tenant:1 3);
+  checki "t0 high water" 2 (Admission.tenant_high_water q 0)
+
+(* --- workload --- *)
+
+let test_workload_validation () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Workload.tenant: rate must be positive") (fun () ->
+      ignore
+        (Workload.tenant ~name:"x" (Workload.Open_loop { rate_per_s = 0. })));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Workload.tenant: weight must be positive") (fun () ->
+      ignore
+        (Workload.tenant ~weight:0 ~name:"x"
+           (Workload.Open_loop { rate_per_s = 1. })));
+  Alcotest.check_raises "bad clients"
+    (Invalid_argument "Workload.tenant: clients must be positive") (fun () ->
+      ignore
+        (Workload.tenant ~name:"x"
+           (Workload.Closed_loop { clients = 0; think = Time.zero })))
+
+let test_config_validation () =
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Server.config: duration must be positive") (fun () ->
+      ignore (Server.config ~mode:Server.Current ~duration:Time.zero ()));
+  Alcotest.check_raises "bad depth"
+    (Invalid_argument "Server.config: queue depth must be positive") (fun () ->
+      ignore
+        (Server.config ~queue_depth:0 ~mode:Server.Current
+           ~duration:(Time.s 1.) ()));
+  (* Proposed mode needs the proposed hardware. *)
+  let m = machine false in
+  let cfg = Server.config ~mode:Server.Proposed ~duration:(Time.s 1.) () in
+  checkb "mode/machine mismatch" true
+    (match Server.run m cfg (Workload.preset ~tenants:1 (`Open 1.)) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- serving: overload behaviour on today's hardware --- *)
+
+let test_current_sheds_on_overflow () =
+  let r =
+    serve ~mode:Server.Current ~depth:2 ~duration:(Time.s 2.)
+      (Workload.preset ~tenants:2 (`Open 10.))
+  in
+  checkb "sheds under overload" true (r.Report.aggregate.Report.shed > 0);
+  checkb "rows consistent" true (row_consistent r);
+  checkb "aggregate sums rows" true (aggregate_sums r);
+  checkb "queue hit its bound" true (r.Report.aggregate.Report.queue_high_water = 2)
+
+let test_current_deadline_timeouts () =
+  let r =
+    serve ~mode:Server.Current ~depth:64 ~duration:(Time.s 2.)
+      (Workload.preset ~deadline:(Time.ms 200.) ~tenants:1 (`Open 4.))
+  in
+  checkb "timeouts under overload" true
+    (r.Report.aggregate.Report.timed_out > 0);
+  checkb "deep queue does not shed" true (r.Report.aggregate.Report.shed = 0);
+  checkb "rows consistent" true (row_consistent r)
+
+let test_current_stalls_platform () =
+  let r =
+    serve ~mode:Server.Current ~duration:(Time.s 1.)
+      (Workload.preset ~tenants:1 (`Open 2.))
+  in
+  checkb "platform stalled" true
+    (Time.compare r.Report.stalled Time.zero > 0);
+  checki "one stall interval per request served"
+    (r.Report.aggregate.Report.completed + r.Report.aggregate.Report.failed)
+    (Stats.count r.Report.stall_ms);
+  checkb "no residents on current hw" true
+    (r.Report.cold_starts = 0 && r.Report.warm_hits = 0)
+
+(* --- serving: the proposed hardware --- *)
+
+let test_proposed_warm_reuse () =
+  let r =
+    serve ~mode:Server.Proposed ~duration:(Time.s 2.)
+      [ Workload.tenant ~name:"t0" (Workload.Open_loop { rate_per_s = 20. }) ]
+  in
+  let a = r.Report.aggregate in
+  checki "one cold start" 1 r.Report.cold_starts;
+  checki "everything else warm" (a.Report.offered - 1) r.Report.warm_hits;
+  checkb "nothing lost" true (a.Report.completed = a.Report.offered);
+  checkb "platform never stalls" true
+    (Time.compare r.Report.stalled Time.zero = 0
+    && Stats.count r.Report.stall_ms = 0)
+
+let test_proposed_sepcr_pool_blocks () =
+  (* One sePCR, two tenants of different kinds, two concurrent clients
+     each: every switch of kind must evict the other tenant's resident,
+     and concurrent bursts force waits on the busy victim. *)
+  let tenants =
+    [
+      Workload.tenant ~name:"a"
+        ~mix:[ (Workload.Ssh_auth, 1) ]
+        (Workload.Closed_loop { clients = 2; think = Time.zero });
+      Workload.tenant ~name:"b"
+        ~mix:[ (Workload.Ca_sign, 1) ]
+        (Workload.Closed_loop { clients = 2; think = Time.zero });
+    ]
+  in
+  let r =
+    serve ~mode:Server.Proposed ~sepcr_count:1 ~duration:(Time.ms 500.) tenants
+  in
+  checkb "evictions happened" true (r.Report.evictions > 0);
+  checkb "cold starts beyond the first two" true (r.Report.cold_starts > 2);
+  checkb "some cold starts waited on the pool" true (r.Report.sepcr_waits > 0);
+  checki "one wait sample per blocked start" r.Report.sepcr_waits
+    (Stats.count r.Report.sepcr_wait_ms);
+  checkb "rows consistent" true (row_consistent r)
+
+let test_proposed_ample_pool_never_waits () =
+  let r =
+    serve ~mode:Server.Proposed ~sepcr_count:8 ~duration:(Time.s 1.)
+      (Workload.preset ~tenants:3 (`Open 12.))
+  in
+  checkb "no eviction with an ample bank" true
+    (r.Report.evictions = 0 && r.Report.sepcr_waits = 0);
+  checki "one cold start per (tenant, kind)" 3 r.Report.cold_starts
+
+(* --- generators --- *)
+
+let test_open_vs_closed_loop () =
+  (* Open loop keeps offering regardless of service speed; a single
+     closed-loop client is paced by it. On today's ~1 s/request
+     hardware the difference is stark. *)
+  let duration = Time.s 2. in
+  let open_r =
+    serve ~mode:Server.Current ~duration
+      [ Workload.tenant ~name:"t" (Workload.Open_loop { rate_per_s = 5. }) ]
+  in
+  let closed_r =
+    serve ~mode:Server.Current ~duration
+      [
+        Workload.tenant ~name:"t"
+          (Workload.Closed_loop { clients = 1; think = Time.zero });
+      ]
+  in
+  checkb "open loop overruns service" true
+    (open_r.Report.aggregate.Report.offered
+    > closed_r.Report.aggregate.Report.offered);
+  checkb "closed loop never sheds" true
+    (closed_r.Report.aggregate.Report.shed = 0);
+  checkb "closed loop served everything it sent" true
+    (closed_r.Report.aggregate.Report.completed
+    = closed_r.Report.aggregate.Report.offered)
+
+let test_closed_loop_self_paces () =
+  (* A single closed-loop client can never queue behind itself. *)
+  let r =
+    serve ~mode:Server.Proposed ~duration:(Time.s 1.)
+      [
+        Workload.tenant ~name:"t"
+          (Workload.Closed_loop { clients = 1; think = Time.ms 5. });
+      ]
+  in
+  checkb "no queueing" true (r.Report.aggregate.Report.queue_high_water <= 1);
+  checkb "served all" true
+    (r.Report.aggregate.Report.completed = r.Report.aggregate.Report.offered)
+
+(* --- per-tenant accounting --- *)
+
+let test_per_tenant_accounting () =
+  let tenants =
+    [
+      Workload.tenant ~name:"slow" (Workload.Open_loop { rate_per_s = 4. });
+      Workload.tenant ~name:"fast" (Workload.Open_loop { rate_per_s = 16. });
+    ]
+  in
+  let r = serve ~mode:Server.Proposed ~duration:(Time.s 2.) tenants in
+  let row name =
+    List.find (fun (x : Report.row) -> x.Report.tenant = name) r.Report.rows
+  in
+  checkb "offered follows rate" true
+    ((row "fast").Report.offered > (row "slow").Report.offered);
+  checkb "aggregate sums rows" true (aggregate_sums r);
+  checkb "rows consistent" true (row_consistent r);
+  checkb "latency recorded per tenant" true
+    (Stats.count (row "slow").Report.latency_ms = (row "slow").Report.completed)
+
+(* --- the headline comparison --- *)
+
+let test_proposed_10x_goodput () =
+  (* Same seed, same workload, at a rate where today's hardware is deep
+     into shedding: the proposed hardware must sustain >= 10x the
+     goodput (the ISSUE's acceptance criterion). *)
+  let tenants () = Workload.preset ~tenants:3 (`Open 16.) in
+  let duration = Time.s 3. in
+  let current =
+    serve ~seed:5L ~mode:Server.Current ~depth:8 ~duration (tenants ())
+  in
+  let proposed =
+    serve ~seed:5L ~mode:Server.Proposed ~depth:8 ~duration (tenants ())
+  in
+  checkb "current hardware is shedding" true
+    (current.Report.aggregate.Report.shed > 0);
+  let goodput r = Report.goodput_per_s r r.Report.aggregate in
+  checkb "proposed sustains >= 10x goodput" true
+    (goodput proposed >= 10. *. goodput current)
+
+(* --- determinism --- *)
+
+let test_identical_seeds_identical_reports () =
+  let go mode =
+    let r1 =
+      serve ~seed:9L ~mode ~duration:(Time.s 1.)
+        (Workload.preset ~tenants:3 (`Open 12.))
+    in
+    let r2 =
+      serve ~seed:9L ~mode ~duration:(Time.s 1.)
+        (Workload.preset ~tenants:3 (`Open 12.))
+    in
+    Alcotest.(check string)
+      ("bit-identical replay, " ^ Server.mode_name mode)
+      (Report.render r1) (Report.render r2)
+  in
+  go Server.Current;
+  go Server.Proposed
+
+let test_different_seeds_differ () =
+  let go seed =
+    serve ~seed ~mode:Server.Proposed ~duration:(Time.s 1.)
+      (Workload.preset ~tenants:3 (`Open 12.))
+  in
+  checkb "different seeds give different traffic" true
+    (Report.render (go 1L) <> Report.render (go 2L))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "fifo order and bound" `Quick test_admission_fifo;
+          Alcotest.test_case "weighted shares" `Quick
+            test_admission_weighted_shares;
+          Alcotest.test_case "idle tenant donates" `Quick
+            test_admission_weighted_donates;
+          Alcotest.test_case "per-tenant depth" `Quick
+            test_admission_weighted_per_tenant_depth;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "tenant validation" `Quick
+            test_workload_validation;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "current-hw",
+        [
+          Alcotest.test_case "sheds on overflow" `Quick
+            test_current_sheds_on_overflow;
+          Alcotest.test_case "deadline timeouts" `Quick
+            test_current_deadline_timeouts;
+          Alcotest.test_case "stalls the platform" `Quick
+            test_current_stalls_platform;
+        ] );
+      ( "proposed-hw",
+        [
+          Alcotest.test_case "warm resident reuse" `Quick
+            test_proposed_warm_reuse;
+          Alcotest.test_case "sePCR pool blocks" `Quick
+            test_proposed_sepcr_pool_blocks;
+          Alcotest.test_case "ample pool never waits" `Quick
+            test_proposed_ample_pool_never_waits;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "open vs closed loop" `Quick
+            test_open_vs_closed_loop;
+          Alcotest.test_case "closed loop self-paces" `Quick
+            test_closed_loop_self_paces;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "per-tenant accounting" `Quick
+            test_per_tenant_accounting;
+          Alcotest.test_case "proposed >= 10x goodput" `Quick
+            test_proposed_10x_goodput;
+          Alcotest.test_case "identical seeds, identical reports" `Quick
+            test_identical_seeds_identical_reports;
+          Alcotest.test_case "different seeds differ" `Quick
+            test_different_seeds_differ;
+        ] );
+    ]

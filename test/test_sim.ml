@@ -203,6 +203,60 @@ let test_engine_run_until () =
   Engine.run e;
   checki "second fired" 2 !fired
 
+let prop_engine_fifo_at_equal_times =
+  (* The serving loop's determinism rests on this: events scheduled for
+     the same instant fire in insertion order, however many collide. *)
+  QCheck.Test.make
+    ~name:"engine fires identical-timestamp events in FIFO insertion order"
+    ~count:200
+    QCheck.(list (int_bound 5))
+    (fun times ->
+      let e = Engine.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i t ->
+          Engine.schedule_at e
+            ~time:(Time.ms (float_of_int t))
+            (fun _ -> log := (t, i) :: !log))
+        times;
+      Engine.run e;
+      let fired = List.rev !log in
+      let rec ordered = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && i1 < i2)) && ordered rest
+        | _ -> true
+      in
+      List.length fired = List.length times && ordered fired)
+
+let prop_engine_run_until_partitions =
+  (* [run ~until] fires exactly the events at or before the cutoff,
+     leaves the rest queued, and parks the clock at the cutoff when
+     anything remains. *)
+  QCheck.Test.make
+    ~name:"run ~until fires events at or before the cutoff, queues the rest"
+    ~count:200
+    QCheck.(pair (list (int_bound 100)) (int_bound 100))
+    (fun (times, until) ->
+      let e = Engine.create () in
+      let fired = ref 0 in
+      List.iter
+        (fun t ->
+          Engine.schedule_at e ~time:(Time.ms (float_of_int t)) (fun _ ->
+              incr fired))
+        times;
+      Engine.run ~until:(Time.ms (float_of_int until)) e;
+      let expected = List.length (List.filter (fun t -> t <= until) times) in
+      let clock_ok =
+        if Engine.pending e > 0 then Engine.now e = Time.ms (float_of_int until)
+        else
+          (* Queue drained: the clock rests at the last event fired. *)
+          Engine.now e
+          = Time.ms (float_of_int (List.fold_left Stdlib.max 0 (0 :: times)))
+      in
+      !fired = expected
+      && Engine.pending e = List.length times - expected
+      && clock_ok)
+
 let test_engine_cascading_events () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -260,6 +314,8 @@ let () =
           Alcotest.test_case "elapse_to" `Quick test_engine_elapse_to;
           Alcotest.test_case "events in order" `Quick test_engine_events_in_order;
           Alcotest.test_case "run until" `Quick test_engine_run_until;
+          QCheck_alcotest.to_alcotest prop_engine_fifo_at_equal_times;
+          QCheck_alcotest.to_alcotest prop_engine_run_until_partitions;
           Alcotest.test_case "cascading events" `Quick test_engine_cascading_events;
           Alcotest.test_case "step" `Quick test_engine_step;
         ] );
