@@ -51,6 +51,8 @@ let amd_infineon =
 let presets = [ hp_dc5750; tyan_n3600r; intel_tep; lenovo_t60; amd_infineon ]
 
 let proposed_variant ?(sepcr_count = 8) config =
+  if sepcr_count < 1 then
+    invalid_arg "Machine.proposed_variant: sepcr_count must be >= 1";
   {
     config with
     name = config.name ^ " (proposed hw)";

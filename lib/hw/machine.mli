@@ -46,7 +46,7 @@ val presets : config list
 
 val proposed_variant : ?sepcr_count:int -> config -> config
 (** The same machine with the paper's recommended hardware (default 8
-    sePCRs). *)
+    sePCRs). Raises [Invalid_argument] if [sepcr_count < 1]. *)
 
 val low_fidelity : config -> config
 (** Shrink key sizes for fast unit tests (512-bit TPM keys). Timing is

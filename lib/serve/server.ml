@@ -66,8 +66,11 @@ let run (m : Machine.t) cfg tenant_list =
     match cfg.mode with
     | Current -> Ok ()
     | Proposed ->
-        if m.Machine.config.Machine.proposed then Ok ()
-        else Error "proposed mode requires the proposed hardware variant"
+        if not m.Machine.config.Machine.proposed then
+          Error "proposed mode requires the proposed hardware variant"
+        else if m.Machine.config.Machine.sepcr_count < 1 then
+          Error "proposed mode requires at least one sePCR"
+        else Ok ()
   in
   let nkinds = List.length Workload.kinds in
   let key tenant kind = (tenant * nkinds) + Workload.kind_index kind in
@@ -240,7 +243,7 @@ let run (m : Machine.t) cfg tenant_list =
                 ("resident-state:" ^ string_of_int vkey)
             with
             | Ok blob -> Hashtbl.replace durable vkey blob
-            | Error _ -> ())
+            | Error e -> fail ("sealing resident state: " ^ e))
         | None -> ());
         (match Slaunch_session.kill vres.session with
         | Ok () -> ()
@@ -254,8 +257,8 @@ let run (m : Machine.t) cfg tenant_list =
     let e0 = Engine.now engine in
     let k = key r.tenant r.kind in
     ignore (next_seq k);
+    let virtual_wait = ref Time.zero in
     try
-      let virtual_wait = ref Time.zero in
       let res =
         match Hashtbl.find_opt residents k with
         | Some res ->
@@ -266,8 +269,10 @@ let run (m : Machine.t) cfg tenant_list =
             res
         | None ->
             incr cold_starts;
-            if Hashtbl.length residents >= pool then
+            if Hashtbl.length residents >= pool then begin
               virtual_wait := Time.add !virtual_wait (evict ~t);
+              assert (Hashtbl.length residents < pool)
+            end;
             let session =
               match
                 Slaunch_session.start m ~cpu:core
@@ -321,10 +326,37 @@ let run (m : Machine.t) cfg tenant_list =
       res.last_core <- core;
       (d, true)
     with Serve_error _ ->
-      (Time.sub (Engine.now engine) e0, false)
+      (* The failed session's lifecycle is indeterminate: drop the
+         resident so the next request takes a clean cold start instead
+         of warm-hitting a broken session. *)
+      (match Hashtbl.find_opt residents k with
+      | Some res ->
+          (match Slaunch_session.kill res.session with
+          | Ok () -> ()
+          | Error _ -> ());
+          Slaunch_session.release res.session;
+          Hashtbl.remove residents k
+      | None -> ());
+      (Time.add !virtual_wait (Time.sub (Engine.now engine) e0), false)
   in
   (* --- the event loop: virtual-time queueing over real executions --- *)
-  let reissue tenant client t =
+  (* Closed-loop clients shed with a zero think-time draw cannot reissue
+     at the same virtual instant: the queue is still full then (no
+     Core_free can interleave), so they would shed and reissue forever.
+     Park them and retry when a core frees — the only moment a queue
+     slot can have opened. *)
+  let parked : (int * int) Queue.t = Queue.create () in
+  let push_arrival tenant c time =
+    if Time.compare time finish_line < 0 then
+      Event_queue.push events ~time
+        (Arrival
+           {
+             tenant;
+             kind = Workload.draw_kind rngs.(tenant) tenants.(tenant);
+             client = Some c;
+           })
+  in
+  let reissue ?(on_shed = false) tenant client t =
     match client with
     | None -> ()
     | Some c -> (
@@ -337,15 +369,9 @@ let run (m : Machine.t) cfg tenant_list =
                   (Rng.exponential rngs.(tenant) ~mean:(Time.to_ms think))
               else Time.zero
             in
-            let next = Time.add t delay in
-            if Time.compare next finish_line < 0 then
-              Event_queue.push events ~time:next
-                (Arrival
-                   {
-                     tenant;
-                     kind = Workload.draw_kind rngs.(tenant) tenants.(tenant);
-                     client = Some c;
-                   }))
+            if on_shed && Time.compare delay Time.zero <= 0 then
+              Queue.push (tenant, c) parked
+            else push_arrival tenant c (Time.add t delay))
   in
   let rec try_dispatch t =
     if not (Queue.is_empty idle) then
@@ -395,11 +421,15 @@ let run (m : Machine.t) cfg tenant_list =
             if Admission.offer queue ~tenant r then try_dispatch t
             else begin
               shed.(tenant) <- shed.(tenant) + 1;
-              reissue tenant client t
+              reissue ~on_shed:true tenant client t
             end
         | Core_free core ->
             Queue.push core idle;
-            try_dispatch t);
+            try_dispatch t;
+            for _ = 1 to Queue.length parked do
+              let tenant, c = Queue.pop parked in
+              push_arrival tenant c t
+            done);
         loop ()
   in
   loop ();

@@ -119,6 +119,14 @@ let test_workload_validation () =
         (Workload.tenant ~name:"x"
            (Workload.Closed_loop { clients = 0; think = Time.zero })))
 
+let test_sepcr_count_validation () =
+  Alcotest.check_raises "zero sePCRs"
+    (Invalid_argument "Machine.proposed_variant: sepcr_count must be >= 1")
+    (fun () ->
+      ignore
+        (Sea_hw.Machine.proposed_variant ~sepcr_count:0
+           Sea_hw.Machine.hp_dc5750))
+
 let test_config_validation () =
   Alcotest.check_raises "bad duration"
     (Invalid_argument "Server.config: duration must be positive") (fun () ->
@@ -246,6 +254,22 @@ let test_open_vs_closed_loop () =
     (closed_r.Report.aggregate.Report.completed
     = closed_r.Report.aggregate.Report.offered)
 
+let test_closed_loop_shed_with_zero_think_terminates () =
+  (* Regression: a shed closed-loop client with zero think time used to
+     reissue at the same virtual instant against a still-full queue,
+     livelocking the event loop. Shed clients must instead retry once a
+     core frees, so the run terminates and every client keeps cycling. *)
+  let r =
+    serve ~mode:Server.Current ~depth:2 ~duration:(Time.s 1.)
+      [
+        Workload.tenant ~name:"t"
+          (Workload.Closed_loop { clients = 10; think = Time.zero });
+      ]
+  in
+  checkb "overflowed the queue" true (r.Report.aggregate.Report.shed > 0);
+  checkb "still made progress" true (r.Report.aggregate.Report.completed > 0);
+  checkb "rows consistent" true (row_consistent r)
+
 let test_closed_loop_self_paces () =
   (* A single closed-loop client can never queue behind itself. *)
   let r =
@@ -344,6 +368,8 @@ let () =
           Alcotest.test_case "tenant validation" `Quick
             test_workload_validation;
           Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "sePCR count validation" `Quick
+            test_sepcr_count_validation;
         ] );
       ( "current-hw",
         [
@@ -369,6 +395,8 @@ let () =
             test_open_vs_closed_loop;
           Alcotest.test_case "closed loop self-paces" `Quick
             test_closed_loop_self_paces;
+          Alcotest.test_case "shed with zero think terminates" `Quick
+            test_closed_loop_shed_with_zero_think_terminates;
         ] );
       ( "end-to-end",
         [
