@@ -360,14 +360,21 @@ module Concurrency = struct
     print rc;
     print rp;
     let si = rc.Sea_os.Scheduler.stall_intervals_ms in
-    Printf.printf
-      "\nResponsiveness: current hardware freezes the whole platform %d times,\n\
-       median %.0f ms, worst %.0f ms per freeze; the proposed hardware never\n\
-       freezes it at all.\n"
-      (Stats.count si)
-      (Stats.percentile si 50.)
-      (Stats.max si);
-    Format.printf "Stall tail: %a ms@." Stats.pp_percentiles si;
+    if Stats.count si = 0 then
+      Printf.printf
+        "\nResponsiveness: current hardware recorded no full-platform\n\
+         freezes in this window; the proposed hardware never freezes it\n\
+         at all.\n"
+    else begin
+      Printf.printf
+        "\nResponsiveness: current hardware freezes the whole platform %d times,\n\
+         median %.0f ms, worst %.0f ms per freeze; the proposed hardware never\n\
+         freezes it at all.\n"
+        (Stats.count si)
+        (Stats.percentile si 50.)
+        (Stats.max si);
+      Format.printf "Stall tail: %a ms@." Stats.pp_percentiles si
+    end;
     Printf.printf
       "\nEvery chunk on current hardware = one full session (SKINIT + Unseal\n\
        + Seal) with the whole platform frozen; on proposed hardware the job\n\
@@ -767,6 +774,79 @@ module Serving = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: goodput degradation under injected TPM/LPC faults       *)
+(* ------------------------------------------------------------------ *)
+
+module Degradation = struct
+  let duration = Time.s 5.
+  let depth = 8
+  let fault_rates = [ 0.; 0.01; 0.02; 0.05; 0.1 ]
+
+  let run_at mode rate fault_rate =
+    let config = Machine.low_fidelity Machine.hp_dc5750 in
+    let config =
+      match mode with
+      | Sea_serve.Server.Current -> config
+      | Sea_serve.Server.Proposed -> Machine.proposed_variant config
+    in
+    let m = Machine.create ~engine:(Engine.create ~seed:11L ()) config in
+    let faults =
+      if fault_rate > 0. then
+        Some (Sea_fault.Fault.spec ~seed:11 ~rate:fault_rate ())
+      else None
+    in
+    let cfg =
+      Sea_serve.Server.config ~queue_depth:depth ~mode ~duration ?faults ()
+    in
+    let tenants = Sea_serve.Workload.preset ~tenants:3 (`Open rate) in
+    match Sea_serve.Server.run m cfg tenants with
+    | Ok r -> r
+    | Error e -> failwith ("degradation sweep: " ^ e)
+
+  let print_row fault_rate (r : Sea_serve.Report.t) =
+    let a = r.Sea_serve.Report.aggregate in
+    Printf.printf
+      "  fault rate %5.2f%%  offered %5d  goodput %7.2f/s  failed %4d  \
+       shed %4d  retries %4d  breaker shed %4d\n"
+      (100. *. fault_rate) a.Sea_serve.Report.offered
+      (Sea_serve.Report.goodput_per_s r a)
+      a.Sea_serve.Report.failed a.Sea_serve.Report.shed
+      r.Sea_serve.Report.retries r.Sea_serve.Report.breaker_shed
+
+  let sweep mode rate =
+    List.map
+      (fun fr ->
+        let r = run_at mode rate fr in
+        print_row fr r;
+        (fr, r))
+      fault_rates
+
+  let run () =
+    section "Robustness: goodput vs injected TPM/LPC fault rate";
+    Printf.printf
+      "3 tenants (ssh/ca/kv), HP dc5750, depth 8, deterministic fault plan\n\
+       (seed 11): transient TPM busy, LPC stalls, aborted hash sequences,\n\
+       seal/NV write failures. Retry and per-tenant circuit breaking are\n\
+       enabled whenever faults are injected.\n\n";
+    Printf.printf "current hardware @ 1 req/s offered:\n";
+    ignore (sweep Sea_serve.Server.Current 1.);
+    Printf.printf "proposed hardware @ 16 req/s offered:\n";
+    let rows = sweep Sea_serve.Server.Proposed 16. in
+    let goodput fr =
+      match List.assoc_opt fr rows with
+      | Some r -> Sea_serve.Report.goodput_per_s r r.Sea_serve.Report.aggregate
+      | None -> 0.
+    in
+    let g0 = goodput 0. and g10 = goodput 0.1 in
+    Printf.printf
+      "\nProposed goodput retains %.0f%% of its fault-free value at a 10%%\n\
+       injected fault rate: bounded retries absorb transient TPM busy faults\n\
+       and the per-(tenant, kind) breaker sheds (rather than fails) work\n\
+       during fault bursts, so degradation is gradual instead of a cliff.\n"
+      (if g0 > 0. then 100. *. g10 /. g0 else 0.)
+end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -782,6 +862,7 @@ let all =
     ("micro", Micro.run);
     ("analyzer", Analyzer_throughput.run);
     ("serving", Serving.run);
+    ("degradation", Degradation.run);
   ]
 
 let () =

@@ -445,7 +445,34 @@ let serve_mode_arg =
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
 let run_serve machine_config mode rate duration_s cores tenants depth
-    discipline timer_ms deadline_ms closed think_ms seed =
+    discipline timer_ms deadline_ms closed think_ms seed fault_rate fault_kinds
+    fault_seed =
+  (* Validate the numeric flags here, with flag names in the messages,
+     instead of letting Invalid_argument escape from the library
+     constructors. *)
+  if rate <= 0. then or_die (Error "--rate must be positive");
+  if duration_s <= 0. then or_die (Error "--duration must be positive");
+  if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  if fault_rate < 0. || fault_rate > 1. then
+    or_die (Error "--fault-rate must be in [0, 1]");
+  let fault_kinds =
+    match String.lowercase_ascii (String.trim fault_kinds) with
+    | "" | "all" -> Sea_fault.Fault.all_kinds
+    | s ->
+        List.map
+          (fun name ->
+            let name = String.trim name in
+            match Sea_fault.Fault.kind_of_name name with
+            | Some k -> k
+            | None ->
+                or_die
+                  (Error
+                     (Printf.sprintf "unknown fault kind %S; known: %s" name
+                        (String.concat ", "
+                           (List.map Sea_fault.Fault.kind_name
+                              Sea_fault.Fault.all_kinds)))))
+          (String.split_on_char ',' s)
+  in
   try
     (* Crypto fidelity does not affect timing (latency comes from the
        vendor profile), so serve at small key sizes and keep high
@@ -466,10 +493,17 @@ let run_serve machine_config mode rate duration_s cores tenants depth
     let m =
       Machine.create ~engine:(Engine.create ~seed:(Int64.of_int seed) ()) config
     in
+    let faults =
+      if fault_rate > 0. then
+        Some
+          (Sea_fault.Fault.spec ~kinds:fault_kinds ~seed:fault_seed
+             ~rate:fault_rate ())
+      else None
+    in
     let cfg =
       Sea_serve.Server.config ~queue_depth:depth ~discipline
-        ~preemption_timer:(Time.ms timer_ms) ~mode ~duration:(Time.s duration_s)
-        ()
+        ~preemption_timer:(Time.ms timer_ms) ?faults ~mode
+        ~duration:(Time.s duration_s) ()
     in
     let deadline = Option.map Time.ms deadline_ms in
     let process =
@@ -539,6 +573,27 @@ let serve_cmd =
     let doc = "Simulation seed; identical seeds give identical reports." in
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
+  let fault_rate_arg =
+    let doc =
+      "Probability in [0,1] of injecting a fault at each TPM/LPC injection \
+       point during serving (0 disables injection entirely)."
+    in
+    Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let fault_kinds_arg =
+    let doc =
+      "Comma-separated fault kinds to inject ($(b,all) or any of tpm-busy, \
+       lpc-stall, hash-abort, seal-fail, nv-fail)."
+    in
+    Arg.(value & opt string "all" & info [ "fault-kinds" ] ~docv:"KINDS" ~doc)
+  in
+  let fault_seed_arg =
+    let doc =
+      "Seed for the fault plan's own stream; identical fault seeds replay \
+       the identical fault schedule independently of $(b,--seed)."
+    in
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -549,7 +604,8 @@ let serve_cmd =
     Term.(
       const run_serve $ machine_arg $ serve_mode_arg $ rate_arg $ duration_arg
       $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg $ timer_arg
-      $ deadline_arg $ closed_arg $ think_arg $ seed_arg)
+      $ deadline_arg $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg
+      $ fault_kinds_arg $ fault_seed_arg)
 
 (* --- main --- *)
 

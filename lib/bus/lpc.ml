@@ -13,10 +13,13 @@ type t = {
   engine : Engine.t;
   mutable total_bytes : int;
   mutable total_transactions : int;
+  mutable faults : Sea_fault.Fault.t option;
 }
 
 let create ?(config = default_config) engine =
-  { config; engine; total_bytes = 0; total_transactions = 0 }
+  { config; engine; total_bytes = 0; total_transactions = 0; faults = None }
+
+let set_faults t plan = t.faults <- plan
 
 let config t = t.config
 
@@ -33,6 +36,12 @@ let transfer_time t ~device_wait ~bytes =
 let transfer t ~device_wait ~bytes =
   let d = transfer_time t ~device_wait ~bytes in
   Engine.advance t.engine d;
+  (match t.faults with
+  | Some plan when bytes > 0 && Sea_fault.Fault.fires plan Lpc_stall ->
+      (* The slave holds the bus in long-wait sync beyond its configured
+         device wait: pure extra latency, the transfer still completes. *)
+      Engine.advance t.engine (Sea_fault.Fault.stall plan ~base:d)
+  | _ -> ());
   t.total_bytes <- t.total_bytes + max 0 bytes;
   t.total_transactions <- t.total_transactions + transactions_for t (max 0 bytes)
 

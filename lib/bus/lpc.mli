@@ -34,6 +34,13 @@ val create : ?config:config -> Sea_sim.Engine.t -> t
 
 val config : t -> config
 
+val set_faults : t -> Sea_fault.Fault.t option -> unit
+(** Install (or remove, with [None]) a fault plan. When installed, each
+    non-empty {!transfer} may suffer an injected [Lpc_stall]: extra
+    long-wait sync time beyond the configured device wait, drawn from
+    the plan's deterministic stream. No plan — the default — means the
+    timing model is exactly the fault-free one. *)
+
 val transaction_time : t -> device_wait:Sea_sim.Time.t -> Sea_sim.Time.t
 (** Duration of one transaction against a device inserting [device_wait]
     of sync stall. *)

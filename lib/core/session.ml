@@ -43,7 +43,8 @@ let suspend_cost (m : Machine.t) =
 
 let resume_cost = Time.us 30.
 
-let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report pal ~input =
+let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
+    ~input =
   match
     (* Analyzed before the OS is suspended, pages claimed or the TPM
        touched: an image the gate refuses is never measured. *)
@@ -69,9 +70,14 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report pal ~input
       in
       let memory = Memctrl.memory m.Machine.memctrl in
       Memory.write_span memory ~pages ~off:0 pal.Pal.code;
-      (* 2. Late launch. *)
+      (* 2. Late launch. A transient TPM fault mid TPM_HASH_* aborts the
+         whole launch; the retry re-runs SKINIT/SENTER from scratch, so
+         the measurement is always rebuilt from a fresh TPM_HASH_START. *)
       let t0 = Engine.now engine in
-      (match Insn.late_launch m ~cpu ~pages ~length:(Pal.code_size pal) with
+      (match
+         Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
+             Insn.late_launch m ~cpu ~pages ~length:(Pal.code_size pal))
+       with
       | Error e ->
           cleanup ();
           Error e
@@ -97,10 +103,13 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report pal ~input
               Pal.seal =
                 (fun data ->
                   timed seal_time (fun () ->
-                      Sea_tpm.Tpm.seal tpm ~caller ~pcr_policy:policy data));
+                      Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
+                          Sea_tpm.Tpm.seal tpm ~caller ~pcr_policy:policy data)));
               unseal =
                 (fun blob ->
-                  timed unseal_time (fun () -> Sea_tpm.Tpm.unseal tpm ~caller blob));
+                  timed unseal_time (fun () ->
+                      Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
+                          Sea_tpm.Tpm.unseal tpm ~caller blob)));
               get_random = (fun n -> Sea_tpm.Tpm.get_random tpm n);
               extend_measurement =
                 (fun data ->

@@ -42,6 +42,7 @@ val execute :
   ?analyze:Sea_analysis.Analyzer.gate ->
   ?analysis_policy:Sea_analysis.Analyzer.policy ->
   ?on_report:(Sea_analysis.Report.t -> unit) ->
+  ?retry:Sea_fault.Retry.policy ->
   Pal.t ->
   input:string ->
   (outcome, string) result
@@ -51,7 +52,14 @@ val execute :
 
     [?analyze] (default [Off]) runs {!Pal.preflight} first: under
     [Enforce] a PALVM image with error findings is refused {e before}
-    the OS is suspended or the TPM measures anything. *)
+    the OS is suspended or the TPM measures anything.
+
+    [?retry] retries transient TPM faults (see [Sea_fault]) around the
+    late launch and the PAL's seal/unseal services, with virtual-time
+    backoff. A retried late launch restarts the whole
+    SKINIT/SENTER measurement from TPM_HASH_START — a fault can delay
+    the launch but never yields a PAL running with a partial or stale
+    identity PCR. *)
 
 val quote :
   Sea_hw.Machine.t ->

@@ -14,6 +14,7 @@ type t = {
   mutable released : bool;
   mutable primary_cpu : int;
   mutable joined_cpus : int list;
+  retry : Sea_fault.Retry.policy option;
 }
 
 let state t = t.state
@@ -31,7 +32,7 @@ let step t ev =
   | Error e -> invalid_arg ("Slaunch_session: " ^ e)
 
 let start (m : Machine.t) ~cpu ?preemption_timer ?analyze ?analysis_policy
-    ?on_report pal ~input =
+    ?on_report ?retry pal ~input =
   if not m.Machine.config.Machine.proposed then
     Error "this machine lacks the proposed hardware"
   else begin
@@ -61,10 +62,16 @@ let start (m : Machine.t) ~cpu ?preemption_timer ?analyze ?analysis_policy
         released = false;
         primary_cpu = cpu;
         joined_cpus = [];
+        retry;
       }
     in
     step t Lifecycle.Ev_slaunch_first;
-    match Insn.slaunch m ~cpu secb with
+    (* A transiently failed first SLAUNCH backed out its claim and sePCR,
+       so the retry re-protects and re-measures from scratch. *)
+    match
+      Sea_fault.Retry.run ?policy:retry ~engine:m.Machine.engine (fun () ->
+          Insn.slaunch m ~cpu secb)
+    with
     | Error e ->
         Machine.free_pages m pages;
         Error e
@@ -86,9 +93,16 @@ let services t ~cpu =
     | Some h -> h
     | None -> invalid_arg "Slaunch_session.services: no sePCR bound"
   in
+  let retry_run f =
+    Sea_fault.Retry.run ?policy:t.retry ~engine:m.Machine.engine f
+  in
   {
-    Pal.seal = (fun data -> Sea_tpm.Tpm.seal tpm ~caller ~sepcr ~pcr_policy:[] data);
-    unseal = (fun blob -> Sea_tpm.Tpm.unseal tpm ~caller ~sepcr blob);
+    Pal.seal =
+      (fun data ->
+        retry_run (fun () ->
+            Sea_tpm.Tpm.seal tpm ~caller ~sepcr ~pcr_policy:[] data));
+    unseal =
+      (fun blob -> retry_run (fun () -> Sea_tpm.Tpm.unseal tpm ~caller ~sepcr blob));
     get_random = (fun n -> Sea_tpm.Tpm.get_random tpm n);
     extend_measurement =
       (fun data -> ignore (Sea_tpm.Tpm.sepcr_extend tpm ~caller sepcr data));
@@ -182,7 +196,13 @@ let run_slice t ~cpu ?budget () =
 let resume t ~cpu =
   if t.state <> Lifecycle.Suspend then Error "PAL is not suspended"
   else begin
-    match Insn.slaunch t.machine ~cpu t.secb with
+    (* A failed resume leaves the pages suspended and the lifecycle in
+       Suspend: the caller may retry again, SKILL the PAL, or fall back
+       to a cold start. *)
+    match
+      Sea_fault.Retry.run ?policy:t.retry ~engine:t.machine.Machine.engine
+        (fun () -> Insn.slaunch t.machine ~cpu t.secb)
+    with
     | Error e -> Error e
     | Ok (Insn.Launched _) -> Error "suspended SECB was re-measured"
     | Ok Insn.Resumed ->

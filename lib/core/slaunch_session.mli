@@ -21,6 +21,7 @@ val start :
   ?analyze:Sea_analysis.Analyzer.gate ->
   ?analysis_policy:Sea_analysis.Analyzer.policy ->
   ?on_report:(Sea_analysis.Report.t -> unit) ->
+  ?retry:Sea_fault.Retry.policy ->
   Pal.t ->
   input:string ->
   (t, string) result
@@ -30,7 +31,16 @@ val start :
 
     [?analyze] (default [Off]) runs {!Pal.preflight} first: under
     [Enforce] a PALVM image with error findings is refused before any
-    SECB is allocated or the sePCR extended. *)
+    SECB is allocated or the sePCR extended.
+
+    [?retry] is remembered for the session's lifetime: transient TPM
+    faults (see [Sea_fault]) around the first SLAUNCH, every {!resume},
+    and the PAL's seal/unseal services are retried with virtual-time
+    backoff. A retried first launch re-protects and re-measures the PAL
+    from scratch (the failed attempt backs out its sePCR and page
+    claim); a resume that still fails after retries leaves the session
+    in [Suspend], so the caller can {!kill} it and cold-start a
+    replacement. *)
 
 val state : t -> Lifecycle.state
 val secb : t -> Sea_hw.Secb.t

@@ -1,0 +1,107 @@
+open Sea_sim
+
+type kind = Tpm_busy | Lpc_stall | Hash_abort | Seal_fail | Nv_fail
+
+let all_kinds = [ Tpm_busy; Lpc_stall; Hash_abort; Seal_fail; Nv_fail ]
+let nkinds = List.length all_kinds
+
+let kind_index = function
+  | Tpm_busy -> 0
+  | Lpc_stall -> 1
+  | Hash_abort -> 2
+  | Seal_fail -> 3
+  | Nv_fail -> 4
+
+let kind_name = function
+  | Tpm_busy -> "tpm-busy"
+  | Lpc_stall -> "lpc-stall"
+  | Hash_abort -> "hash-abort"
+  | Seal_fail -> "seal-fail"
+  | Nv_fail -> "nv-fail"
+
+let kind_of_name = function
+  | "tpm-busy" -> Some Tpm_busy
+  | "lpc-stall" -> Some Lpc_stall
+  | "hash-abort" -> Some Hash_abort
+  | "seal-fail" -> Some Seal_fail
+  | "nv-fail" -> Some Nv_fail
+  | _ -> None
+
+let transient_prefix = "TPM_RETRY"
+let transient msg = transient_prefix ^ ": " ^ msg
+
+let is_transient msg =
+  let p = transient_prefix in
+  let lp = String.length p in
+  String.length msg >= lp && String.sub msg 0 lp = p
+
+type t = {
+  rate : float;
+  enabled : bool array; (* indexed by kind_index *)
+  rng : Rng.t;
+  max_injections : int option;
+  counts : int array;
+  mutable stall_injected : Time.t;
+}
+
+let validate_rate rate =
+  if not (rate >= 0. && rate <= 1.) then
+    invalid_arg "Fault.create: rate must be in [0, 1]"
+
+let validate_kinds kinds =
+  if kinds = [] then invalid_arg "Fault.create: kinds must be non-empty"
+
+let create ?(kinds = all_kinds) ?max_injections ~rate rng =
+  validate_rate rate;
+  validate_kinds kinds;
+  (match max_injections with
+  | Some n when n < 0 ->
+      invalid_arg "Fault.create: max_injections must be non-negative"
+  | _ -> ());
+  let enabled = Array.make nkinds false in
+  List.iter (fun k -> enabled.(kind_index k) <- true) kinds;
+  {
+    rate;
+    enabled;
+    rng = Rng.split rng;
+    max_injections;
+    counts = Array.make nkinds 0;
+    stall_injected = Time.zero;
+  }
+
+type spec = { rate : float; kinds : kind list; seed : int }
+
+let spec ?(kinds = all_kinds) ?(seed = 1) ~rate () =
+  validate_rate rate;
+  validate_kinds kinds;
+  { rate; kinds; seed }
+
+let of_spec { rate; kinds; seed } =
+  create ~kinds ~rate (Rng.create ~seed:(Int64.of_int seed) ())
+
+let rate (t : t) = t.rate
+let total (t : t) = Array.fold_left ( + ) 0 t.counts
+
+let live (t : t) =
+  match t.max_injections with None -> true | Some n -> total t < n
+
+let fires (t : t) kind =
+  t.rate > 0.
+  && t.enabled.(kind_index kind)
+  && live t
+  &&
+  let hit = Rng.float t.rng 1.0 < t.rate in
+  if hit then t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
+  hit
+
+let stall t ~base =
+  (* A long-wait stall holds the bus for a small multiple of the
+     transfer's nominal time: 1x..16x extra. *)
+  let mult = 1.0 +. Rng.float t.rng 15.0 in
+  let extra = Time.scale_f base mult in
+  t.stall_injected <- Time.add t.stall_injected extra;
+  extra
+
+let injected t kind = t.counts.(kind_index kind)
+let counts t = List.map (fun k -> (k, injected t k)) all_kinds
+let stall_injected t = t.stall_injected

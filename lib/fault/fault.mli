@@ -1,0 +1,88 @@
+(** Deterministic fault injection at the hardware boundaries.
+
+    Real v1.2 TPM parts fail transiently: the TCG spec gives commands a
+    busy/[TPM_RETRY] outcome, LPC slaves may stall the bus with extra
+    long-wait sync cycles, and an interrupted [TPM_HASH_START/DATA/END]
+    sequence aborts the whole measurement. A {!t} is a seeded plan of
+    such faults: every injection point asks {!fires}, which draws one
+    Bernoulli trial from a stream split off the supplied [Sea_sim.Rng],
+    so a given seed replays the exact same fault schedule bit-identically
+    run after run.
+
+    A model with no plan installed ([None] everywhere) draws nothing and
+    charges nothing — behaviour is byte-for-byte what it was before this
+    module existed. *)
+
+type kind =
+  | Tpm_busy  (** Transient busy/[TPM_RETRY] on a TPM command. *)
+  | Lpc_stall
+      (** The TPM holds the LPC bus in long-wait sync beyond its
+          configured device wait: a latency fault, not an error. *)
+  | Hash_abort
+      (** The [TPM_HASH_DATA] / SLAUNCH measurement stream aborts
+          mid-sequence; the open hash session is lost. *)
+  | Seal_fail  (** Transient seal-blob write failure. *)
+  | Nv_fail  (** Transient NV write failure. *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+(** {1 Transient vs. permanent errors}
+
+    Transient failures are threaded through the existing
+    [(_, string) result] surfaces with a recognizable [TPM_RETRY] prefix,
+    so every layer can classify an error without a type change rippling
+    through the tree. *)
+
+val transient_prefix : string
+val transient : string -> string
+(** Tag a message as transient: ["TPM_RETRY: " ^ msg]. *)
+
+val is_transient : string -> bool
+(** Whether an error message denotes a transient (retryable) failure. *)
+
+(** {1 Plans} *)
+
+type t
+
+val create :
+  ?kinds:kind list -> ?max_injections:int -> rate:float -> Sea_sim.Rng.t -> t
+(** A plan injecting each enabled [kind] with probability [rate] per
+    injection point, drawing from a stream split off the given generator.
+    [max_injections] caps the total number of faults injected (used to
+    model a single glitch). Raises [Invalid_argument] unless
+    [0 <= rate <= 1] and [kinds] is non-empty. *)
+
+type spec = { rate : float; kinds : kind list; seed : int }
+(** A serializable plan description (what the CLI flags carry). *)
+
+val spec : ?kinds:kind list -> ?seed:int -> rate:float -> unit -> spec
+(** Validated constructor; defaults: all kinds, seed 1. *)
+
+val of_spec : spec -> t
+(** Instantiate the plan on its own generator seeded from [spec.seed] —
+    independent of the engine seed, so the fault schedule and the
+    workload can be varied separately. *)
+
+val rate : t -> float
+
+val fires : t -> kind -> bool
+(** One Bernoulli trial at an injection point. Draws from the plan's
+    stream only when [kind] is enabled and the plan is live; a [true]
+    is counted against [kind]. *)
+
+val stall : t -> base:Sea_sim.Time.t -> Sea_sim.Time.t
+(** Duration of an injected LPC long-wait stall: a multiplier of the
+    transfer's base time, drawn from the plan's stream and accumulated
+    into {!stall_injected}. *)
+
+val injected : t -> kind -> int
+(** Faults injected so far of one kind. *)
+
+val total : t -> int
+val counts : t -> (kind * int) list
+(** Per-kind injection counts, in {!all_kinds} order. *)
+
+val stall_injected : t -> Sea_sim.Time.t
+(** Cumulative extra bus time injected by [Lpc_stall] faults. *)

@@ -1,0 +1,48 @@
+(** Bounded retry with virtual-time exponential backoff.
+
+    Wraps an operation returning [(_, string) result]; an error tagged
+    transient by {!Fault.is_transient} is retried up to a bounded number
+    of attempts, sleeping (in simulated time, via [Engine.advance]) an
+    exponentially growing, jittered backoff between attempts, within an
+    optional per-operation deadline budget. Permanent errors and
+    exhausted budgets are returned to the caller unchanged.
+
+    Jitter is drawn from the engine's own generator, and only when a
+    retry actually happens — a fault-free run consumes no randomness and
+    replays bit-identically to a build without this module. *)
+
+type policy
+
+val policy :
+  ?max_attempts:int ->
+  ?base_backoff:Sea_sim.Time.t ->
+  ?max_backoff:Sea_sim.Time.t ->
+  ?jitter:float ->
+  ?budget:Sea_sim.Time.t ->
+  unit ->
+  policy
+(** Defaults: 4 attempts, 50us initial backoff doubling to a 5ms cap,
+    25% multiplicative jitter, no deadline budget. Raises
+    [Invalid_argument] on non-positive attempts/backoffs or a negative
+    jitter. *)
+
+val default : policy
+(** [policy ()] — shared counters; use {!policy} for a private one. *)
+
+val max_attempts : policy -> int
+
+val retries : policy -> int
+(** Cumulative retries performed through this policy (attempt 2 and
+    beyond each count one). *)
+
+val give_ups : policy -> int
+(** Operations that still failed transiently after the last allowed
+    attempt or ran out of deadline budget. *)
+
+val run :
+  ?policy:policy ->
+  engine:Sea_sim.Engine.t ->
+  (unit -> ('a, string) result) ->
+  ('a, string) result
+(** [run ~engine f] evaluates [f ()], retrying transient errors per the
+    policy. Without [?policy], [f] runs exactly once (no retry). *)

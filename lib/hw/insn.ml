@@ -158,14 +158,25 @@ let slaunch (m : Machine.t) ~cpu (secb : Secb.t) =
                 core.Cpu.interrupts_enabled <- true;
                 Error e
             | Ok handle -> (
+                (* Any failure past this point must also back out the
+                   sePCR binding, or a retried SLAUNCH finds the claim
+                   and the handle still held by the dead attempt. *)
+                let back_out e =
+                  ignore (Sea_tpm.Tpm.sepcr_skill tpm ~caller handle);
+                  ignore
+                    (Access_control.release acl ~secb_id:secb.Secb.id
+                       secb.Secb.pages);
+                  core.Cpu.interrupts_enabled <- true;
+                  Error e
+                in
                 match
                   fetch_region m ~cpu ~pages:(Secb.data_pages secb)
                     ~length:secb.Secb.pal_length
                 with
-                | Error e -> Error e
+                | Error e -> back_out e
                 | Ok code -> (
                     match Sea_tpm.Tpm.sepcr_measure tpm ~caller handle ~code with
-                    | Error e -> Error e
+                    | Error e -> back_out e
                     | Ok _value ->
                         secb.Secb.sepcr <- Some handle;
                         secb.Secb.measured <- true;

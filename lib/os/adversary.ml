@@ -105,6 +105,35 @@ let replay_stale_sealed_state (m : Machine.t) ~cpu ~stale_blob =
   | Ok payload ->
       Succeeded (Printf.sprintf "replayed %d bytes of stale state" (String.length payload))
 
+let skinit_retry_skips_measurement (m : Machine.t) ~cpu pal ~input =
+  let tpm = Machine.tpm_exn m in
+  (* One severed TPM_HASH_DATA stream, then clean hardware — the glitch
+     an adversary with physical access to the LPC wiring can cause. If
+     the retry path resumed the severed hash sequence instead of
+     restarting it, the PAL would run with a partial identity PCR and
+     unseal secrets under a measurement the verifier never approved. *)
+  let plan =
+    Sea_fault.Fault.create
+      ~kinds:[ Sea_fault.Fault.Hash_abort ]
+      ~max_injections:1 ~rate:1.
+      (Sea_sim.Rng.create ~seed:42L ())
+  in
+  Sea_tpm.Tpm.set_faults tpm (Some plan);
+  let retry = Sea_fault.Retry.policy () in
+  let result = Session.execute m ~cpu ~retry pal ~input in
+  Sea_tpm.Tpm.set_faults tpm None;
+  match result with
+  | Error e -> Blocked ("launch failed closed: " ^ e)
+  | Ok o ->
+      if Sea_fault.Fault.total plan = 0 then
+        Succeeded "fault never injected; the attack was not exercised"
+      else if Sea_fault.Retry.retries retry = 0 then
+        Succeeded "session succeeded without retrying an aborted launch"
+      else if
+        o.Session.identity_value <> Session.expected_identity m pal
+      then Succeeded "PAL ran with a partial identity PCR after a retried SKINIT"
+      else Blocked "retried SKINIT re-measured from TPM_HASH_START"
+
 let join_uninvited_cpu (m : Machine.t) ~cpu secb =
   match Insn.sjoin m ~cpu secb with
   | Error e -> Blocked ("join check: " ^ e)

@@ -1,0 +1,64 @@
+(** A per-(tenant, kind) circuit breaker for the serving loop.
+
+    When a request stream's hardware path starts failing persistently
+    (retries exhausted on every attempt), continuing to dispatch only
+    burns core time on doomed sessions and inflates everyone else's
+    queueing delay. The breaker sheds the stream instead: after
+    [failure_threshold] consecutive failures it {e opens} and rejects
+    arrivals outright for [cooldown] of virtual time, then lets
+    [half_open_probes] requests through — a success closes it, another
+    failure reopens it for a fresh cooldown.
+
+    All times are virtual (the caller passes [~now] off the engine
+    clock), so breaker behaviour replays deterministically. *)
+
+type config = {
+  failure_threshold : int;  (** Consecutive failures before opening. *)
+  cooldown : Sea_sim.Time.t;  (** Open interval before probing. *)
+  half_open_probes : int;  (** Probe budget per half-open episode. *)
+}
+
+val config :
+  ?failure_threshold:int ->
+  ?cooldown:Sea_sim.Time.t ->
+  ?half_open_probes:int ->
+  unit ->
+  config
+(** Defaults: 3 failures, 100 ms cooldown, 1 probe. Raises
+    [Invalid_argument] on non-positive values. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type t
+
+val create : config -> t
+
+val allow : t -> now:Sea_sim.Time.t -> bool
+(** Whether to admit a request now. [Closed]: always. [Open]: no until
+    the cooldown elapses, at which point the breaker moves to
+    [Half_open] and spends one probe. [Half_open]: yes while probe
+    budget remains. Rejections are counted in {!rejected}. *)
+
+val record_success : t -> now:Sea_sim.Time.t -> unit
+(** The dispatched request completed: reset the failure run and close. *)
+
+val record_failure : t -> now:Sea_sim.Time.t -> unit
+(** The dispatched request failed: extend the failure run; opens the
+    breaker at the threshold (or instantly from [Half_open]). *)
+
+val state : t -> state
+
+val transitions : t -> int
+(** State changes so far (a full open/half-open/close cycle counts 3). *)
+
+val rejected : t -> int
+(** Arrivals turned away by {!allow}. *)
+
+val retry_at : t -> Sea_sim.Time.t
+(** When the current open interval ends (meaningful while [Open]) —
+    the earliest instant a shed closed-loop client should retry. *)
+
+val degraded : t -> now:Sea_sim.Time.t -> Sea_sim.Time.t
+(** Cumulative virtual time spent outside [Closed] up to [now]. *)

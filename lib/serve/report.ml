@@ -30,6 +30,14 @@ type t = {
   evictions : int;
   sepcr_waits : int;
   sepcr_wait_ms : Stats.t;
+  faults_injected : (string * int) list;
+  fault_stall : Time.t;
+  retries : int;
+  retry_give_ups : int;
+  breaker_shed : int;
+  breaker_transitions : int;
+  degraded : Time.t;
+  recoveries : int;
 }
 
 let window_s t = Time.to_ms t.window /. 1000.
@@ -37,6 +45,13 @@ let window_s t = Time.to_ms t.window /. 1000.
 let goodput_per_s t row =
   let s = window_s t in
   if s <= 0. then 0. else float_of_int row.completed /. s
+
+let robustness_active t =
+  t.retries > 0 || t.retry_give_ups > 0 || t.breaker_shed > 0
+  || t.breaker_transitions > 0 || t.recoveries > 0
+  || List.exists (fun (_, c) -> c > 0) t.faults_injected
+  || Time.compare t.fault_stall Time.zero > 0
+  || Time.compare t.degraded Time.zero > 0
 
 let pp_row t fmt row =
   Format.fprintf fmt "%-14s %3d %7d %7d %6d %8d %5d %9.2f  %a %6d"
@@ -59,8 +74,26 @@ let pp fmt t =
     (100. *. t.legacy_utilization)
     Time.pp t.stalled (Stats.count t.stall_ms) Stats.pp_percentiles t.stall_ms;
   Format.fprintf fmt
-    "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d (%a)@]"
+    "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d (%a)"
     t.cold_starts t.warm_hits t.evictions t.sepcr_waits Stats.pp_percentiles
-    t.sepcr_wait_ms
+    t.sepcr_wait_ms;
+  (* The robustness lines appear only when something robustness-related
+     actually happened, so fault-free reports render exactly as before
+     this machinery existed. *)
+  if robustness_active t then begin
+    let injected = List.filter (fun (_, c) -> c > 0) t.faults_injected in
+    Format.fprintf fmt "@,faults injected: %s  injected bus stall %a"
+      (if injected = [] then "none"
+       else
+         String.concat ", "
+           (List.map (fun (k, c) -> Printf.sprintf "%s %d" k c) injected))
+      Time.pp t.fault_stall;
+    Format.fprintf fmt
+      "@,retries %d (gave up %d)  breaker shed %d  breaker transitions %d  \
+       degraded %a  recoveries %d"
+      t.retries t.retry_give_ups t.breaker_shed t.breaker_transitions Time.pp
+      t.degraded t.recoveries
+  end;
+  Format.fprintf fmt "@]"
 
 let render t = Format.asprintf "%a" pp t

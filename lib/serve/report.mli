@@ -40,7 +40,28 @@ type t = {
   evictions : int;  (** Residents SKILLed to free an sePCR. *)
   sepcr_waits : int;  (** Cold starts that blocked on a busy sePCR pool. *)
   sepcr_wait_ms : Stats.t;
+  faults_injected : (string * int) list;
+      (** Per-kind injected fault counts ([Sea_fault.Fault.kind_name]
+          order); empty when no fault plan was installed. *)
+  fault_stall : Time.t;  (** Extra bus time injected by LPC stalls. *)
+  retries : int;  (** Transient-failure retries performed while serving. *)
+  retry_give_ups : int;  (** Operations still failing after all retries. *)
+  breaker_shed : int;
+      (** Arrivals rejected by an open circuit breaker (a subset of the
+          rows' [shed], so the accounting invariant is unchanged). *)
+  breaker_transitions : int;  (** Breaker state changes, all breakers. *)
+  degraded : Time.t;
+      (** Cumulative virtual time breakers spent outside [Closed]. *)
+  recoveries : int;
+      (** Residents quarantined after a faulted resume and replaced by a
+          cold start within the same request. *)
 }
+
+val robustness_active : t -> bool
+(** Whether any robustness counter is non-zero — i.e. whether {!pp}
+    appends the fault/retry/breaker lines. Always false for a fault-free
+    run, whose render is bit-identical to a build without the fault
+    machinery. *)
 
 val goodput_per_s : t -> row -> float
 val pp : Format.formatter -> t -> unit

@@ -13,17 +13,22 @@ type config = {
   queue_depth : int;
   discipline : Admission.discipline;
   preemption_timer : Time.t;
+  faults : Sea_fault.Fault.spec option;
+  retry : Sea_fault.Retry.policy option;
+  breaker : Breaker.config option;
 }
 
 let config ?(queue_depth = 16) ?(discipline = Admission.Fifo)
-    ?(preemption_timer = Time.ms 10.) ~mode ~duration () =
+    ?(preemption_timer = Time.ms 10.) ?faults ?retry ?breaker ~mode ~duration
+    () =
   if Time.compare duration Time.zero <= 0 then
     invalid_arg "Server.config: duration must be positive";
   if queue_depth <= 0 then
     invalid_arg "Server.config: queue depth must be positive";
   if Time.compare preemption_timer Time.zero <= 0 then
     invalid_arg "Server.config: preemption timer must be positive";
-  { mode; duration; queue_depth; discipline; preemption_timer }
+  { mode; duration; queue_depth; discipline; preemption_timer; faults; retry;
+    breaker }
 
 (* One queued request. [client] is the closed-loop client slot that will
    reissue once this request is answered ([None] for open-loop). *)
@@ -49,6 +54,11 @@ type resident = {
 }
 
 exception Serve_error of string
+
+(* A resident's resume faulted even after retries: recoverable by
+   quarantining the resident and cold-starting a replacement, unlike the
+   general Serve_error failure paths. *)
+exception Resume_failed of string
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
@@ -109,6 +119,24 @@ let run (m : Machine.t) cfg tenant_list =
         in
         boot 0
   in
+  (* --- robustness machinery. The fault plan is installed only after
+     bootstrap (bootstrap models provisioning, not the serving window)
+     and draws from its own seeded stream, so the tenant streams split
+     below are unperturbed: a rate-0 or no-fault run replays the exact
+     pre-fault-machinery timeline. Retry and breakers default on
+     whenever faults are injected. --- *)
+  let plan = Option.map Sea_fault.Fault.of_spec cfg.faults in
+  Tpm.set_faults tpm plan;
+  let retry =
+    match cfg.retry with
+    | Some _ as r -> r
+    | None -> Option.map (fun _ -> Sea_fault.Retry.policy ()) plan
+  in
+  let retries0 =
+    match retry with Some p -> Sea_fault.Retry.retries p | None -> 0
+  and give_ups0 =
+    match retry with Some p -> Sea_fault.Retry.give_ups p | None -> 0
+  in
   (* The serving window starts after bootstrap, on a clean clock. *)
   let base = Engine.now engine in
   let finish_line = Time.add base cfg.duration in
@@ -161,6 +189,15 @@ let run (m : Machine.t) cfg tenant_list =
   and warm_hits = ref 0
   and evictions = ref 0
   and sepcr_waits = ref 0 in
+  let breakers =
+    match (cfg.breaker, plan) with
+    | Some bc, _ -> Some (Array.init (n * nkinds) (fun _ -> Breaker.create bc))
+    | None, Some _ ->
+        let bc = Breaker.config () in
+        Some (Array.init (n * nkinds) (fun _ -> Breaker.create bc))
+    | None, None -> None
+  in
+  let breaker_shed = ref 0 and recoveries = ref 0 in
   let sepcr_wait_ms = Stats.create () in
   let last_completion = ref base in
   let queue : req Admission.t =
@@ -186,7 +223,7 @@ let run (m : Machine.t) cfg tenant_list =
         ~state ~seq:(next_seq k)
     in
     let ok =
-      match Session.execute m ~cpu:0 (Workload.pal r.kind) ~input with
+      match Session.execute m ~cpu:0 ?retry (Workload.pal r.kind) ~input with
       | Ok o ->
           if Workload.updates_state r.kind then
             Hashtbl.replace states k o.Session.output;
@@ -237,10 +274,11 @@ let run (m : Machine.t) cfg tenant_list =
         (match Slaunch_session.sepcr_handle vres.session with
         | Some h -> (
             match
-              Tpm.seal tpm
-                ~caller:(Tpm.Cpu vres.last_core)
-                ~sepcr:h ~pcr_policy:[]
-                ("resident-state:" ^ string_of_int vkey)
+              Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
+                  Tpm.seal tpm
+                    ~caller:(Tpm.Cpu vres.last_core)
+                    ~sepcr:h ~pcr_policy:[]
+                    ("resident-state:" ^ string_of_int vkey))
             with
             | Ok blob -> Hashtbl.replace durable vkey blob
             | Error e -> fail ("sealing resident state: " ^ e))
@@ -252,92 +290,111 @@ let run (m : Machine.t) cfg tenant_list =
         Hashtbl.remove residents vkey;
         wait
   in
+  (* Drop a broken or suspect resident: the next request for this key
+     takes a clean cold start instead of warm-hitting a broken session. *)
+  let quarantine k =
+    match Hashtbl.find_opt residents k with
+    | Some res ->
+        (match Slaunch_session.kill res.session with
+        | Ok () -> ()
+        | Error _ -> ());
+        Slaunch_session.release res.session;
+        Hashtbl.remove residents k
+    | None -> ()
+  in
   let serve_proposed ~core ~t r =
     Engine.elapse_to engine t;
     let e0 = Engine.now engine in
     let k = key r.tenant r.kind in
     ignore (next_seq k);
     let virtual_wait = ref Time.zero in
-    try
-      let res =
-        match Hashtbl.find_opt residents k with
-        | Some res ->
-            incr warm_hits;
-            (* Requests for the same (tenant, kind) serialize behind the
-               single resident's in-flight burst. *)
-            virtual_wait := Time.max Time.zero (Time.sub res.busy_until t);
-            res
-        | None ->
-            incr cold_starts;
-            if Hashtbl.length residents >= pool then begin
-              virtual_wait := Time.add !virtual_wait (evict ~t);
-              assert (Hashtbl.length residents < pool)
-            end;
-            let session =
-              match
-                Slaunch_session.start m ~cpu:core
-                  ~preemption_timer:cfg.preemption_timer
-                  (Workload.resident_pal r.kind) ~input:""
-              with
-              | Ok s -> s
-              | Error e -> fail ("cold start: " ^ e)
-            in
-            (* A re-launch after eviction unseals the durable state the
-               previous incarnation sealed out — same code identity, so
-               the sePCR-bound blob opens. *)
-            (match (Hashtbl.find_opt durable k, Slaunch_session.sepcr_handle session) with
-            | Some blob, Some h ->
-                (match Tpm.unseal tpm ~caller:(Tpm.Cpu core) ~sepcr:h blob with
-                | Ok _ -> ()
-                | Error e -> fail ("reloading durable state: " ^ e))
-            | _ -> ());
-            let res =
-              { session; busy_until = t; last_core = core; last_used = t }
-            in
-            Hashtbl.add residents k res;
-            res
-      in
-      (if Slaunch_session.state res.session = Lifecycle.Suspend then
-         match Slaunch_session.resume res.session ~cpu:core with
-         | Ok () -> ()
-         | Error e -> fail ("resume: " ^ e));
-      let rec consume remaining =
-        if Time.compare remaining Time.zero > 0 then begin
-          let budget = Time.min cfg.preemption_timer remaining in
-          match Slaunch_session.run_slice res.session ~cpu:core ~budget () with
-          | Ok `Yielded ->
-              let remaining = Time.sub remaining budget in
-              if Time.compare remaining Time.zero > 0 then begin
-                (match Slaunch_session.resume res.session ~cpu:core with
-                | Ok () -> ()
-                | Error e -> fail ("resume: " ^ e));
-                consume remaining
-              end
-          | Ok `Finished -> fail "resident PAL ran out of work"
-          | Error e -> fail ("run slice: " ^ e)
-        end
-      in
-      consume (Workload.work r.kind);
-      let d =
-        Time.add !virtual_wait (Time.sub (Engine.now engine) e0)
-      in
-      res.busy_until <- Time.add t d;
-      res.last_used <- res.busy_until;
-      res.last_core <- core;
-      (d, true)
-    with Serve_error _ ->
-      (* The failed session's lifecycle is indeterminate: drop the
-         resident so the next request takes a clean cold start instead
-         of warm-hitting a broken session. *)
-      (match Hashtbl.find_opt residents k with
-      | Some res ->
-          (match Slaunch_session.kill res.session with
-          | Ok () -> ()
-          | Error _ -> ());
-          Slaunch_session.release res.session;
-          Hashtbl.remove residents k
-      | None -> ());
-      (Time.add !virtual_wait (Time.sub (Engine.now engine) e0), false)
+    let rec attempt ~recovering =
+      virtual_wait := Time.zero;
+      try
+        let res =
+          match Hashtbl.find_opt residents k with
+          | Some res ->
+              incr warm_hits;
+              (* Requests for the same (tenant, kind) serialize behind the
+                 single resident's in-flight burst. *)
+              virtual_wait := Time.max Time.zero (Time.sub res.busy_until t);
+              res
+          | None ->
+              incr cold_starts;
+              if Hashtbl.length residents >= pool then begin
+                virtual_wait := Time.add !virtual_wait (evict ~t);
+                assert (Hashtbl.length residents < pool)
+              end;
+              let session =
+                match
+                  Slaunch_session.start m ~cpu:core
+                    ~preemption_timer:cfg.preemption_timer ?retry
+                    (Workload.resident_pal r.kind) ~input:""
+                with
+                | Ok s -> s
+                | Error e -> fail ("cold start: " ^ e)
+              in
+              (* A re-launch after eviction unseals the durable state the
+                 previous incarnation sealed out — same code identity, so
+                 the sePCR-bound blob opens. *)
+              (match (Hashtbl.find_opt durable k, Slaunch_session.sepcr_handle session) with
+              | Some blob, Some h ->
+                  (match
+                     Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
+                         Tpm.unseal tpm ~caller:(Tpm.Cpu core) ~sepcr:h blob)
+                   with
+                  | Ok _ -> ()
+                  | Error e -> fail ("reloading durable state: " ^ e))
+              | _ -> ());
+              let res =
+                { session; busy_until = t; last_core = core; last_used = t }
+              in
+              Hashtbl.add residents k res;
+              res
+        in
+        (if Slaunch_session.state res.session = Lifecycle.Suspend then
+           match Slaunch_session.resume res.session ~cpu:core with
+           | Ok () -> ()
+           | Error e -> raise (Resume_failed e));
+        let rec consume remaining =
+          if Time.compare remaining Time.zero > 0 then begin
+            let budget = Time.min cfg.preemption_timer remaining in
+            match Slaunch_session.run_slice res.session ~cpu:core ~budget () with
+            | Ok `Yielded ->
+                let remaining = Time.sub remaining budget in
+                if Time.compare remaining Time.zero > 0 then begin
+                  (match Slaunch_session.resume res.session ~cpu:core with
+                  | Ok () -> ()
+                  | Error e -> fail ("resume: " ^ e));
+                  consume remaining
+                end
+            | Ok `Finished -> fail "resident PAL ran out of work"
+            | Error e -> fail ("run slice: " ^ e)
+          end
+        in
+        consume (Workload.work r.kind);
+        let d =
+          Time.add !virtual_wait (Time.sub (Engine.now engine) e0)
+        in
+        res.busy_until <- Time.add t d;
+        res.last_used <- res.busy_until;
+        res.last_core <- core;
+        (d, true)
+      with
+      | Resume_failed _ when not recovering ->
+          (* The resident's resume faulted even after retries: instead of
+             failing the request, quarantine (SKILL) the resident and
+             serve it with a fresh cold start — a full re-measure, so the
+             replacement's identity is rebuilt from scratch. *)
+          warm_hits := !warm_hits - 1;
+          incr recoveries;
+          quarantine k;
+          attempt ~recovering:true
+      | Serve_error _ | Resume_failed _ ->
+          quarantine k;
+          (Time.add !virtual_wait (Time.sub (Engine.now engine) e0), false)
+    in
+    attempt ~recovering:false
   in
   (* --- the event loop: virtual-time queueing over real executions --- *)
   (* Closed-loop clients shed with a zero think-time draw cannot reissue
@@ -391,6 +448,12 @@ let run (m : Machine.t) cfg tenant_list =
                 | Proposed -> serve_proposed ~core ~t r
               in
               let finish = Time.add t d in
+              (match breakers with
+              | Some arr ->
+                  let b = arr.(key tenant r.kind) in
+                  if ok then Breaker.record_success b ~now:finish
+                  else Breaker.record_failure b ~now:finish
+              | None -> ());
               if ok then begin
                 completed.(tenant) <- completed.(tenant) + 1;
                 let l = Time.to_ms (Time.sub finish r.arrival) in
@@ -417,11 +480,37 @@ let run (m : Machine.t) cfg tenant_list =
         (match ev with
         | Arrival { tenant; kind; client } ->
             offered.(tenant) <- offered.(tenant) + 1;
-            let r = { tenant; kind; arrival = t; client } in
-            if Admission.offer queue ~tenant r then try_dispatch t
-            else begin
+            let breaker_open =
+              match breakers with
+              | Some arr -> not (Breaker.allow arr.(key tenant kind) ~now:t)
+              | None -> false
+            in
+            if breaker_open then begin
+              (* Shed by the breaker: counted as shed so the accounting
+                 invariant holds. A closed-loop client comes back when
+                 the open interval ends, not instantly. *)
               shed.(tenant) <- shed.(tenant) + 1;
-              reissue ~on_shed:true tenant client t
+              incr breaker_shed;
+              match client with
+              | None -> ()
+              | Some c ->
+                  let at =
+                    match breakers with
+                    | Some arr ->
+                        Time.max
+                          (Breaker.retry_at arr.(key tenant kind))
+                          (Time.add t (Time.ms 1.))
+                    | None -> Time.add t (Time.ms 1.)
+                  in
+                  push_arrival tenant c at
+            end
+            else begin
+              let r = { tenant; kind; arrival = t; client } in
+              if Admission.offer queue ~tenant r then try_dispatch t
+              else begin
+                shed.(tenant) <- shed.(tenant) + 1;
+                reissue ~on_shed:true tenant client t
+              end
             end
         | Core_free core ->
             Queue.push core idle;
@@ -433,6 +522,19 @@ let run (m : Machine.t) cfg tenant_list =
         loop ()
   in
   loop ();
+  (* Robustness accounting is cut at the end of serving, before teardown
+     advances the clock further. *)
+  let serve_end = Engine.now engine in
+  let breaker_transitions, degraded =
+    match breakers with
+    | None -> (0, Time.zero)
+    | Some arr ->
+        Array.fold_left
+          (fun (tr, dg) b ->
+            ( tr + Breaker.transitions b,
+              Time.add dg (Breaker.degraded b ~now:serve_end) ))
+          (0, Time.zero) arr
+  in
   (* Tear down: SKILL any remaining residents so the machine is clean. *)
   Hashtbl.iter
     (fun _ res ->
@@ -442,6 +544,7 @@ let run (m : Machine.t) cfg tenant_list =
       Slaunch_session.release res.session)
     residents;
   Hashtbl.reset residents;
+  Tpm.set_faults tpm None;
   (* --- report --- *)
   let window = Time.max cfg.duration (Time.sub !last_completion base) in
   let row i ten =
@@ -501,4 +604,27 @@ let run (m : Machine.t) cfg tenant_list =
       evictions = !evictions;
       sepcr_waits = !sepcr_waits;
       sepcr_wait_ms;
+      faults_injected =
+        (match plan with
+        | None -> []
+        | Some p ->
+            List.map
+              (fun (k, c) -> (Sea_fault.Fault.kind_name k, c))
+              (Sea_fault.Fault.counts p));
+      fault_stall =
+        (match plan with
+        | None -> Time.zero
+        | Some p -> Sea_fault.Fault.stall_injected p);
+      retries =
+        (match retry with
+        | Some p -> Sea_fault.Retry.retries p - retries0
+        | None -> 0);
+      retry_give_ups =
+        (match retry with
+        | Some p -> Sea_fault.Retry.give_ups p - give_ups0
+        | None -> 0);
+      breaker_shed = !breaker_shed;
+      breaker_transitions;
+      degraded;
+      recoveries = !recoveries;
     }

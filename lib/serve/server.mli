@@ -34,17 +34,29 @@ type config = {
   queue_depth : int;
   discipline : Admission.discipline;
   preemption_timer : Sea_sim.Time.t;  (** Slice budget ([Proposed]). *)
+  faults : Sea_fault.Fault.spec option;
+      (** Deterministic fault plan injected at the TPM/LPC boundary for
+          the serving window (installed after bootstrap). *)
+  retry : Sea_fault.Retry.policy option;
+      (** Retry policy around the hardware path; defaults to
+          [Sea_fault.Retry.policy ()] whenever [faults] is set. *)
+  breaker : Breaker.config option;
+      (** Per-(tenant, kind) circuit breakers; default on (with
+          {!Breaker.config} defaults) whenever [faults] is set. *)
 }
 
 val config :
   ?queue_depth:int ->
   ?discipline:Admission.discipline ->
   ?preemption_timer:Sea_sim.Time.t ->
+  ?faults:Sea_fault.Fault.spec ->
+  ?retry:Sea_fault.Retry.policy ->
+  ?breaker:Breaker.config ->
   mode:mode ->
   duration:Sea_sim.Time.t ->
   unit ->
   config
-(** Defaults: depth 16, FIFO, 10 ms preemption timer. Raises
+(** Defaults: depth 16, FIFO, 10 ms preemption timer, no faults. Raises
     [Invalid_argument] on non-positive values. *)
 
 val run :
@@ -59,4 +71,14 @@ val run :
     (no TPM, or [Proposed] without the proposed hardware) and bootstrap
     failures; per-request errors are counted in the report's [failed]
     column instead. Raises [Invalid_argument] on an empty tenant
-    list. *)
+    list.
+
+    With [faults] set, the plan is installed on the TPM and LPC bus for
+    the serving window only, and the loop degrades gracefully rather
+    than failing requests outright: transient errors are retried with
+    virtual-time backoff; a resident whose resume still faults is
+    quarantined (SKILLed) and the request served by a fresh cold start;
+    a (tenant, kind) stream that keeps failing is shed by its circuit
+    breaker for a cooldown instead of being dispatched to certain
+    failure. Breaker sheds count in the rows' [shed], preserving
+    [offered = completed + shed + timed_out + failed]. *)

@@ -15,6 +15,7 @@ type t = {
   aik_cert : string;
   drbg : Drbg.t;
   rng : Rng.t; (* timing jitter only *)
+  mutable faults : Sea_fault.Fault.t option;
   mutable hash_session : Sha1.ctx option;
   mutable locked_by : int option;
   mutable lock_contentions : int;
@@ -62,6 +63,7 @@ let create ?(vendor = Vendor.Broadcom) ?profile ?(key_bits = 2048) ?(sepcr_count
     (* Jitter derives from the engine's deterministic stream so that two
        identically configured machines replay identical timelines. *)
     rng = Rng.split (Engine.rng engine);
+    faults = None;
     hash_session = None;
     locked_by = None;
     lock_contentions = 0;
@@ -79,6 +81,22 @@ let aik_public t = t.aik.Rsa.pub
 let aik_certificate t = t.aik_cert
 
 let charge t mean = Engine.advance t.engine (Timing.draw t.rng t.profile mean)
+
+let set_faults t plan =
+  t.faults <- plan;
+  Sea_bus.Lpc.set_faults t.lpc plan
+
+let faults t = t.faults
+
+(* A fired fault yields a transient error; the injection sites below are
+   placed before any state mutation, so a retried command observes the
+   TPM exactly as if the failed attempt never ran (a busy part burns the
+   command's latency but commits nothing). *)
+let inject t kind msg =
+  match t.faults with
+  | Some plan when Sea_fault.Fault.fires plan kind ->
+      Some (Sea_fault.Fault.transient msg)
+  | _ -> None
 
 let reboot t =
   Pcr.reboot t.pcrs;
@@ -133,30 +151,53 @@ let pcr_extend t i m =
 let hash_start t ~caller =
   match caller with
   | Software -> Error "TPM_HASH_START is a hardware-only command"
-  | Cpu _ ->
-      charge t t.profile.Timing.hash_start;
-      Pcr.dynamic_reset t.pcrs;
-      t.hash_session <- Some (Sha1.init ());
-      Ok ()
+  | Cpu _ -> (
+      match inject t Tpm_busy "TPM_HASH_START busy" with
+      | Some e ->
+          charge t t.profile.Timing.hash_start;
+          Error e
+      | None ->
+          charge t t.profile.Timing.hash_start;
+          Pcr.dynamic_reset t.pcrs;
+          t.hash_session <- Some (Sha1.init ());
+          Ok ())
 
 let hash_data t chunk =
   match t.hash_session with
   | None -> Error "no open hash session"
-  | Some ctx ->
-      (* The bytes cross the LPC bus with the vendor's long-wait stall. *)
-      Sea_bus.Lpc.transfer t.lpc ~device_wait:t.profile.Timing.hash_data_wait
-        ~bytes:(String.length chunk);
-      Sha1.update ctx chunk;
-      Ok ()
+  | Some ctx -> (
+      match inject t Hash_abort "TPM_HASH_DATA aborted mid-sequence" with
+      | Some e ->
+          (* The sequence dies partway through the transfer: the bus time
+             for the bytes already sent is spent, and the open hash
+             session is lost — a retry must restart from TPM_HASH_START. *)
+          Sea_bus.Lpc.transfer t.lpc
+            ~device_wait:t.profile.Timing.hash_data_wait
+            ~bytes:(String.length chunk / 2);
+          t.hash_session <- None;
+          Error e
+      | None ->
+          (* The bytes cross the LPC bus with the vendor's long-wait stall. *)
+          Sea_bus.Lpc.transfer t.lpc
+            ~device_wait:t.profile.Timing.hash_data_wait
+            ~bytes:(String.length chunk);
+          Sha1.update ctx chunk;
+          Ok ())
 
 let hash_end t =
   match t.hash_session with
   | None -> Error "no open hash session"
-  | Some ctx ->
-      charge t t.profile.Timing.hash_end;
-      t.hash_session <- None;
-      let digest = Sha1.finalize ctx in
-      Ok (Pcr.extend t.pcrs 17 digest)
+  | Some ctx -> (
+      match inject t Tpm_busy "TPM_HASH_END busy" with
+      | Some e ->
+          (* Busy response: the session survives, the command can retry. *)
+          charge t t.profile.Timing.hash_end;
+          Error e
+      | None ->
+          charge t t.profile.Timing.hash_end;
+          t.hash_session <- None;
+          let digest = Sha1.finalize ctx in
+          Ok (Pcr.extend t.pcrs 17 digest))
 
 (* --- Randomness --- *)
 
@@ -220,6 +261,9 @@ let nv_write_command ~index ~data =
 
 let nv_write t ~session ~index ~data ~nonce_odd ~auth =
   charge t t.profile.Timing.pcr_extend;
+  match inject t Nv_fail "TPM_NV_WRITE failed" with
+  | Some e -> Error e
+  | None -> (
   match Hashtbl.find_opt t.nv index with
   | None -> Error "NV index not defined"
   | Some (secret, existing) ->
@@ -236,7 +280,7 @@ let nv_write t ~session ~index ~data ~nonce_odd ~auth =
         in
         Hashtbl.replace t.nv index (secret, padded);
         Ok ()
-      end
+      end)
 
 let nv_read t ~index =
   charge t t.profile.Timing.pcr_read;
@@ -272,7 +316,13 @@ let seal t ~caller ?sepcr ~pcr_policy payload =
     in
     match sepcr_binding with
     | Error e -> Error e
-    | Ok binding ->
+    | Ok binding -> (
+      match inject t Seal_fail "TPM_Seal blob write failed" with
+      | Some e ->
+          charge t
+            (Timing.seal_time t.profile ~payload_bytes:(String.length payload));
+          Error e
+      | None ->
         charge t
           (Timing.seal_time t.profile ~payload_bytes:(String.length payload));
         (* Serialize policy + payload, hybrid-encrypt under the SRK. *)
@@ -294,7 +344,7 @@ let seal t ~caller ?sepcr ~pcr_policy payload =
         Wire.add_string out wrapped;
         Wire.add_string out nonce;
         Wire.add_string out body;
-        Ok (Wire.contents out)
+        Ok (Wire.contents out))
   end
 
 let unseal t ~caller ?sepcr blob =
@@ -310,6 +360,9 @@ let unseal t ~caller ?sepcr blob =
   | Error e -> Error e
   | Ok current_sepcr -> (
       charge t (Timing.unseal_time t.profile ~payload_bytes:(String.length blob));
+      match inject t Tpm_busy "TPM_Unseal busy" with
+      | Some e -> Error e
+      | None -> (
       let d = Wire.decoder blob in
       match (Wire.read_string d, Wire.read_string d, Wire.read_string d) with
       | Some wrapped, Some nonce, Some body -> (
@@ -349,7 +402,7 @@ let unseal t ~caller ?sepcr blob =
                           else Ok payload
                       | _ -> Error "corrupted blob")
                   | _ -> Error "corrupted blob")))
-      | _ -> Error "corrupted blob")
+      | _ -> Error "corrupted blob"))
 
 (* --- Attestation --- *)
 
@@ -369,6 +422,11 @@ let quote_message ~selection ~sepcr_value ~nonce =
   Wire.contents enc
 
 let quote t ~caller ?sepcr ~selection ~nonce () =
+  match inject t Tpm_busy "TPM_Quote busy" with
+  | Some e ->
+      charge t t.profile.Timing.quote;
+      Error e
+  | None ->
   let sepcr_value =
     match (sepcr, t.sepcrs) with
     | None, _ -> Ok None
@@ -456,14 +514,26 @@ let with_bank_cpu t ~caller f =
 let sepcr_extend t ~caller h m =
   with_bank_cpu t ~caller (fun bank cpu ->
       charge t (Time.us 5.);
-      Sepcr.extend bank h ~owner:cpu m)
+      match inject t Tpm_busy "sePCR_Extend busy" with
+      | Some e -> Error e
+      | None -> Sepcr.extend bank h ~owner:cpu m)
 
 let sepcr_measure t ~caller h ~code =
   with_bank_cpu t ~caller (fun bank cpu ->
-      Sea_bus.Lpc.transfer t.lpc ~device_wait:t.profile.Timing.hash_data_wait
-        ~bytes:(String.length code);
-      charge t t.profile.Timing.hash_end;
-      Sepcr.extend bank h ~owner:cpu (Sha1.digest code))
+      match inject t Hash_abort "SLAUNCH measurement aborted mid-sequence" with
+      | Some e ->
+          (* Abort partway through streaming the PAL to the TPM: the bus
+             time is spent, no extend is committed. *)
+          Sea_bus.Lpc.transfer t.lpc
+            ~device_wait:t.profile.Timing.hash_data_wait
+            ~bytes:(String.length code / 2);
+          Error e
+      | None ->
+          Sea_bus.Lpc.transfer t.lpc
+            ~device_wait:t.profile.Timing.hash_data_wait
+            ~bytes:(String.length code);
+          charge t t.profile.Timing.hash_end;
+          Sepcr.extend bank h ~owner:cpu (Sha1.digest code))
 
 let sepcr_read t ~caller h =
   with_bank_cpu t ~caller (fun bank cpu ->
@@ -476,7 +546,9 @@ let sepcr_rebind t ~caller h ~new_owner =
          (§5.4.1), so re-binding on resume is a register check, not an LPC
          round-trip. *)
       charge t (Time.ns 50);
-      Sepcr.rebind bank h ~owner:cpu ~new_owner)
+      match inject t Tpm_busy "sePCR_Rebind busy" with
+      | Some e -> Error e
+      | None -> Sepcr.rebind bank h ~owner:cpu ~new_owner)
 
 let sepcr_release_for_quote t ~caller h =
   with_bank_cpu t ~caller (fun bank cpu ->

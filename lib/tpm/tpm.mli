@@ -39,6 +39,21 @@ val engine : t -> Sea_sim.Engine.t
 val lpc : t -> Sea_bus.Lpc.t
 (** The LPC link this TPM sits on (created with the TPM). *)
 
+val set_faults : t -> Sea_fault.Fault.t option -> unit
+(** Install (or remove, with [None]) a deterministic fault plan on this
+    TPM {e and} its LPC bus. With a plan installed, commands may fail
+    with transient errors (tagged per [Sea_fault.Fault.is_transient]):
+    busy responses on [TPM_HASH_START]/[TPM_HASH_END], unseal, quote and
+    the sePCR commands; aborted [TPM_HASH_DATA]/SLAUNCH measurement
+    sequences (the open session is lost, bus time already spent);
+    seal-blob and NV write failures; and injected LPC long-wait stalls.
+    Every injection site sits before the command's state mutation, so a
+    retried command sees the TPM as if the failed attempt never ran.
+    Without a plan (the default) behaviour is exactly fault-free. *)
+
+val faults : t -> Sea_fault.Fault.t option
+(** The currently installed fault plan, if any. *)
+
 val reboot : t -> unit
 (** Platform reset: PCR semantics per {!Pcr.reboot}; open hash sessions and
     the command lock are cleared. Keys and sePCR bindings survive (sePCRs

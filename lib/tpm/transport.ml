@@ -110,6 +110,12 @@ let tpm_execute tpm t wire =
   | None -> Error "transport authentication failed (tampered or replayed)"
   | Some plain -> (
       t.tpm_seq <- seq + 1;
+      match Tpm.faults tpm with
+      | Some plan when Sea_fault.Fault.fires plan Sea_fault.Fault.Tpm_busy ->
+          (* The command reached the TPM (its sequence number is consumed)
+             but the part answered busy; no response is produced. *)
+          Error (Sea_fault.Fault.transient "transport command busy")
+      | _ -> (
       match decode_request plain with
       | None -> Error "malformed transport request"
       | Some req ->
@@ -132,7 +138,7 @@ let tpm_execute tpm t wire =
               Ok
                 (Aead.encrypt ~key:t.key
                    ~nonce:(nonce_of ~dir:`Resp ~seq:rseq)
-                   (encode_response resp))))
+                   (encode_response resp)))))
 
 let open_response t wire =
   let seq = t.resp_seq in
@@ -144,8 +150,15 @@ let open_response t wire =
       | Some resp -> Ok resp
       | None -> Error "malformed transport response")
 
-let execute tpm t req =
-  let wire = seal_request t req in
-  match tpm_execute tpm t wire with
-  | Error e -> Error e
-  | Ok resp_wire -> open_response t resp_wire
+let execute ?retry tpm t req =
+  Sea_fault.Retry.run ?policy:retry ~engine:(Tpm.engine tpm) (fun () ->
+      let seq = t.client_seq in
+      let wire = seal_request t req in
+      match tpm_execute tpm t wire with
+      | Error e -> Error e
+      | Ok resp_wire ->
+          (* Response nonces mirror the request's sequence number; a
+             command whose response never arrived (busy TPM) must not
+             leave the client expecting the dropped number forever. *)
+          t.resp_seq <- seq;
+          open_response t resp_wire)

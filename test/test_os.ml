@@ -98,6 +98,12 @@ let test_sfree_from_outside () =
   let s = running_session m in
   blocked "external SFREE" (Adversary.sfree_from_outside m ~cpu:1 (Slaunch_session.secb s))
 
+let test_skinit_retry_remeasures () =
+  let m = Machine.create (Machine.low_fidelity Machine.hp_dc5750) in
+  blocked "retried SKINIT skips measurement"
+    (Adversary.skinit_retry_skips_measurement m ~cpu:0 (Generic.pal_gen ())
+       ~input:"")
+
 let test_skill_left_no_secrets () =
   (* After SKILL, no residue of the PAL's memory is observable. *)
   let m = proposed () in
@@ -271,6 +277,8 @@ let () =
           Alcotest.test_case "tampered quote" `Quick test_tamper_quote;
           Alcotest.test_case "foreign sePCR extend" `Quick test_extend_foreign_sepcr;
           Alcotest.test_case "SFREE from outside" `Quick test_sfree_from_outside;
+          Alcotest.test_case "retried SKINIT re-measures" `Quick
+            test_skinit_retry_remeasures;
           Alcotest.test_case "SKILL leaves no secrets" `Quick test_skill_left_no_secrets;
         ] );
       ( "netload",

@@ -177,7 +177,8 @@ let test_current_stalls_platform () =
     (r.Report.aggregate.Report.completed + r.Report.aggregate.Report.failed)
     (Stats.count r.Report.stall_ms);
   checkb "no residents on current hw" true
-    (r.Report.cold_starts = 0 && r.Report.warm_hits = 0)
+    (r.Report.cold_starts = 0 && r.Report.warm_hits = 0);
+  checkb "rows consistent" true (row_consistent r)
 
 (* --- serving: the proposed hardware --- *)
 
@@ -192,7 +193,8 @@ let test_proposed_warm_reuse () =
   checkb "nothing lost" true (a.Report.completed = a.Report.offered);
   checkb "platform never stalls" true
     (Time.compare r.Report.stalled Time.zero = 0
-    && Stats.count r.Report.stall_ms = 0)
+    && Stats.count r.Report.stall_ms = 0);
+  checkb "rows consistent" true (row_consistent r)
 
 let test_proposed_sepcr_pool_blocks () =
   (* One sePCR, two tenants of different kinds, two concurrent clients
@@ -225,7 +227,8 @@ let test_proposed_ample_pool_never_waits () =
   in
   checkb "no eviction with an ample bank" true
     (r.Report.evictions = 0 && r.Report.sepcr_waits = 0);
-  checki "one cold start per (tenant, kind)" 3 r.Report.cold_starts
+  checki "one cold start per (tenant, kind)" 3 r.Report.cold_starts;
+  checkb "rows consistent" true (row_consistent r)
 
 (* --- generators --- *)
 
@@ -252,7 +255,9 @@ let test_open_vs_closed_loop () =
     (closed_r.Report.aggregate.Report.shed = 0);
   checkb "closed loop served everything it sent" true
     (closed_r.Report.aggregate.Report.completed
-    = closed_r.Report.aggregate.Report.offered)
+    = closed_r.Report.aggregate.Report.offered);
+  checkb "rows consistent (open)" true (row_consistent open_r);
+  checkb "rows consistent (closed)" true (row_consistent closed_r)
 
 let test_closed_loop_shed_with_zero_think_terminates () =
   (* Regression: a shed closed-loop client with zero think time used to
@@ -281,7 +286,8 @@ let test_closed_loop_self_paces () =
   in
   checkb "no queueing" true (r.Report.aggregate.Report.queue_high_water <= 1);
   checkb "served all" true
-    (r.Report.aggregate.Report.completed = r.Report.aggregate.Report.offered)
+    (r.Report.aggregate.Report.completed = r.Report.aggregate.Report.offered);
+  checkb "rows consistent" true (row_consistent r)
 
 (* --- per-tenant accounting --- *)
 
@@ -319,6 +325,10 @@ let test_proposed_10x_goodput () =
   in
   checkb "current hardware is shedding" true
     (current.Report.aggregate.Report.shed > 0);
+  checkb "rows consistent (current)" true (row_consistent current);
+  checkb "rows consistent (proposed)" true (row_consistent proposed);
+  checkb "aggregate sums rows (current)" true (aggregate_sums current);
+  checkb "aggregate sums rows (proposed)" true (aggregate_sums proposed);
   let goodput r = Report.goodput_per_s r r.Report.aggregate in
   checkb "proposed sustains >= 10x goodput" true
     (goodput proposed >= 10. *. goodput current)
@@ -335,6 +345,7 @@ let test_identical_seeds_identical_reports () =
       serve ~seed:9L ~mode ~duration:(Time.s 1.)
         (Workload.preset ~tenants:3 (`Open 12.))
     in
+    checkb "rows consistent" true (row_consistent r1);
     Alcotest.(check string)
       ("bit-identical replay, " ^ Server.mode_name mode)
       (Report.render r1) (Report.render r2)
@@ -344,11 +355,85 @@ let test_identical_seeds_identical_reports () =
 
 let test_different_seeds_differ () =
   let go seed =
-    serve ~seed ~mode:Server.Proposed ~duration:(Time.s 1.)
-      (Workload.preset ~tenants:3 (`Open 12.))
+    let r =
+      serve ~seed ~mode:Server.Proposed ~duration:(Time.s 1.)
+        (Workload.preset ~tenants:3 (`Open 12.))
+    in
+    checkb "rows consistent" true (row_consistent r);
+    r
   in
   checkb "different seeds give different traffic" true
     (Report.render (go 1L) <> Report.render (go 2L))
+
+(* --- zero-completion rendering --- *)
+
+let test_zero_completion_report_renders () =
+  (* An all-shed run leaves every latency accumulator empty; the report
+     must render dashes for the percentiles instead of raising. *)
+  let empty_row tenant =
+    {
+      Report.tenant;
+      weight = 1;
+      offered = 5;
+      completed = 0;
+      shed = 5;
+      timed_out = 0;
+      failed = 0;
+      latency_ms = Stats.create ();
+      queue_high_water = 1;
+    }
+  in
+  let r =
+    {
+      Report.mode = "current";
+      machine = "synthetic";
+      cores = 2;
+      discipline = "fifo";
+      depth = 1;
+      window = Time.s 1.;
+      rows = [ empty_row "t0" ];
+      aggregate = empty_row "all";
+      pal_busy = Time.zero;
+      legacy_utilization = 1.;
+      stalled = Time.zero;
+      stall_ms = Stats.create ();
+      cold_starts = 0;
+      warm_hits = 0;
+      evictions = 0;
+      sepcr_waits = 0;
+      sepcr_wait_ms = Stats.create ();
+      faults_injected = [];
+      fault_stall = Time.zero;
+      retries = 0;
+      retry_give_ups = 0;
+      breaker_shed = 0;
+      breaker_transitions = 0;
+      degraded = Time.zero;
+      recoveries = 0;
+    }
+  in
+  let s = Report.render r in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "renders" true (String.length s > 0);
+  checkb "empty percentiles render as dashes" true (contains "-/-/-" s);
+  checkb "no robustness lines on a fault-free report" true
+    (not (Report.robustness_active r));
+  checkb "rows consistent" true (row_consistent r)
+
+let test_starved_deadline_run_renders () =
+  (* End-to-end: a run where nearly everything dies at the deadline
+     still produces a consistent, renderable report. *)
+  let r =
+    serve ~mode:Server.Current ~depth:64 ~duration:(Time.s 2.)
+      (Workload.preset ~deadline:(Time.us 1.) ~tenants:1 (`Open 4.))
+  in
+  checkb "requests timed out" true (r.Report.aggregate.Report.timed_out > 0);
+  checkb "rows consistent" true (row_consistent r);
+  checkb "renders" true (String.length (Report.render r) > 0)
 
 let () =
   Alcotest.run "serve"
@@ -408,5 +493,12 @@ let () =
             test_identical_seeds_identical_reports;
           Alcotest.test_case "different seeds differ" `Quick
             test_different_seeds_differ;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "zero-completion report renders" `Quick
+            test_zero_completion_report_renders;
+          Alcotest.test_case "starved-deadline run renders" `Quick
+            test_starved_deadline_run_renders;
         ] );
     ]
