@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- table1 figure3 ...
    Experiments: table1 table2 figure2 figure3 impact concurrency
-                faster-tpm io-loss multicore micro analyzer serving *)
+                faster-tpm io-loss multicore micro analyzer serving
+                degradation trace *)
 
 open Sea_sim
 open Sea_hw
@@ -847,6 +848,74 @@ module Degradation = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Table 1's decomposition, recovered from traces: the same late        *)
+(* launches as Table1, but the per-layer split (CPU init, LPC transfer, *)
+(* TPM hashing) comes out of the trace sink's per-category self times   *)
+(* rather than ad-hoc timers around each phase.                         *)
+(* ------------------------------------------------------------------ *)
+
+module Trace_decomp = struct
+  let sizes_kb = [ 4; 16; 64 ]
+
+  let measure config size =
+    let sink = Sea_trace.Trace.create () in
+    Sea_trace.Trace.with_sink sink (fun () ->
+        let m = Machine.create config in
+        let pages =
+          Machine.alloc_pages m
+            (max 1 ((size + Memory.page_size - 1) / Memory.page_size))
+        in
+        if size > 0 then begin
+          let drbg = Sea_crypto.Drbg.create ~seed:"bench-trace" in
+          Memory.write_span
+            (Memctrl.memory m.Machine.memctrl)
+            ~pages ~off:0
+            (Sea_crypto.Drbg.generate_string drbg size)
+        end;
+        Machine.idle_other_cpus m ~except:0;
+        match Insn.late_launch m ~cpu:0 ~pages ~length:size with
+        | Ok _ -> ()
+        | Error e -> failwith ("late launch failed: " ^ e));
+    sink
+
+  let run () =
+    section "Late-launch decomposition from traces (ms of per-layer self time)";
+    Printf.printf "%-24s %6s %10s %10s %10s %10s %10s\n" "System" "KB"
+      "cpu" "lpc" "tpm" "other" "total";
+    List.iter
+      (fun (name, config) ->
+        List.iter
+          (fun kb ->
+            let sink = measure config (kb * 1024) in
+            let self c = Time.to_ms (Sea_trace.Trace.category_self sink c) in
+            let total =
+              List.fold_left
+                (fun acc s ->
+                  if s.Sea_trace.Trace.cat = "insn" then
+                    Time.add acc s.Sea_trace.Trace.total
+                  else acc)
+                Time.zero
+                (Sea_trace.Trace.span_stats sink)
+            in
+            let total_ms = Time.to_ms total in
+            let cpu = self "cpu" and lpc = self "lpc" and tpm = self "tpm" in
+            Printf.printf "%-24s %6d %10.3f %10.3f %10.3f %10.3f %10.3f\n"
+              name kb cpu lpc tpm
+              (Float.max 0. (total_ms -. cpu -. lpc -. tpm))
+              total_ms)
+          sizes_kb)
+      [
+        ("HP dc5750 (SKINIT)", Machine.hp_dc5750);
+        ("Intel TEP (SENTER)", Machine.intel_tep);
+      ];
+    Printf.printf
+      "\nThe split reproduces Table 1's story from the event stream alone:\n\
+       on AMD the PAL's trip across the LPC bus dominates and scales with\n\
+       size; on Intel the fixed ACMod transfer + signature check dominates\n\
+       and the on-CPU PAL hash grows only slowly.\n"
+end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -863,6 +932,7 @@ let all =
     ("analyzer", Analyzer_throughput.run);
     ("serving", Serving.run);
     ("degradation", Degradation.run);
+    ("trace", Trace_decomp.run);
   ]
 
 let () =

@@ -446,7 +446,7 @@ let serve_mode_arg =
 
 let run_serve machine_config mode rate duration_s cores tenants depth
     discipline timer_ms deadline_ms closed think_ms seed fault_rate fault_kinds
-    fault_seed =
+    fault_seed trace_file trace_summary =
   (* Validate the numeric flags here, with flag names in the messages,
      instead of letting Invalid_argument escape from the library
      constructors. *)
@@ -512,7 +512,25 @@ let run_serve machine_config mode rate duration_s cores tenants depth
       | None -> `Open rate
     in
     let workload = Sea_serve.Workload.preset ?deadline ~tenants process in
-    let report = or_die (Sea_serve.Server.run m cfg workload) in
+    let run () = or_die (Sea_serve.Server.run m cfg workload) in
+    let report =
+      match (trace_file, trace_summary) with
+      | None, false -> run ()
+      | _ ->
+          let sink = Sea_trace.Trace.create () in
+          let report = Sea_trace.Trace.with_sink sink run in
+          (match trace_file with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Sea_trace.Trace.export_json sink);
+              close_out oc;
+              Printf.eprintf "trace: %d events written to %s\n"
+                (Sea_trace.Trace.events sink) path);
+          if trace_summary then
+            print_endline (Sea_trace.Trace.summary sink);
+          report
+    in
     print_endline (Sea_serve.Report.render report)
   with Invalid_argument e -> or_die (Error e)
 
@@ -594,6 +612,21 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace_event JSON trace of the run (virtual-time \
+       spans for instructions, TPM commands, LPC transfers and serve \
+       requests) to $(docv); load it in Perfetto or chrome://tracing."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let trace_summary_arg =
+    let doc =
+      "Print a compact trace summary (top spans, per-category self time, \
+       counters) after the report."
+    in
+    Arg.(value & flag & info [ "trace-summary" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -605,7 +638,7 @@ let serve_cmd =
       const run_serve $ machine_arg $ serve_mode_arg $ rate_arg $ duration_arg
       $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg $ timer_arg
       $ deadline_arg $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg
-      $ fault_kinds_arg $ fault_seed_arg)
+      $ fault_kinds_arg $ fault_seed_arg $ trace_arg $ trace_summary_arg)
 
 (* --- main --- *)
 

@@ -34,16 +34,27 @@ let transfer_time t ~device_wait ~bytes =
   else Time.scale (transaction_time t ~device_wait) (transactions_for t bytes)
 
 let transfer t ~device_wait ~bytes =
-  let d = transfer_time t ~device_wait ~bytes in
-  Engine.advance t.engine d;
-  (match t.faults with
-  | Some plan when bytes > 0 && Sea_fault.Fault.fires plan Lpc_stall ->
-      (* The slave holds the bus in long-wait sync beyond its configured
-         device wait: pure extra latency, the transfer still completes. *)
-      Engine.advance t.engine (Sea_fault.Fault.stall plan ~base:d)
-  | _ -> ());
-  t.total_bytes <- t.total_bytes + max 0 bytes;
-  t.total_transactions <- t.total_transactions + transactions_for t (max 0 bytes)
+  Sea_trace.Trace.with_span t.engine ~cat:"lpc"
+    ~args:(fun () -> [ ("bytes", Sea_trace.Trace.Int (max 0 bytes)) ])
+    "transfer"
+    (fun () ->
+      let d = transfer_time t ~device_wait ~bytes in
+      Engine.advance t.engine d;
+      (match t.faults with
+      | Some plan when bytes > 0 && Sea_fault.Fault.fires plan Lpc_stall ->
+          (* The slave holds the bus in long-wait sync beyond its configured
+             device wait: pure extra latency, the transfer still completes. *)
+          let extra = Sea_fault.Fault.stall plan ~base:d in
+          Sea_trace.Trace.instant t.engine ~cat:"fault"
+            ~args:(fun () ->
+              [ ("stall_ns", Sea_trace.Trace.Int (Time.to_ns extra)) ])
+            "lpc-stall";
+          Engine.advance t.engine extra
+      | _ -> ());
+      t.total_bytes <- t.total_bytes + max 0 bytes;
+      t.total_transactions <-
+        t.total_transactions + transactions_for t (max 0 bytes));
+  Sea_trace.Trace.count t.engine "lpc.bytes" (max 0 bytes)
 
 let total_bytes t = t.total_bytes
 let total_transactions t = t.total_transactions

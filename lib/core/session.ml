@@ -55,18 +55,24 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
   | Ok (), None -> Error "SEA sessions require a TPM"
   | Ok (), Some tpm ->
       let engine = m.Machine.engine in
+      Sea_trace.Trace.with_span engine ~cat:"session"
+        ~args:(fun () -> [ ("pal", Sea_trace.Trace.Str pal.Pal.name) ])
+        "execute"
+      @@ fun () ->
       let t_start = Engine.now engine in
       (* 1. Suspend the untrusted OS. *)
-      Machine.idle_other_cpus m ~except:cpu;
-      Engine.advance engine (suspend_cost m);
+      Sea_trace.Trace.with_span engine ~cat:"session" "suspend-os" (fun () ->
+          Machine.idle_other_cpus m ~except:cpu;
+          Engine.advance engine (suspend_cost m));
       let pages = Machine.alloc_pages m (Pal.pages_needed pal) in
       let cleanup () =
-        Memctrl.dev_unprotect m.Machine.memctrl pages;
-        (Machine.cpu m cpu).Cpu.interrupts_enabled <- true;
-        (Machine.cpu m cpu).Cpu.status <- Cpu.Legacy;
-        Machine.wake_cpus m;
-        Machine.free_pages m pages;
-        Engine.advance engine resume_cost
+        Sea_trace.Trace.with_span engine ~cat:"session" "resume-os" (fun () ->
+            Memctrl.dev_unprotect m.Machine.memctrl pages;
+            (Machine.cpu m cpu).Cpu.interrupts_enabled <- true;
+            (Machine.cpu m cpu).Cpu.status <- Cpu.Legacy;
+            Machine.wake_cpus m;
+            Machine.free_pages m pages;
+            Engine.advance engine resume_cost)
       in
       let memory = Memctrl.memory m.Machine.memctrl in
       Memory.write_span memory ~pages ~off:0 pal.Pal.code;
@@ -119,8 +125,13 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
             }
           in
           let t_behavior = Engine.now engine in
-          let behavior_result = pal.Pal.behavior services input in
-          Engine.advance engine pal.Pal.compute_time;
+          let behavior_result =
+            Sea_trace.Trace.with_span engine ~cat:"session" "behavior"
+              (fun () ->
+                let r = pal.Pal.behavior services input in
+                Engine.advance engine pal.Pal.compute_time;
+                r)
+          in
           let behavior_span = Time.sub (Engine.now engine) t_behavior in
           (* 4. Extend the exit marker so post-PAL software cannot unseal. *)
           ignore (Sea_tpm.Tpm.pcr_extend tpm identity_pcr exit_marker);

@@ -69,8 +69,12 @@ let start (m : Machine.t) ~cpu ?preemption_timer ?analyze ?analysis_policy
     (* A transiently failed first SLAUNCH backed out its claim and sePCR,
        so the retry re-protects and re-measures from scratch. *)
     match
-      Sea_fault.Retry.run ?policy:retry ~engine:m.Machine.engine (fun () ->
-          Insn.slaunch m ~cpu secb)
+      Sea_trace.Trace.with_span m.Machine.engine ~cat:"session"
+        ~args:(fun () -> [ ("pal", Sea_trace.Trace.Str pal.Pal.name) ])
+        "slaunch-start"
+        (fun () ->
+          Sea_fault.Retry.run ?policy:retry ~engine:m.Machine.engine
+            (fun () -> Insn.slaunch m ~cpu secb))
     with
     | Error e ->
         Machine.free_pages m pages;
@@ -147,6 +151,10 @@ let run_slice t ~cpu ?budget () =
   if t.state <> Lifecycle.Execute then Error "PAL is not executing"
   else begin
     let m = t.machine in
+    Sea_trace.Trace.with_span m.Machine.engine ~cat:"session"
+      ~args:(fun () -> [ ("pal", Sea_trace.Trace.Str t.pal.Pal.name) ])
+      "run-slice"
+    @@ fun () ->
     let rate = 1 + List.length t.joined_cpus in
     let budget =
       match budget with
@@ -200,8 +208,12 @@ let resume t ~cpu =
        Suspend: the caller may retry again, SKILL the PAL, or fall back
        to a cold start. *)
     match
-      Sea_fault.Retry.run ?policy:t.retry ~engine:t.machine.Machine.engine
-        (fun () -> Insn.slaunch t.machine ~cpu t.secb)
+      Sea_trace.Trace.with_span t.machine.Machine.engine ~cat:"session"
+        ~args:(fun () -> [ ("pal", Sea_trace.Trace.Str t.pal.Pal.name) ])
+        "slaunch-resume"
+        (fun () ->
+          Sea_fault.Retry.run ?policy:t.retry ~engine:t.machine.Machine.engine
+            (fun () -> Insn.slaunch t.machine ~cpu t.secb))
     with
     | Error e -> Error e
     | Ok (Insn.Launched _) -> Error "suspended SECB was re-measured"
@@ -214,6 +226,10 @@ let resume t ~cpu =
 let kill t =
   if t.state <> Lifecycle.Suspend then Error "SKILL targets a suspended PAL"
   else begin
+    Sea_trace.Trace.with_span t.machine.Machine.engine ~cat:"session"
+      ~args:(fun () -> [ ("pal", Sea_trace.Trace.Str t.pal.Pal.name) ])
+      "skill"
+    @@ fun () ->
     match Insn.skill t.machine t.secb with
     | Error e -> Error e
     | Ok () ->

@@ -25,7 +25,10 @@ let policy ?(max_attempts = 4) ?(base_backoff = Time.us 50.)
   { max_attempts; base_backoff; max_backoff; jitter; budget; retries = 0;
     give_ups = 0 }
 
-let default = policy ()
+(* A fresh policy per call: the [retries]/[give_ups] counters are
+   mutable, so a shared module-level default would alias per-user retry
+   statistics across every caller in the process. *)
+let default () = policy ()
 let max_attempts p = p.max_attempts
 let retries p = p.retries
 let give_ups p = p.give_ups
@@ -55,16 +58,31 @@ let run ?policy ~engine f =
         | Error e when Fault.is_transient e && n < p.max_attempts ->
             let d = backoff p engine ~attempt:n in
             if within_budget d then begin
+              Sea_trace.Trace.instant engine ~cat:"fault"
+                ~args:(fun () ->
+                  [
+                    ("attempt", Sea_trace.Trace.Int n);
+                    ("backoff_ns", Sea_trace.Trace.Int (Time.to_ns d));
+                  ])
+                "retry";
               Engine.advance engine d;
               p.retries <- p.retries + 1;
               attempt (n + 1)
             end
             else begin
               p.give_ups <- p.give_ups + 1;
+              Sea_trace.Trace.instant engine ~cat:"fault"
+                ~args:(fun () -> [ ("attempt", Sea_trace.Trace.Int n) ])
+                "retry-give-up";
               Error e
             end
         | Error e ->
-            if Fault.is_transient e then p.give_ups <- p.give_ups + 1;
+            if Fault.is_transient e then begin
+              p.give_ups <- p.give_ups + 1;
+              Sea_trace.Trace.instant engine ~cat:"fault"
+                ~args:(fun () -> [ ("attempt", Sea_trace.Trace.Int n) ])
+                "retry-give-up"
+            end;
             Error e
       in
       attempt 1

@@ -26,8 +26,10 @@ val policy :
     [Invalid_argument] on non-positive attempts/backoffs or a negative
     jitter. *)
 
-val default : policy
-(** [policy ()] — shared counters; use {!policy} for a private one. *)
+val default : unit -> policy
+(** [default ()] is [policy ()]: a fresh policy with private counters.
+    (It used to be a single shared value, which aliased the mutable
+    [retries]/[give_ups] counters across every user in the process.) *)
 
 val max_attempts : policy -> int
 

@@ -16,6 +16,17 @@ end
 let skinit_max_bytes = 64 * 1024
 let senter_max_bytes = 512 * 1024
 
+(* Top-level instruction spans live in the "insn" category; work done on
+   the main CPU (init microcode, ACMod verification, hashing) is "cpu".
+   Bus and TPM time appears as child spans from those layers, so a
+   category self-time breakdown reproduces the Table 1 decomposition. *)
+let insn_span (m : Machine.t) name f =
+  Sea_trace.Trace.with_span m.engine ~cat:"insn" name f
+
+let cpu_init_advance (m : Machine.t) =
+  Sea_trace.Trace.with_span m.engine ~cat:"cpu" "cpu-init" (fun () ->
+      Engine.advance m.engine Costs.cpu_init)
+
 let advance_jittered (m : Machine.t) mean =
   let rng = Engine.rng m.engine in
   let f = float_of_int (Time.to_ns mean) in
@@ -41,8 +52,9 @@ let skinit (m : Machine.t) ~cpu ~pages ~length =
   else if not (others_idle m ~cpu) then
     Error "late launch requires all other CPUs idle"
   else begin
+    insn_span m "SKINIT" @@ fun () ->
     let core = Machine.cpu m cpu in
-    Engine.advance m.engine Costs.cpu_init;
+    cpu_init_advance m;
     core.Cpu.interrupts_enabled <- false;
     Memctrl.dev_protect m.memctrl pages;
     if length = 0 then Ok (Sha1.digest "")
@@ -93,8 +105,9 @@ let senter (m : Machine.t) ~cpu ~pages ~length =
       else if not (others_idle m ~cpu) then
         Error "late launch requires all other CPUs idle"
       else begin
+        insn_span m "SENTER" @@ fun () ->
         let core = Machine.cpu m cpu in
-        Engine.advance m.engine Costs.cpu_init;
+        cpu_init_advance m;
         core.Cpu.interrupts_enabled <- false;
         Memctrl.dev_protect m.memctrl pages;
         let caller = Sea_tpm.Tpm.Cpu cpu in
@@ -108,14 +121,21 @@ let senter (m : Machine.t) ~cpu ~pages ~length =
                 match Sea_tpm.Tpm.hash_end tpm with
                 | Error e -> Error e
                 | Ok _pcr17 -> (
-                    Engine.advance m.engine Costs.senter_sig_verify;
+                    Sea_trace.Trace.with_span m.engine ~cat:"cpu" "sig-verify"
+                      (fun () ->
+                        Engine.advance m.engine Costs.senter_sig_verify);
                     (* Phase 2: the ACMod hashes the PAL on the main CPU and
                        extends only the digest into PCR 18. *)
                     match fetch_region m ~cpu ~pages ~length with
                     | Error e -> Error e
                     | Ok code ->
-                        Engine.advance m.engine
-                          (Time.scale Costs.cpu_hash_per_byte length);
+                        Sea_trace.Trace.with_span m.engine ~cat:"cpu"
+                          "cpu-hash"
+                          ~args:(fun () ->
+                            [ ("bytes", Sea_trace.Trace.Int length) ])
+                          (fun () ->
+                            Engine.advance m.engine
+                              (Time.scale Costs.cpu_hash_per_byte length));
                         let digest = Sha1.digest code in
                         let _pcr18 = Sea_tpm.Tpm.pcr_extend tpm 18 digest in
                         Ok digest)))
@@ -144,11 +164,12 @@ let slaunch (m : Machine.t) ~cpu (secb : Secb.t) =
       else if core.Cpu.status <> Cpu.Legacy && core.Cpu.status <> Cpu.Idle then
         Error "CPU busy"
       else if not secb.Secb.measured then begin
+        insn_span m "SLAUNCH" @@ fun () ->
         (* First launch: Protect, then Measure (Figure 7). *)
         match Access_control.claim acl ~secb_id:secb.Secb.id ~cpu secb.Secb.pages with
         | Error e -> Error e
         | Ok () -> (
-            Engine.advance m.engine Costs.cpu_init;
+            cpu_init_advance m;
             core.Cpu.interrupts_enabled <- false;
             let caller = Sea_tpm.Tpm.Cpu cpu in
             match Sea_tpm.Tpm.sepcr_allocate tpm ~caller with
@@ -184,6 +205,7 @@ let slaunch (m : Machine.t) ~cpu (secb : Secb.t) =
                         Ok (Launched (Sha1.digest code)))))
       end
       else begin
+        insn_span m "SLAUNCH-resume" @@ fun () ->
         (* Resume: the Measured Flag is honored only if the pages are in the
            suspended state owned by this SECB (§5.3.1). *)
         match Access_control.resume acl ~secb_id:secb.Secb.id ~cpu secb.Secb.pages with
@@ -225,6 +247,7 @@ let syield (m : Machine.t) ~cpu (secb : Secb.t) =
       if not (running_this_pal m ~cpu secb) then
         Error "SYIELD outside the PAL's execution"
       else begin
+        insn_span m "SYIELD" @@ fun () ->
         match Access_control.suspend acl ~secb_id:secb.Secb.id ~cpu secb.Secb.pages with
         | Error e -> Error e
         | Ok () ->
@@ -257,6 +280,7 @@ let sfree (m : Machine.t) ~cpu (secb : Secb.t) =
       if not (running_this_pal m ~cpu secb) then
         Error "SFREE must execute from within the PAL"
       else begin
+        insn_span m "SFREE" @@ fun () ->
         match Access_control.release acl ~secb_id:secb.Secb.id secb.Secb.pages with
         | Error e -> Error e
         | Ok () ->
@@ -290,6 +314,7 @@ let skill (m : Machine.t) (secb : Secb.t) =
         in
         if executing then Error "PAL is executing; preempt it first"
         else begin
+          insn_span m "SKILL" @@ fun () ->
           match Access_control.release acl ~secb_id:secb.Secb.id secb.Secb.pages with
           | Error e -> Error e
           | Ok () ->
@@ -320,6 +345,7 @@ let sjoin (m : Machine.t) ~cpu (secb : Secb.t) =
       else if core.Cpu.status <> Cpu.Legacy && core.Cpu.status <> Cpu.Idle then
         Error "CPU busy"
       else begin
+        insn_span m "SJOIN" @@ fun () ->
         match Access_control.join acl ~secb_id:secb.Secb.id ~cpu secb.Secb.pages with
         | Error e -> Error e
         | Ok () ->
@@ -336,6 +362,7 @@ let sleave (m : Machine.t) ~cpu (secb : Secb.t) =
       if not (running_this_pal m ~cpu secb) then
         Error "SLEAVE outside the PAL's execution"
       else begin
+        insn_span m "SLEAVE" @@ fun () ->
         match Access_control.leave acl ~secb_id:secb.Secb.id ~cpu secb.Secb.pages with
         | Error e -> Error e
         | Ok () ->

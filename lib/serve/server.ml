@@ -442,25 +442,58 @@ let run (m : Machine.t) cfg tenant_list =
               try_dispatch t
           | _ ->
               let core = Queue.pop idle in
+              Sea_trace.Trace.complete engine ~cat:"serve"
+                ~args:(fun () ->
+                  [
+                    ( "tenant",
+                      Sea_trace.Trace.Str tenants.(tenant).Workload.name );
+                  ])
+                ~start:r.arrival ~stop:t "queue-wait";
               let d, ok =
-                match cfg.mode with
-                | Current -> serve_current ~t r
-                | Proposed -> serve_proposed ~core ~t r
+                Sea_trace.Trace.with_span engine ~cat:"serve"
+                  ~args:(fun () ->
+                    [
+                      ( "tenant",
+                        Sea_trace.Trace.Str tenants.(tenant).Workload.name );
+                      ("kind", Sea_trace.Trace.Str (Workload.kind_name r.kind));
+                      ("mode", Sea_trace.Trace.Str (mode_name cfg.mode));
+                    ])
+                  "request"
+                  (fun () ->
+                    match cfg.mode with
+                    | Current -> serve_current ~t r
+                    | Proposed -> serve_proposed ~core ~t r)
               in
               let finish = Time.add t d in
               (match breakers with
               | Some arr ->
                   let b = arr.(key tenant r.kind) in
+                  let before = Breaker.state b in
                   if ok then Breaker.record_success b ~now:finish
-                  else Breaker.record_failure b ~now:finish
+                  else Breaker.record_failure b ~now:finish;
+                  let after = Breaker.state b in
+                  if before <> after then begin
+                    Sea_trace.Trace.instant engine ~cat:"serve"
+                      ~args:(fun () ->
+                        [
+                          ("from", Sea_trace.Trace.Str (Breaker.state_name before));
+                          ("to", Sea_trace.Trace.Str (Breaker.state_name after));
+                        ])
+                      "breaker-transition";
+                    Sea_trace.Trace.count engine "serve.breaker_transitions" 1
+                  end
               | None -> ());
               if ok then begin
                 completed.(tenant) <- completed.(tenant) + 1;
+                Sea_trace.Trace.count engine "serve.completed" 1;
                 let l = Time.to_ms (Time.sub finish r.arrival) in
                 Stats.add latency.(tenant) l;
                 Stats.add agg_latency l
               end
-              else failed.(tenant) <- failed.(tenant) + 1;
+              else begin
+                failed.(tenant) <- failed.(tenant) + 1;
+                Sea_trace.Trace.count engine "serve.failed" 1
+              end;
               let occupied =
                 match cfg.mode with
                 | Current -> Time.scale d (Array.length m.Machine.cpus)
@@ -482,7 +515,22 @@ let run (m : Machine.t) cfg tenant_list =
             offered.(tenant) <- offered.(tenant) + 1;
             let breaker_open =
               match breakers with
-              | Some arr -> not (Breaker.allow arr.(key tenant kind) ~now:t)
+              | Some arr ->
+                  let b = arr.(key tenant kind) in
+                  let before = Breaker.state b in
+                  let allowed = Breaker.allow b ~now:t in
+                  let after = Breaker.state b in
+                  if before <> after then begin
+                    Sea_trace.Trace.instant engine ~cat:"serve"
+                      ~args:(fun () ->
+                        [
+                          ("from", Sea_trace.Trace.Str (Breaker.state_name before));
+                          ("to", Sea_trace.Trace.Str (Breaker.state_name after));
+                        ])
+                      "breaker-transition";
+                    Sea_trace.Trace.count engine "serve.breaker_transitions" 1
+                  end;
+                  not allowed
               | None -> false
             in
             if breaker_open then begin
@@ -491,6 +539,14 @@ let run (m : Machine.t) cfg tenant_list =
                  the open interval ends, not instantly. *)
               shed.(tenant) <- shed.(tenant) + 1;
               incr breaker_shed;
+              Sea_trace.Trace.instant engine ~cat:"serve"
+                ~args:(fun () ->
+                  [
+                    ( "tenant",
+                      Sea_trace.Trace.Str tenants.(tenant).Workload.name );
+                  ])
+                "breaker-shed";
+              Sea_trace.Trace.count engine "serve.shed" 1;
               match client with
               | None -> ()
               | Some c ->
@@ -509,6 +565,14 @@ let run (m : Machine.t) cfg tenant_list =
               if Admission.offer queue ~tenant r then try_dispatch t
               else begin
                 shed.(tenant) <- shed.(tenant) + 1;
+                Sea_trace.Trace.instant engine ~cat:"serve"
+                  ~args:(fun () ->
+                    [
+                      ( "tenant",
+                        Sea_trace.Trace.Str tenants.(tenant).Workload.name );
+                    ])
+                  "queue-shed";
+                Sea_trace.Trace.count engine "serve.shed" 1;
                 reissue ~on_shed:true tenant client t
               end
             end

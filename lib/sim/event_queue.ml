@@ -1,39 +1,43 @@
 type 'a entry = { time : Time.t; seq : int; payload : 'a }
 
+(* Slots beyond [size] hold [None] so a popped entry's payload is
+   unreachable the moment it leaves the heap: a drained queue retains
+   nothing, however large the array grew while it was full. *)
 type 'a t = {
-  mutable heap : 'a entry array option; (* None when capacity 0 *)
+  mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = None; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0 }
 let is_empty t = t.size = 0
 let length t = t.size
 
 let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t dummy =
-  match t.heap with
-  | None -> t.heap <- Some (Array.make 16 dummy)
-  | Some h when t.size = Array.length h ->
-      let bigger = Array.make (2 * Array.length h) dummy in
-      Array.blit h 0 bigger 0 t.size;
-      t.heap <- Some bigger
-  | Some _ -> ()
+let get h i = match h.(i) with Some e -> e | None -> assert false
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) None in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end
 
 let push t ~time payload =
   let e = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  grow t e;
-  let h = match t.heap with Some h -> h | None -> assert false in
+  grow t;
+  let h = t.heap in
   (* Sift up. *)
   let i = ref t.size in
   t.size <- t.size + 1;
-  h.(!i) <- e;
+  h.(!i) <- Some e;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if entry_lt h.(!i) h.(parent) then begin
+    if entry_lt (get h !i) (get h parent) then begin
       let tmp = h.(parent) in
       h.(parent) <- h.(!i);
       h.(!i) <- tmp;
@@ -48,8 +52,8 @@ let sift_down h size i0 =
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < size && entry_lt h.(l) h.(!smallest) then smallest := l;
-    if r < size && entry_lt h.(r) h.(!smallest) then smallest := r;
+    if l < size && entry_lt (get h l) (get h !smallest) then smallest := l;
+    if r < size && entry_lt (get h r) (get h !smallest) then smallest := r;
     if !smallest <> !i then begin
       let tmp = h.(!smallest) in
       h.(!smallest) <- h.(!i);
@@ -61,20 +65,20 @@ let sift_down h size i0 =
 
 let pop t =
   if t.size = 0 then None
-  else
-    let h = match t.heap with Some h -> h | None -> assert false in
-    let top = h.(0) in
+  else begin
+    let h = t.heap in
+    let top = get h 0 in
     t.size <- t.size - 1;
     h.(0) <- h.(t.size);
+    (* Blank the vacated slot: the heap must not keep the popped payload
+       (or, transiently, a second reference to the moved one) alive. *)
+    h.(t.size) <- None;
     sift_down h t.size 0;
     Some (top.time, top.payload)
+  end
 
-let peek_time t =
-  if t.size = 0 then None
-  else
-    let h = match t.heap with Some h -> h | None -> assert false in
-    Some h.(0).time
+let peek_time t = if t.size = 0 then None else Some (get t.heap 0).time
 
 let clear t =
   t.size <- 0;
-  t.heap <- None
+  t.heap <- [||]

@@ -14,7 +14,9 @@ val push : 'a t -> time:Time.t -> 'a -> unit
 (** Schedule a payload at the given instant. *)
 
 val pop : 'a t -> (Time.t * 'a) option
-(** Remove and return the earliest event, or [None] if empty. *)
+(** Remove and return the earliest event, or [None] if empty. The queue
+    drops its reference to the popped payload: a drained queue retains
+    nothing for the GC, however large its backing array grew. *)
 
 val peek_time : 'a t -> Time.t option
 (** Time of the earliest event without removing it. *)

@@ -39,8 +39,13 @@ let stdev t =
     let var = (t.sum_sq -. (t.sum *. t.sum /. n)) /. (n -. 1.) in
     sqrt (Float.max var 0.)
 
-let min t = t.min
-let max t = t.max
+let min t =
+  if t.count = 0 then invalid_arg "Stats.min: empty accumulator";
+  t.min
+
+let max t =
+  if t.count = 0 then invalid_arg "Stats.max: empty accumulator";
+  t.max
 
 let sorted_samples t =
   match t.sorted with

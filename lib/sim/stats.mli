@@ -23,6 +23,10 @@ val stdev : t -> float
 
 val min : t -> float
 val max : t -> float
+(** Smallest / largest recorded observation. Like {!percentile}, both
+    raise [Invalid_argument] on an empty accumulator — returning the
+    [infinity] / [neg_infinity] identity elements would leak [inf] into
+    reports and bench JSON. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the sorted

@@ -82,6 +82,11 @@ let aik_certificate t = t.aik_cert
 
 let charge t mean = Engine.advance t.engine (Timing.draw t.rng t.profile mean)
 
+(* Every TPM command entry point runs inside one of these spans, so a
+   trace sink sees per-command latency histograms keyed "tpm"/<command>
+   for free; with no sink installed this is the [f ()] identity. *)
+let traced t name f = Sea_trace.Trace.with_span t.engine ~cat:"tpm" name f
+
 let set_faults t plan =
   t.faults <- plan;
   Sea_bus.Lpc.set_faults t.lpc plan
@@ -95,6 +100,9 @@ let faults t = t.faults
 let inject t kind msg =
   match t.faults with
   | Some plan when Sea_fault.Fault.fires plan kind ->
+      Sea_trace.Trace.instant t.engine ~cat:"fault"
+        ~args:(fun () -> [ ("msg", Sea_trace.Trace.Str msg) ])
+        (Sea_fault.Fault.kind_name kind);
       Some (Sea_fault.Fault.transient msg)
   | _ -> None
 
@@ -139,72 +147,78 @@ let lock_contentions t = t.lock_contentions
 (* --- PCR commands --- *)
 
 let pcr_read t i =
-  charge t t.profile.Timing.pcr_read;
-  Pcr.read t.pcrs i
+  traced t "pcr-read" (fun () ->
+      charge t t.profile.Timing.pcr_read;
+      Pcr.read t.pcrs i)
 
 let pcr_extend t i m =
-  charge t t.profile.Timing.pcr_extend;
-  Pcr.extend t.pcrs i m
+  traced t "pcr-extend" (fun () ->
+      charge t t.profile.Timing.pcr_extend;
+      Pcr.extend t.pcrs i m)
 
 (* --- TPM_HASH_* sequence --- *)
 
 let hash_start t ~caller =
   match caller with
   | Software -> Error "TPM_HASH_START is a hardware-only command"
-  | Cpu _ -> (
-      match inject t Tpm_busy "TPM_HASH_START busy" with
-      | Some e ->
-          charge t t.profile.Timing.hash_start;
-          Error e
-      | None ->
-          charge t t.profile.Timing.hash_start;
-          Pcr.dynamic_reset t.pcrs;
-          t.hash_session <- Some (Sha1.init ());
-          Ok ())
+  | Cpu _ ->
+      traced t "hash-start" (fun () ->
+          match inject t Tpm_busy "TPM_HASH_START busy" with
+          | Some e ->
+              charge t t.profile.Timing.hash_start;
+              Error e
+          | None ->
+              charge t t.profile.Timing.hash_start;
+              Pcr.dynamic_reset t.pcrs;
+              t.hash_session <- Some (Sha1.init ());
+              Ok ())
 
 let hash_data t chunk =
   match t.hash_session with
   | None -> Error "no open hash session"
-  | Some ctx -> (
-      match inject t Hash_abort "TPM_HASH_DATA aborted mid-sequence" with
-      | Some e ->
-          (* The sequence dies partway through the transfer: the bus time
-             for the bytes already sent is spent, and the open hash
-             session is lost — a retry must restart from TPM_HASH_START. *)
-          Sea_bus.Lpc.transfer t.lpc
-            ~device_wait:t.profile.Timing.hash_data_wait
-            ~bytes:(String.length chunk / 2);
-          t.hash_session <- None;
-          Error e
-      | None ->
-          (* The bytes cross the LPC bus with the vendor's long-wait stall. *)
-          Sea_bus.Lpc.transfer t.lpc
-            ~device_wait:t.profile.Timing.hash_data_wait
-            ~bytes:(String.length chunk);
-          Sha1.update ctx chunk;
-          Ok ())
+  | Some ctx ->
+      traced t "hash-data" (fun () ->
+          match inject t Hash_abort "TPM_HASH_DATA aborted mid-sequence" with
+          | Some e ->
+              (* The sequence dies partway through the transfer: the bus time
+                 for the bytes already sent is spent, and the open hash
+                 session is lost — a retry must restart from TPM_HASH_START. *)
+              Sea_bus.Lpc.transfer t.lpc
+                ~device_wait:t.profile.Timing.hash_data_wait
+                ~bytes:(String.length chunk / 2);
+              t.hash_session <- None;
+              Error e
+          | None ->
+              (* The bytes cross the LPC bus with the vendor's long-wait stall. *)
+              Sea_bus.Lpc.transfer t.lpc
+                ~device_wait:t.profile.Timing.hash_data_wait
+                ~bytes:(String.length chunk);
+              Sha1.update ctx chunk;
+              Ok ())
 
 let hash_end t =
   match t.hash_session with
   | None -> Error "no open hash session"
-  | Some ctx -> (
-      match inject t Tpm_busy "TPM_HASH_END busy" with
-      | Some e ->
-          (* Busy response: the session survives, the command can retry. *)
-          charge t t.profile.Timing.hash_end;
-          Error e
-      | None ->
-          charge t t.profile.Timing.hash_end;
-          t.hash_session <- None;
-          let digest = Sha1.finalize ctx in
-          Ok (Pcr.extend t.pcrs 17 digest))
+  | Some ctx ->
+      traced t "hash-end" (fun () ->
+          match inject t Tpm_busy "TPM_HASH_END busy" with
+          | Some e ->
+              (* Busy response: the session survives, the command can retry. *)
+              charge t t.profile.Timing.hash_end;
+              Error e
+          | None ->
+              charge t t.profile.Timing.hash_end;
+              t.hash_session <- None;
+              let digest = Sha1.finalize ctx in
+              Ok (Pcr.extend t.pcrs 17 digest))
 
 (* --- Randomness --- *)
 
 let get_random t n =
-  Engine.advance t.engine
-    (Timing.draw t.rng t.profile (Timing.get_random_time t.profile ~bytes:n));
-  Drbg.generate_string t.drbg n
+  traced t "get-random" (fun () ->
+      Engine.advance t.engine
+        (Timing.draw t.rng t.profile (Timing.get_random_time t.profile ~bytes:n));
+      Drbg.generate_string t.drbg n)
 
 (* --- Monotonic counters --- *)
 
@@ -260,6 +274,7 @@ let nv_write_command ~index ~data =
   Wire.contents enc
 
 let nv_write t ~session ~index ~data ~nonce_odd ~auth =
+  traced t "nv-write" @@ fun () ->
   charge t t.profile.Timing.pcr_extend;
   match inject t Nv_fail "TPM_NV_WRITE failed" with
   | Some e -> Error e
@@ -283,6 +298,7 @@ let nv_write t ~session ~index ~data ~nonce_odd ~auth =
       end)
 
 let nv_read t ~index =
+  traced t "nv-read" @@ fun () ->
   charge t t.profile.Timing.pcr_read;
   match Hashtbl.find_opt t.nv index with
   | None -> Error "NV index not defined"
@@ -304,6 +320,7 @@ let sepcr_access t ~caller h =
 let max_seal_payload _t = 64 * 1024
 
 let seal t ~caller ?sepcr ~pcr_policy payload =
+  traced t "seal" @@ fun () ->
   if String.length payload > max_seal_payload t then Error "payload too large"
   else begin
     let sepcr_binding =
@@ -348,6 +365,7 @@ let seal t ~caller ?sepcr ~pcr_policy payload =
   end
 
 let unseal t ~caller ?sepcr blob =
+  traced t "unseal" @@ fun () ->
   let sepcr_value =
     match sepcr with
     | None -> Ok None
@@ -422,6 +440,7 @@ let quote_message ~selection ~sepcr_value ~nonce =
   Wire.contents enc
 
 let quote t ~caller ?sepcr ~selection ~nonce () =
+  traced t "quote" @@ fun () ->
   match inject t Tpm_busy "TPM_Quote busy" with
   | Some e ->
       charge t t.profile.Timing.quote;
@@ -475,6 +494,7 @@ let measurement_absorption_cost _t =
   Time.us 5.
 
 let sepcr_allocate t ~caller =
+  traced t "sepcr-allocate" @@ fun () ->
   match (t.sepcrs, require_hardware caller) with
   | None, _ -> Error "this TPM has no sePCR bank"
   | _, Error e -> Error e
@@ -485,6 +505,7 @@ let sepcr_allocate t ~caller =
       | None -> Error "no free sePCR")
 
 let sepcr_allocate_set t ~caller ~size =
+  traced t "sepcr-allocate-set" @@ fun () ->
   if size <= 0 then Error "set size must be positive"
   else begin
     match (t.sepcrs, require_hardware caller) with
@@ -512,6 +533,7 @@ let with_bank_cpu t ~caller f =
   | Some bank, Ok cpu -> f bank cpu
 
 let sepcr_extend t ~caller h m =
+  traced t "sepcr-extend" @@ fun () ->
   with_bank_cpu t ~caller (fun bank cpu ->
       charge t (Time.us 5.);
       match inject t Tpm_busy "sePCR_Extend busy" with
@@ -519,6 +541,7 @@ let sepcr_extend t ~caller h m =
       | None -> Sepcr.extend bank h ~owner:cpu m)
 
 let sepcr_measure t ~caller h ~code =
+  traced t "sepcr-measure" @@ fun () ->
   with_bank_cpu t ~caller (fun bank cpu ->
       match inject t Hash_abort "SLAUNCH measurement aborted mid-sequence" with
       | Some e ->
@@ -536,11 +559,13 @@ let sepcr_measure t ~caller h ~code =
           Sepcr.extend bank h ~owner:cpu (Sha1.digest code))
 
 let sepcr_read t ~caller h =
+  traced t "sepcr-read" @@ fun () ->
   with_bank_cpu t ~caller (fun bank cpu ->
       charge t (Time.us 2.);
       Sepcr.read bank h ~owner:cpu)
 
 let sepcr_rebind t ~caller h ~new_owner =
+  traced t "sepcr-rebind" @@ fun () ->
   with_bank_cpu t ~caller (fun bank cpu ->
       (* The memory controller caches sePCR handles during SLAUNCH
          (§5.4.1), so re-binding on resume is a register check, not an LPC
@@ -551,11 +576,13 @@ let sepcr_rebind t ~caller h ~new_owner =
       | None -> Sepcr.rebind bank h ~owner:cpu ~new_owner)
 
 let sepcr_release_for_quote t ~caller h =
+  traced t "sepcr-release" @@ fun () ->
   with_bank_cpu t ~caller (fun bank cpu ->
       charge t (Time.us 2.);
       Sepcr.release_for_quote bank h ~owner:cpu)
 
 let sepcr_skill t ~caller h =
+  traced t "sepcr-skill" @@ fun () ->
   with_bank_cpu t ~caller (fun bank _cpu ->
       charge t (Time.us 5.);
       Sepcr.skill bank h)

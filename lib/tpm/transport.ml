@@ -150,8 +150,16 @@ let open_response t wire =
       | Some resp -> Ok resp
       | None -> Error "malformed transport response")
 
+let request_name = function
+  | Get_random _ -> "get-random"
+  | Pcr_extend _ -> "pcr-extend"
+  | Pcr_read _ -> "pcr-read"
+
 let execute ?retry tpm t req =
-  Sea_fault.Retry.run ?policy:retry ~engine:(Tpm.engine tpm) (fun () ->
+  let engine = Tpm.engine tpm in
+  Sea_trace.Trace.with_span engine ~cat:"transport" (request_name req)
+  @@ fun () ->
+  Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
       let seq = t.client_seq in
       let wire = seal_request t req in
       match tpm_execute tpm t wire with

@@ -151,6 +151,22 @@ let test_retry_budget_stops_early () =
   checki "one attempt, no budget for more" 1 !calls;
   checki "budget exhaustion is a give-up" 1 (Retry.give_ups policy)
 
+let test_default_policies_are_independent () =
+  (* Regression: [default] used to be one shared module-level value, so
+     its mutable retries/give_ups counters aliased across every caller —
+     retries performed through one "default" policy showed up in
+     another's statistics. *)
+  let e = engine () in
+  let p1 = Retry.default () and p2 = Retry.default () in
+  let calls = ref 0 in
+  ignore
+    (Retry.run ~policy:p1 ~engine:e (fun () ->
+         incr calls;
+         if !calls < 3 then Error (Fault.transient "busy") else Ok ()));
+  checki "p1 counted its retries" 2 (Retry.retries p1);
+  checki "p2 unaffected" 0 (Retry.retries p2);
+  checki "a third default starts clean" 0 (Retry.retries (Retry.default ()))
+
 let test_retry_without_policy_runs_once () =
   let e = engine () in
   let calls = ref 0 in
@@ -364,6 +380,8 @@ let () =
             test_retry_budget_stops_early;
           Alcotest.test_case "no policy runs once" `Quick
             test_retry_without_policy_runs_once;
+          Alcotest.test_case "default policies independent" `Quick
+            test_default_policies_are_independent;
         ] );
       ( "breaker",
         [

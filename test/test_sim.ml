@@ -150,6 +150,45 @@ let test_queue_peek_clear () =
   Event_queue.clear q;
   checkb "cleared" true (Event_queue.is_empty q)
 
+let test_stats_min_max_empty_raise () =
+  (* Regression: min/max used to return the infinity / neg_infinity fold
+     identities on an empty accumulator, leaking [inf] into reports. *)
+  let s = Stats.create () in
+  Alcotest.check_raises "empty min"
+    (Invalid_argument "Stats.min: empty accumulator") (fun () ->
+      ignore (Stats.min s));
+  Alcotest.check_raises "empty max"
+    (Invalid_argument "Stats.max: empty accumulator") (fun () ->
+      ignore (Stats.max s));
+  Stats.add s 2.;
+  check (Alcotest.float 0.) "min after add" 2. (Stats.min s);
+  check (Alcotest.float 0.) "max after add" 2. (Stats.max s)
+
+let test_queue_drained_drops_references () =
+  (* Regression: pop used to leave the last heap slot aliasing the popped
+     entry, so a drained queue pinned the payloads of everything that
+     ever passed through it. *)
+  let q = Event_queue.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let payload = Bytes.make 64 (Char.chr (Char.code 'a' + i)) in
+    Weak.set w i (Some payload);
+    Event_queue.push q ~time:i payload
+  done;
+  while not (Event_queue.is_empty q) do
+    ignore (Event_queue.pop q)
+  done;
+  Gc.full_major ();
+  for i = 0 to 7 do
+    checkb
+      (Printf.sprintf "payload %d collected after drain" i)
+      false
+      (Weak.check w i)
+  done;
+  (* Keep the queue live past the weak checks: otherwise the GC may
+     collect the whole queue (payloads and all) and mask a leak. *)
+  checkb "queue still empty" true (Event_queue.is_empty (Sys.opaque_identity q))
+
 let prop_queue_sorted =
   QCheck.Test.make ~name:"event queue pops in nondecreasing time order" ~count:200
     QCheck.(list (int_bound 1_000_000))
@@ -300,12 +339,16 @@ let () =
           Alcotest.test_case "empty and single" `Quick test_stats_empty_and_single;
           Alcotest.test_case "add_time unit" `Quick test_stats_add_time;
           Alcotest.test_case "samples order" `Quick test_stats_samples_order;
+          Alcotest.test_case "empty min/max raise" `Quick
+            test_stats_min_max_empty_raise;
         ] );
       ( "event-queue",
         [
           Alcotest.test_case "ordering" `Quick test_queue_ordering;
           Alcotest.test_case "FIFO at equal times" `Quick test_queue_fifo_at_same_time;
           Alcotest.test_case "peek and clear" `Quick test_queue_peek_clear;
+          Alcotest.test_case "drained queue drops references" `Quick
+            test_queue_drained_drops_references;
           QCheck_alcotest.to_alcotest prop_queue_sorted;
         ] );
       ( "engine",

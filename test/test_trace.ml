@@ -1,0 +1,185 @@
+(* Tests for sea.trace: span semantics (nesting, self vs total time,
+   exception safety), Chrome-JSON export determinism, and the zero-cost
+   guarantee — a run with no sink installed renders every report
+   byte-identically to one that was never instrumented, and a traced run
+   does not perturb the simulation either. *)
+
+open Sea_sim
+open Sea_trace
+open Sea_serve
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let occurrences ~sub s =
+  let n = String.length sub and len = String.length s in
+  let rec go acc i =
+    if i + n > len then acc
+    else if String.sub s i n = sub then go (acc + 1) (i + 1)
+    else go acc (i + 1)
+  in
+  go 0 0
+
+(* --- span semantics --- *)
+
+let test_off_is_free () =
+  Trace.uninstall ();
+  let e = Engine.create ~seed:1L () in
+  let evaluated = ref false in
+  let r =
+    Trace.with_span e ~cat:"t"
+      ~args:(fun () ->
+        evaluated := true;
+        [])
+      "noop"
+      (fun () -> 42)
+  in
+  checki "body ran" 42 r;
+  checkb "args thunk never evaluated when off" false !evaluated;
+  Trace.instant e ~cat:"t" "i";
+  Trace.count e "c" 3;
+  checkb "no sink appeared" true (Trace.installed () = None)
+
+let test_nesting_and_self_time () =
+  let e = Engine.create ~seed:1L () in
+  let sink = Trace.create () in
+  Trace.with_sink sink (fun () ->
+      Trace.with_span e ~cat:"outer" "o" (fun () ->
+          Engine.advance e (Time.us 10.);
+          Trace.with_span e ~cat:"inner" "i" (fun () ->
+              Engine.advance e (Time.us 4.));
+          Engine.advance e (Time.us 1.)));
+  checki "balanced" 0 (Trace.depth sink);
+  let stat cat =
+    List.find (fun s -> s.Trace.cat = cat) (Trace.span_stats sink)
+  in
+  checki "outer total 15us" 15_000 (Time.to_ns (stat "outer").Trace.total);
+  checki "outer self 11us" 11_000 (Time.to_ns (stat "outer").Trace.self);
+  checki "inner self 4us" 4_000 (Time.to_ns (stat "inner").Trace.self);
+  checki "category self" 11_000 (Time.to_ns (Trace.category_self sink "outer"))
+
+let test_exception_closes_span () =
+  let e = Engine.create ~seed:1L () in
+  let sink = Trace.create () in
+  (try
+     Trace.with_sink sink (fun () ->
+         Trace.with_span e ~cat:"t" "boom" (fun () ->
+             Engine.advance e (Time.us 1.);
+             failwith "inside"))
+   with Failure _ -> ());
+  checki "span closed on raise" 0 (Trace.depth sink);
+  checkb "span still recorded" true
+    (List.exists (fun s -> s.Trace.name = "boom") (Trace.span_stats sink))
+
+let test_counters_accumulate () =
+  let e = Engine.create ~seed:1L () in
+  let sink = Trace.create () in
+  Trace.with_sink sink (fun () ->
+      Trace.count e "bytes" 10;
+      Trace.count e "bytes" 5);
+  checki "running total" 15 (Trace.counter sink "bytes");
+  checki "unknown counter is 0" 0 (Trace.counter sink "nope")
+
+let test_export_shape () =
+  let e = Engine.create ~seed:1L () in
+  let sink = Trace.create () in
+  Trace.with_sink sink (fun () ->
+      Trace.with_span e ~cat:"t" "s" (fun () -> Engine.advance e (Time.us 2.));
+      Trace.instant e ~cat:"t" "mark";
+      Trace.complete e ~cat:"t" ~start:Time.zero ~stop:(Time.us 1.) "retro");
+  let json = Trace.export_json sink in
+  checkb "has traceEvents" true (String.length json > 0);
+  checkb "names the event array" true (occurrences ~sub:"\"traceEvents\"" json = 1);
+  checkb "has a begin" true (occurrences ~sub:"\"ph\":\"B\"" json >= 1);
+  checkb "has an instant" true (occurrences ~sub:"\"ph\":\"i\"" json = 1);
+  checkb "has a complete" true (occurrences ~sub:"\"ph\":\"X\"" json = 1)
+
+(* --- serving runs: determinism, bit-identity, balance under faults --- *)
+
+let machine ?(seed = 11L) proposed =
+  let config = Sea_hw.Machine.low_fidelity Sea_hw.Machine.hp_dc5750 in
+  let config =
+    if proposed then Sea_hw.Machine.proposed_variant config else config
+  in
+  Sea_hw.Machine.create ~engine:(Engine.create ~seed ()) config
+
+let serve ?faults mode =
+  let m = machine (mode = Server.Proposed) in
+  let cfg = Server.config ?faults ~mode ~duration:(Time.s 1.) () in
+  match Server.run m cfg (Workload.preset ~tenants:3 (`Open 12.)) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("serve: " ^ e)
+
+let test_traced_serve_deterministic () =
+  List.iter
+    (fun mode ->
+      let go () =
+        let sink = Trace.create () in
+        let r = Trace.with_sink sink (fun () -> serve mode) in
+        (Trace.export_json sink, Report.render r)
+      in
+      let j1, r1 = go () and j2, r2 = go () in
+      checkb "trace has events" true (String.length j1 > 100);
+      checks "same seed, byte-identical export" j1 j2;
+      checks "same seed, byte-identical report" r1 r2)
+    [ Server.Current; Server.Proposed ]
+
+let test_tracing_does_not_perturb () =
+  List.iter
+    (fun mode ->
+      let plain = Report.render (serve mode) in
+      let sink = Trace.create () in
+      let traced =
+        Report.render (Trace.with_sink sink (fun () -> serve mode))
+      in
+      checks "tracing on does not change the report" plain traced;
+      Trace.uninstall ();
+      let off = Report.render (serve mode) in
+      checks "no sink: bit-identical to baseline" plain off)
+    [ Server.Current; Server.Proposed ]
+
+let test_balance_under_faults () =
+  (* Faults make traced operations raise / fail mid-span (hash aborts,
+     seal failures, resident recovery): the stream must still balance. *)
+  let sink = Trace.create () in
+  let r =
+    Trace.with_sink sink (fun () ->
+        serve ~faults:(Sea_fault.Fault.spec ~seed:7 ~rate:0.1 ())
+          Server.Proposed)
+  in
+  checki "all spans closed" 0 (Trace.depth sink);
+  checkb "events recorded" true (Trace.events sink > 0);
+  checkb "fault instants present" true
+    (Trace.counter sink "serve.completed" > 0
+    || r.Report.aggregate.Report.offered > 0);
+  (* The B/E streams in the export pair up exactly. *)
+  let json = Trace.export_json sink in
+  checki "every B has its E"
+    (occurrences ~sub:"\"ph\":\"B\"" json)
+    (occurrences ~sub:"\"ph\":\"E\"" json)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "off is free" `Quick test_off_is_free;
+          Alcotest.test_case "nesting and self time" `Quick
+            test_nesting_and_self_time;
+          Alcotest.test_case "exception closes span" `Quick
+            test_exception_closes_span;
+          Alcotest.test_case "counters accumulate" `Quick
+            test_counters_accumulate;
+          Alcotest.test_case "export shape" `Quick test_export_shape;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "traced serve deterministic" `Quick
+            test_traced_serve_deterministic;
+          Alcotest.test_case "tracing does not perturb" `Quick
+            test_tracing_does_not_perturb;
+          Alcotest.test_case "balance under faults" `Quick
+            test_balance_under_faults;
+        ] );
+    ]
