@@ -425,7 +425,7 @@ let analyze_cmd =
           on error findings.")
     Term.(const run_analyze $ name_arg)
 
-(* --- serve --- *)
+(* --- serve / cluster shared options --- *)
 
 let serve_mode_arg =
   let doc =
@@ -444,18 +444,103 @@ let serve_mode_arg =
         Sea_serve.Server.Current
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
-let run_serve machine_config mode rate duration_s cores tenants depth
-    discipline timer_ms deadline_ms closed think_ms seed fault_rate fault_kinds
-    fault_seed trace_file trace_summary =
-  (* Validate the numeric flags here, with flag names in the messages,
-     instead of letting Invalid_argument escape from the library
-     constructors. *)
-  if rate <= 0. then or_die (Error "--rate must be positive");
-  if duration_s <= 0. then or_die (Error "--duration must be positive");
-  if timer_ms <= 0. then or_die (Error "--timer must be positive");
+(* The per-machine hardware configuration serve and cluster share:
+   crypto fidelity does not affect timing (latency comes from the
+   vendor profile), so serve at small key sizes and keep high request
+   rates cheap to simulate; equip the proposed variant when serving in
+   proposed mode; optionally override the preset's core count. *)
+let serving_machine_config machine_config mode cores =
+  let config = Machine.low_fidelity machine_config in
+  let config =
+    match mode with
+    | Sea_serve.Server.Current -> config
+    | Sea_serve.Server.Proposed -> Machine.proposed_variant config
+  in
+  match cores with
+  | None -> config
+  | Some c ->
+      if c <= 0 then or_die (Error "--cores must be positive")
+      else { config with Machine.cpu_count = c }
+
+let rate_arg =
+  let doc = "Total open-loop arrival rate, requests/second." in
+  Arg.(value & opt float 16. & info [ "r"; "rate" ] ~docv:"RATE" ~doc)
+
+let duration_arg =
+  let doc = "How long arrivals keep coming, seconds of simulated time." in
+  Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let cores_arg =
+  let doc = "Override the preset's core count." in
+  Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
+
+let depth_arg =
+  let doc = "Admission queue depth; arrivals beyond it are shed." in
+  Arg.(value & opt int 16 & info [ "depth" ] ~docv:"N" ~doc)
+
+let discipline_arg =
+  let doc = "Admission discipline: $(b,fifo) or $(b,weighted)." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fifo", Sea_serve.Admission.Fifo);
+             ("weighted", Sea_serve.Admission.Weighted);
+           ])
+        Sea_serve.Admission.Fifo
+    & info [ "discipline" ] ~docv:"DISC" ~doc)
+
+let timer_arg =
+  let doc = "Preemption-timer slice budget, ms (proposed mode)." in
+  Arg.(value & opt float 10. & info [ "timer" ] ~docv:"MS" ~doc)
+
+let deadline_arg =
+  let doc = "Queueing deadline, ms: requests queued longer are dropped." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+
+let closed_arg =
+  let doc =
+    "Closed-loop mode: this many clients per tenant, each waiting for its \
+     response before the next request (replaces the open-loop $(b,--rate))."
+  in
+  Arg.(value & opt (some int) None & info [ "closed" ] ~docv:"CLIENTS" ~doc)
+
+let think_arg =
+  let doc = "Mean closed-loop think time, ms." in
+  Arg.(value & opt float 0. & info [ "think" ] ~docv:"MS" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed; identical seeds give identical reports." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let fault_rate_arg =
+  let doc =
+    "Probability in [0,1] of injecting a fault at each TPM/LPC injection \
+     point during serving (0 disables injection entirely)."
+  in
+  Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let fault_kinds_arg =
+  let doc =
+    "Comma-separated fault kinds to inject ($(b,all) or any of tpm-busy, \
+     lpc-stall, hash-abort, seal-fail, nv-fail)."
+  in
+  Arg.(value & opt string "all" & info [ "fault-kinds" ] ~docv:"KINDS" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for the fault plan's own stream; identical fault seeds replay \
+     the identical fault schedule independently of $(b,--seed)."
+  in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+(* Parse the --fault-kinds / --fault-rate pair shared by serve and
+   cluster into an optional fault spec. *)
+let fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed =
   if fault_rate < 0. || fault_rate > 1. then
     or_die (Error "--fault-rate must be in [0, 1]");
-  let fault_kinds =
+  let kinds =
     match String.lowercase_ascii (String.trim fault_kinds) with
     | "" | "all" -> Sea_fault.Fault.all_kinds
     | s ->
@@ -473,32 +558,24 @@ let run_serve machine_config mode rate duration_s cores tenants depth
                               Sea_fault.Fault.all_kinds)))))
           (String.split_on_char ',' s)
   in
+  if fault_rate > 0. then
+    Some (Sea_fault.Fault.spec ~kinds ~seed:fault_seed ~rate:fault_rate ())
+  else None
+
+let run_serve machine_config mode rate duration_s cores tenants depth
+    discipline timer_ms deadline_ms closed think_ms seed fault_rate fault_kinds
+    fault_seed trace_file trace_summary =
+  (* Validate the numeric flags here, with flag names in the messages,
+     instead of letting Invalid_argument escape from the library
+     constructors. *)
+  if rate <= 0. then or_die (Error "--rate must be positive");
+  if duration_s <= 0. then or_die (Error "--duration must be positive");
+  if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
   try
-    (* Crypto fidelity does not affect timing (latency comes from the
-       vendor profile), so serve at small key sizes and keep high
-       request rates cheap to simulate. *)
-    let config = Machine.low_fidelity machine_config in
-    let config =
-      match mode with
-      | Sea_serve.Server.Current -> config
-      | Sea_serve.Server.Proposed -> Machine.proposed_variant config
-    in
-    let config =
-      match cores with
-      | None -> config
-      | Some c ->
-          if c <= 0 then or_die (Error "cores must be positive")
-          else { config with Machine.cpu_count = c }
-    in
+    let config = serving_machine_config machine_config mode cores in
     let m =
       Machine.create ~engine:(Engine.create ~seed:(Int64.of_int seed) ()) config
-    in
-    let faults =
-      if fault_rate > 0. then
-        Some
-          (Sea_fault.Fault.spec ~kinds:fault_kinds ~seed:fault_seed
-             ~rate:fault_rate ())
-      else None
     in
     let cfg =
       Sea_serve.Server.config ~queue_depth:depth ~discipline
@@ -535,82 +612,9 @@ let run_serve machine_config mode rate duration_s cores tenants depth
   with Invalid_argument e -> or_die (Error e)
 
 let serve_cmd =
-  let rate_arg =
-    let doc = "Total open-loop arrival rate, requests/second." in
-    Arg.(value & opt float 16. & info [ "r"; "rate" ] ~docv:"RATE" ~doc)
-  in
-  let duration_arg =
-    let doc = "How long arrivals keep coming, seconds of simulated time." in
-    Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
-  in
-  let cores_arg =
-    let doc = "Override the preset's core count." in
-    Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
-  in
   let tenants_arg =
     let doc = "Number of tenants (single-kind mixes cycling ssh/ca/kv)." in
     Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc)
-  in
-  let depth_arg =
-    let doc = "Admission queue depth; arrivals beyond it are shed." in
-    Arg.(value & opt int 16 & info [ "depth" ] ~docv:"N" ~doc)
-  in
-  let discipline_arg =
-    let doc = "Admission discipline: $(b,fifo) or $(b,weighted)." in
-    Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("fifo", Sea_serve.Admission.Fifo);
-               ("weighted", Sea_serve.Admission.Weighted);
-             ])
-          Sea_serve.Admission.Fifo
-      & info [ "discipline" ] ~docv:"DISC" ~doc)
-  in
-  let timer_arg =
-    let doc = "Preemption-timer slice budget, ms (proposed mode)." in
-    Arg.(value & opt float 10. & info [ "timer" ] ~docv:"MS" ~doc)
-  in
-  let deadline_arg =
-    let doc = "Queueing deadline, ms: requests queued longer are dropped." in
-    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
-  in
-  let closed_arg =
-    let doc =
-      "Closed-loop mode: this many clients per tenant, each waiting for its \
-       response before the next request (replaces the open-loop $(b,--rate))."
-    in
-    Arg.(value & opt (some int) None & info [ "closed" ] ~docv:"CLIENTS" ~doc)
-  in
-  let think_arg =
-    let doc = "Mean closed-loop think time, ms." in
-    Arg.(value & opt float 0. & info [ "think" ] ~docv:"MS" ~doc)
-  in
-  let seed_arg =
-    let doc = "Simulation seed; identical seeds give identical reports." in
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let fault_rate_arg =
-    let doc =
-      "Probability in [0,1] of injecting a fault at each TPM/LPC injection \
-       point during serving (0 disables injection entirely)."
-    in
-    Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~doc)
-  in
-  let fault_kinds_arg =
-    let doc =
-      "Comma-separated fault kinds to inject ($(b,all) or any of tpm-busy, \
-       lpc-stall, hash-abort, seal-fail, nv-fail)."
-    in
-    Arg.(value & opt string "all" & info [ "fault-kinds" ] ~docv:"KINDS" ~doc)
-  in
-  let fault_seed_arg =
-    let doc =
-      "Seed for the fault plan's own stream; identical fault seeds replay \
-       the identical fault schedule independently of $(b,--seed)."
-    in
-    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
   in
   let trace_arg =
     let doc =
@@ -640,6 +644,131 @@ let serve_cmd =
       $ deadline_arg $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg
       $ fault_kinds_arg $ fault_seed_arg $ trace_arg $ trace_summary_arg)
 
+(* --- cluster --- *)
+
+let cluster_usage =
+  "usage: sea-cli cluster --machines N --shards K --policy POLICY\n\
+  \       with N >= 1 and 1 <= K <= N; see sea-cli cluster --help"
+
+let run_cluster machine_config mode machines shards policy rate duration_s
+    cores tenants depth discipline timer_ms deadline_ms closed think_ms seed
+    fault_rate fault_kinds fault_seed trace_prefix =
+  (* Fleet-shape validation first: bad --machines/--shards must exit 1
+     with a usage message, never escape as a raised Invalid_argument. *)
+  let cfg =
+    try Sea_cluster.Cluster.config ~shards ~policy ~machines ()
+    with Invalid_argument e ->
+      Printf.eprintf "error: %s\n%s\n" e cluster_usage;
+      exit 1
+  in
+  if rate <= 0. then or_die (Error "--rate must be positive");
+  if duration_s <= 0. then or_die (Error "--duration must be positive");
+  if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
+  try
+    let machine_config = serving_machine_config machine_config mode cores in
+    let serve =
+      Sea_serve.Server.config ~queue_depth:depth ~discipline
+        ~preemption_timer:(Time.ms timer_ms) ?faults ~mode
+        ~duration:(Time.s duration_s) ()
+    in
+    let deadline = Option.map Time.ms deadline_ms in
+    let process =
+      match closed with
+      | Some clients -> `Closed (clients, Time.ms think_ms)
+      | None -> `Open rate
+    in
+    let tenants =
+      match tenants with Some n -> n | None -> machines * 3
+    in
+    let workload = Sea_serve.Workload.preset ?deadline ~tenants process in
+    let sinks =
+      match trace_prefix with
+      | None -> None
+      | Some _ -> Some (Array.init machines (fun _ -> Sea_trace.Trace.create ()))
+    in
+    (* Wall clock and shard count go to stderr only: stdout carries the
+       merged report, which CI diffs byte-for-byte across shard counts. *)
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Sea_cluster.Cluster.run ~seed:(Int64.of_int seed)
+        ?trace:(Option.map (fun arr i -> arr.(i)) sinks)
+        cfg ~machine_config ~serve workload
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let report = or_die result in
+    (match (trace_prefix, sinks) with
+    | Some prefix, Some arr ->
+        Array.iteri
+          (fun i sink ->
+            if Sea_trace.Trace.events sink > 0 then begin
+              let path = Printf.sprintf "%s.machine-%d.json" prefix i in
+              let oc = open_out path in
+              output_string oc (Sea_trace.Trace.export_json sink);
+              close_out oc;
+              Printf.eprintf "trace: machine %d: %d events written to %s\n" i
+                (Sea_trace.Trace.events sink) path
+            end)
+          arr
+    | _ -> ());
+    Printf.eprintf "cluster: %d machines on %d shard%s, %.3fs wall\n" machines
+      shards
+      (if shards = 1 then "" else "s")
+      wall;
+    print_endline (Sea_cluster.Fleet_report.render report)
+  with Invalid_argument e -> or_die (Error e)
+
+let cluster_cmd =
+  let machines_arg =
+    let doc = "Number of machines in the fleet." in
+    Arg.(value & opt int 4 & info [ "machines" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "OCaml domains to shard the fleet across (machine $(i,i) runs on shard \
+       $(i,i) mod $(docv)). The merged report is byte-identical for every \
+       shard count; only wall-clock time changes."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let policy_arg =
+    let doc =
+      "Tenant routing policy: $(b,round-robin), $(b,hash) \
+       (consistent-hash-by-tenant) or $(b,least-loaded) (by offered rate)."
+    in
+    Arg.(
+      value
+      & opt (enum Sea_cluster.Router.policies) Sea_cluster.Router.Round_robin
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let tenants_arg =
+    let doc =
+      "Number of tenants routed across the fleet (default: 3 per machine)."
+    in
+    Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Write one Chrome trace_event JSON file per serving machine, named \
+       $(docv).machine-<i>.json (idle machines are skipped)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PREFIX" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Serve a multi-tenant load on a fleet of $(b,--machines) independent \
+          machines, routed by $(b,--policy) and sharded across $(b,--shards) \
+          OCaml domains, then merge the per-machine reports into one fleet \
+          report (true cross-machine percentiles). Identical seeds give a \
+          byte-identical fleet report regardless of $(b,--shards).")
+    Term.(
+      const run_cluster $ machine_arg $ serve_mode_arg $ machines_arg
+      $ shards_arg $ policy_arg $ rate_arg $ duration_arg $ cores_arg
+      $ tenants_arg $ depth_arg $ discipline_arg $ timer_arg $ deadline_arg
+      $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg $ fault_kinds_arg
+      $ fault_seed_arg $ trace_arg)
+
 (* --- main --- *)
 
 let () =
@@ -648,12 +777,12 @@ let () =
       ~doc:
         "Simulated minimal-TCB code execution (McCune et al., ASPLOS 2008). \
          Subcommands: machines, session, attest, lifecycle, attack, boot, \
-         toctou, analyze, serve."
+         toctou, analyze, serve, cluster."
   in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             machines_cmd; session_cmd; attest_cmd; lifecycle_cmd; attack_cmd;
-            boot_cmd; toctou_cmd; analyze_cmd; serve_cmd;
+            boot_cmd; toctou_cmd; analyze_cmd; serve_cmd; cluster_cmd;
           ]))

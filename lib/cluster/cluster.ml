@@ -1,0 +1,138 @@
+open Sea_sim
+open Sea_serve
+
+type config = {
+  machines : int;
+  shards : int;
+  policy : Router.policy;
+}
+
+let config ?(shards = 1) ?(policy = Router.Round_robin) ~machines () =
+  if machines < 1 then invalid_arg "--machines must be positive";
+  if shards < 1 then invalid_arg "--shards must be positive";
+  if shards > machines then
+    invalid_arg "--shards must not exceed --machines (idle shards)";
+  { machines; shards; policy }
+
+(* Force every lazily-built shared value (the per-kind application PALs)
+   on the calling domain before any shard domain can race to force it:
+   concurrent [Lazy.force] of the same suspension is unsafe under
+   OCaml 5. *)
+let prewarm () =
+  List.iter
+    (fun k ->
+      ignore (Workload.pal k : Sea_core.Pal.t);
+      ignore (Workload.work k : Time.t))
+    Workload.kinds
+
+let run ?(seed = 1L) ?trace cfg ~machine_config ~serve tenants =
+  if tenants = [] then invalid_arg "Cluster.run: no tenants";
+  if Option.is_some serve.Server.retry then
+    Error
+      "cluster: leave the serve config's retry policy unset — retry \
+       counters are per machine and each machine builds its own"
+  else begin
+    prewarm ();
+    let n = cfg.machines in
+    let assignment =
+      Router.assign cfg.policy ~machines:n tenants
+    in
+    (* Per-machine tenant shares, preserving tenant list order. *)
+    let shares = Array.make n [] in
+    List.iteri
+      (fun ti t -> shares.(assignment.(ti)) <- t :: shares.(assignment.(ti)))
+      tenants;
+    let shares = Array.map List.rev shares in
+    (* Everything seed-derived is carved out up front, in index order,
+       so machine [i]'s streams depend only on (master seed, i). *)
+    let engine_seeds = Array.map Rng.int64 (Rng.split_n (Rng.create ~seed ()) n) in
+    let fault_specs =
+      match serve.Server.faults with
+      | None -> Array.make n None
+      | Some spec ->
+          let streams =
+            Rng.split_n
+              (Rng.create ~seed:(Int64.of_int spec.Sea_fault.Fault.seed) ())
+              n
+          in
+          Array.map
+            (fun s ->
+              Some { spec with Sea_fault.Fault.seed = Rng.int s 0x3FFFFFFF })
+            streams
+    in
+    (* Machines are built sequentially on this domain, by explicit loop
+       ([Array.init] order is unspecified): construction touches
+       process-wide state (key vault, TPM instance numbering) and must
+       happen in a deterministic order. *)
+    let machines = Array.make n None in
+    for i = 0 to n - 1 do
+      machines.(i) <-
+        Some
+          (Sea_hw.Machine.create
+             ~engine:(Engine.create ~seed:engine_seeds.(i) ())
+             machine_config)
+    done;
+    let machines = Array.map Option.get machines in
+    let results :
+        (Sea_serve.Report.t, string) result option array =
+      Array.make n None
+    in
+    let serve_one i =
+      match shares.(i) with
+      | [] -> () (* idle machine: the router sent it no tenants *)
+      | share ->
+          let cfg_i = { serve with Server.faults = fault_specs.(i) } in
+          let go () =
+            match Server.run machines.(i) cfg_i share with
+            | r -> r
+            | exception e ->
+                Error ("unexpected exception: " ^ Printexc.to_string e)
+          in
+          let r =
+            match trace with
+            | None -> go ()
+            | Some sink_for -> Sea_trace.Trace.with_sink (sink_for i) go
+          in
+          results.(i) <- Some r
+    in
+    let shard s =
+      (* Machine i runs on shard (i mod shards); within a shard,
+         machines run in increasing index order. Each machine is
+         self-contained, so the partition affects wall-clock only. *)
+      let i = ref s in
+      while !i < n do
+        serve_one !i;
+        i := !i + cfg.shards
+      done
+    in
+    if cfg.shards = 1 then shard 0
+    else begin
+      let domains =
+        List.init (cfg.shards - 1) (fun s -> Domain.spawn (fun () -> shard (s + 1)))
+      in
+      shard 0;
+      List.iter Domain.join domains
+    end;
+    (* Collect in machine order; the first failure wins. *)
+    let rec collect i acc =
+      if i = n then Ok (List.rev acc)
+      else
+        match results.(i) with
+        | None ->
+            collect (i + 1)
+              ({ Fleet_report.index = i; tenants = 0; report = None } :: acc)
+        | Some (Ok r) ->
+            collect (i + 1)
+              ({
+                 Fleet_report.index = i;
+                 tenants = List.length shares.(i);
+                 report = Some r;
+               }
+              :: acc)
+        | Some (Error e) -> Error (Printf.sprintf "machine %d: %s" i e)
+    in
+    match collect 0 [] with
+    | Error e -> Error e
+    | Ok rows ->
+        Ok (Fleet_report.merge ~policy:(Router.policy_name cfg.policy) rows)
+  end

@@ -1,0 +1,68 @@
+(** Fleet simulation: N independent machines, each running the
+    {!Sea_serve.Server} virtual-time loop, sharded across OCaml 5
+    [Domain]s.
+
+    This is the paper's endgame question made measurable: if minimal-TCB
+    execution is to be an everyday OS service, the unit of capacity
+    planning is a {e fleet} — how many machines does a tenant population
+    need on today's hardware versus the proposed hardware? A cluster run
+    routes tenants to machines with a pluggable {!Router.policy}, serves
+    every machine's share independently, and merges the per-machine
+    reports into one {!Fleet_report.t}.
+
+    {2 Determinism}
+
+    Machine [i]'s entire schedule is a function of the master seed and
+    [i] alone: per-machine engine seeds are carved off the master stream
+    with {!Sea_sim.Rng.split_n} {e before} any machine runs, per-machine
+    fault seeds likewise off the fault spec's own seed, and machines
+    share no mutable state (each has its own engine, TPM, memory and
+    tenant streams). Shards therefore only decide {e where} a machine's
+    loop executes, never {e what} it computes: the merged report is
+    byte-identical whether the fleet runs on 1 domain or 8 — asserted in
+    CI by diffing [--shards 1] against [--shards 4] output — while
+    wall-clock time scales down with the shard count.
+
+    All machines are constructed on the calling domain, in index order,
+    before any shard starts serving; shard domains only execute
+    already-built machines. Per-machine traces are supported by handing
+    each machine its own sink ({!Sea_trace.Trace} installation is
+    domain-local). *)
+
+type config = {
+  machines : int;
+  shards : int;
+  policy : Router.policy;
+}
+
+val config : ?shards:int -> ?policy:Router.policy -> machines:int -> unit -> config
+(** Defaults: 1 shard, round-robin routing. Raises [Invalid_argument]
+    unless [machines >= 1], [shards >= 1] and [shards <= machines] —
+    messages name the CLI flags, and [sea_cli cluster] turns them into a
+    usage error (exit 1). *)
+
+val run :
+  ?seed:int64 ->
+  ?trace:(int -> Sea_trace.Trace.sink) ->
+  config ->
+  machine_config:Sea_hw.Machine.config ->
+  serve:Sea_serve.Server.config ->
+  Sea_serve.Workload.tenant list ->
+  (Fleet_report.t, string) result
+(** Route the tenants, build machine [0..machines-1] (each with an
+    engine seeded from the master [seed]'s split streams), serve every
+    machine's share — distributing machines round-robin over [shards]
+    domains — and merge.
+
+    [serve] is the per-machine serving configuration. Its [faults] spec,
+    if any, is re-seeded per machine from the spec's own seed so fault
+    schedules are machine-independent; its [retry] policy must be unset
+    ([Error] otherwise — a retry policy carries mutable counters that
+    must not be shared across machines; each machine builds its own).
+
+    [trace], when given, supplies machine [i]'s private sink; the sink
+    is installed around that machine's serve only (in whichever domain
+    runs it) and can be exported after [run] returns.
+
+    Raises [Invalid_argument] on an empty tenant list. [Error] surfaces
+    the first failing machine by index. *)

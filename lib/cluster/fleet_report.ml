@@ -1,0 +1,153 @@
+open Sea_sim
+open Sea_serve
+
+type machine_row = {
+  index : int;
+  tenants : int;
+  report : Report.t option;
+}
+
+type t = {
+  mode : string;
+  hw : string;
+  machines : int;
+  idle : int;
+  policy : string;
+  discipline : string;
+  depth : int;
+  window : Time.t;
+  per_machine : machine_row list;
+  fleet : Report.row;
+  pal_busy : Time.t;
+  stalled : Time.t;
+  cold_starts : int;
+  warm_hits : int;
+  evictions : int;
+  sepcr_waits : int;
+  faults_injected : (string * int) list;
+  retries : int;
+  retry_give_ups : int;
+  breaker_shed : int;
+  breaker_transitions : int;
+  recoveries : int;
+}
+
+(* Sum per-kind fault counts across machines, preserving the kind order
+   of the first non-empty list (all reports emit Fault.all_kinds order). *)
+let merge_faults lists =
+  match List.filter (fun l -> l <> []) lists with
+  | [] -> []
+  | first :: _ as nonempty ->
+      List.map
+        (fun (kind, _) ->
+          ( kind,
+            List.fold_left
+              (fun acc l ->
+                acc + (match List.assoc_opt kind l with Some c -> c | None -> 0))
+              0 nonempty ))
+        first
+
+let merge ~policy rows =
+  if rows = [] then invalid_arg "Fleet_report.merge: no machines";
+  let reports = List.filter_map (fun r -> r.report) rows in
+  if reports = [] then invalid_arg "Fleet_report.merge: every machine is idle";
+  let first = List.hd reports in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let sum_time f =
+    List.fold_left (fun acc r -> Time.add acc (f r)) Time.zero reports
+  in
+  {
+    mode = first.Report.mode;
+    hw = first.Report.machine;
+    machines = List.length rows;
+    idle = List.length (List.filter (fun r -> r.report = None) rows);
+    policy;
+    discipline = first.Report.discipline;
+    depth = first.Report.depth;
+    window =
+      List.fold_left
+        (fun acc r -> Time.max acc r.Report.window)
+        Time.zero reports;
+    per_machine = rows;
+    fleet =
+      Report.merge_rows ~tenant:"fleet"
+        (List.map (fun r -> r.Report.aggregate) reports);
+    pal_busy = sum_time (fun r -> r.Report.pal_busy);
+    stalled = sum_time (fun r -> r.Report.stalled);
+    cold_starts = sum (fun r -> r.Report.cold_starts);
+    warm_hits = sum (fun r -> r.Report.warm_hits);
+    evictions = sum (fun r -> r.Report.evictions);
+    sepcr_waits = sum (fun r -> r.Report.sepcr_waits);
+    faults_injected =
+      merge_faults (List.map (fun r -> r.Report.faults_injected) reports);
+    retries = sum (fun r -> r.Report.retries);
+    retry_give_ups = sum (fun r -> r.Report.retry_give_ups);
+    breaker_shed = sum (fun r -> r.Report.breaker_shed);
+    breaker_transitions = sum (fun r -> r.Report.breaker_transitions);
+    recoveries = sum (fun r -> r.Report.recoveries);
+  }
+
+let window_s t = Time.to_ms t.window /. 1000.
+
+let goodput_per_s t =
+  let s = window_s t in
+  if s <= 0. then 0. else float_of_int t.fleet.Report.completed /. s
+
+let machine_goodput_per_s row =
+  match row.report with
+  | None -> 0.
+  | Some r -> Report.goodput_per_s r r.Report.aggregate
+
+let robustness_active t =
+  t.retries > 0 || t.retry_give_ups > 0 || t.breaker_shed > 0
+  || t.breaker_transitions > 0 || t.recoveries > 0
+  || List.exists (fun (_, c) -> c > 0) t.faults_injected
+
+let pp_counts fmt ((row : Report.row), goodput) =
+  Format.fprintf fmt "%7d %7d %6d %8d %5d %9.2f  %a" row.Report.offered
+    row.Report.completed row.Report.shed row.Report.timed_out row.Report.failed
+    goodput Stats.pp_percentiles row.Report.latency_ms
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cluster: %s on %s  machines %d (%d idle)  policy %s  queue %s \
+     depth %d  window %a@,"
+    t.mode t.hw t.machines t.idle t.policy t.discipline t.depth Time.pp
+    t.window;
+  Format.fprintf fmt "%-8s %7s %7s %7s %6s %8s %5s %9s  %-24s@," "machine"
+    "tenants" "offered" "served" "shed" "timedout" "fail" "goodput/s"
+    "latency (ms)";
+  List.iter
+    (fun row ->
+      match row.report with
+      | None -> Format.fprintf fmt "m%-7d %7s %s@," row.index "0" "idle"
+      | Some r ->
+          Format.fprintf fmt "m%-7d %7d %a@," row.index row.tenants pp_counts
+            (r.Report.aggregate, machine_goodput_per_s row))
+    t.per_machine;
+  let total_tenants =
+    List.fold_left (fun acc r -> acc + r.tenants) 0 t.per_machine
+  in
+  Format.fprintf fmt "%-8s %7d %a@," "fleet" total_tenants pp_counts
+    (t.fleet, goodput_per_s t);
+  Format.fprintf fmt "PAL cores busy %a  platform stalled %a@," Time.pp
+    t.pal_busy Time.pp t.stalled;
+  Format.fprintf fmt
+    "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d"
+    t.cold_starts t.warm_hits t.evictions t.sepcr_waits;
+  if robustness_active t then begin
+    let injected = List.filter (fun (_, c) -> c > 0) t.faults_injected in
+    Format.fprintf fmt "@,faults injected: %s"
+      (if injected = [] then "none"
+       else
+         String.concat ", "
+           (List.map (fun (k, c) -> Printf.sprintf "%s %d" k c) injected));
+    Format.fprintf fmt
+      "@,retries %d (gave up %d)  breaker shed %d  breaker transitions %d  \
+       recoveries %d"
+      t.retries t.retry_give_ups t.breaker_shed t.breaker_transitions
+      t.recoveries
+  end;
+  Format.fprintf fmt "@]"
+
+let render t = Format.asprintf "%a" pp t

@@ -1,0 +1,72 @@
+(** Fleet reports: deterministic merge of per-machine serving reports.
+
+    The merge is a pure fold over the machine rows {e in machine-index
+    order}: counters sum, latency samples concatenate exactly (via
+    {!Sea_sim.Stats.merge}, so fleet p50/p95/p99 are true cross-machine
+    percentiles, not averages of percentiles), and the fleet window is
+    the longest machine window (machines serve concurrently in virtual
+    time, so the fleet is done when its slowest machine is).
+
+    Because each machine's report is itself deterministic and the merge
+    order is fixed by index, {!render} is byte-identical no matter how
+    many domains the fleet was sharded across — deliberately, nothing
+    about the shard count or host wall-clock appears in the render; the
+    CI determinism gate diffs exactly this string. *)
+
+open Sea_sim
+open Sea_serve
+
+type machine_row = {
+  index : int;
+  tenants : int;  (** Tenants routed to this machine; 0 = idle. *)
+  report : Report.t option;  (** [None] iff the machine is idle. *)
+}
+
+type t = {
+  mode : string;
+  hw : string;  (** The per-machine hardware preset's name. *)
+  machines : int;
+  idle : int;  (** Machines the router left without tenants. *)
+  policy : string;
+  discipline : string;
+  depth : int;
+  window : Time.t;  (** Longest per-machine measurement window. *)
+  per_machine : machine_row list;  (** In machine-index order. *)
+  fleet : Report.row;  (** Merged aggregate row, named ["fleet"]. *)
+  pal_busy : Time.t;
+  stalled : Time.t;
+  cold_starts : int;
+  warm_hits : int;
+  evictions : int;
+  sepcr_waits : int;
+  faults_injected : (string * int) list;  (** Summed per kind. *)
+  retries : int;
+  retry_give_ups : int;
+  breaker_shed : int;
+  breaker_transitions : int;
+  recoveries : int;
+}
+
+val merge : policy:string -> machine_row list -> t
+(** Fold the rows (already in machine-index order) into a fleet view.
+    Raises [Invalid_argument] if the list is empty or no machine has a
+    report (the cluster layer guarantees at least one tenant, hence at
+    least one serving machine). *)
+
+val goodput_per_s : t -> float
+(** Fleet goodput: total completions over the fleet window. *)
+
+val machine_goodput_per_s : machine_row -> float
+(** One machine's goodput over its own window; [0.] for an idle row. *)
+
+val robustness_active : t -> bool
+(** Whether any fault/retry/breaker counter is non-zero anywhere in the
+    fleet; gates the extra report lines exactly like
+    {!Sea_serve.Report.robustness_active}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val render : t -> string
+(** The whole fleet report as a string. Identical seeds, configuration
+    and routing give a byte-identical render regardless of shard
+    count. *)

@@ -1,0 +1,104 @@
+open Sea_serve
+
+type policy = Round_robin | Hash_tenant | Least_loaded
+
+let policies =
+  [
+    ("round-robin", Round_robin);
+    ("hash", Hash_tenant);
+    ("least-loaded", Least_loaded);
+  ]
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Hash_tenant -> "hash"
+  | Least_loaded -> "least-loaded"
+
+let policy_of_name name =
+  List.assoc_opt (String.lowercase_ascii (String.trim name)) policies
+
+(* FNV-1a, 64-bit: a stable string hash under our control, so routing
+   does not shift with the compiler's [Hashtbl.hash] across versions. *)
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+(* Unsigned comparison of the full 64-bit hash space. *)
+let ucompare a b = Int64.unsigned_compare a b
+
+let virtual_points = 32
+
+(* The ring: [virtual_points] positions per machine, sorted by hash. A
+   tenant lands on the first point at or clockwise of its own hash. *)
+let ring machines =
+  let points = Array.make (machines * virtual_points) (0L, 0) in
+  for m = 0 to machines - 1 do
+    for v = 0 to virtual_points - 1 do
+      points.((m * virtual_points) + v) <-
+        (fnv1a (Printf.sprintf "machine:%d:%d" m v), m)
+    done
+  done;
+  Array.sort
+    (fun (h1, m1) (h2, m2) ->
+      match ucompare h1 h2 with 0 -> compare m1 m2 | c -> c)
+    points;
+  points
+
+let ring_lookup points h =
+  (* First point with hash >= h, wrapping to the ring's start. *)
+  let n = Array.length points in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if ucompare (fst points.(mid)) h < 0 then search (mid + 1) hi
+      else search lo mid
+  in
+  let i = search 0 n in
+  snd points.(if i = n then 0 else i)
+
+let offered_rate (t : Workload.tenant) =
+  match t.Workload.process with
+  | Workload.Open_loop { rate_per_s } -> rate_per_s
+  | Workload.Closed_loop { clients; think } ->
+      let think_ms = Sea_sim.Time.to_ms think in
+      if think_ms <= 0. then float_of_int clients *. 1000.
+      else float_of_int clients *. 1000. /. think_ms
+
+let assign policy ~machines tenants =
+  if machines < 1 then invalid_arg "Router.assign: machines must be positive";
+  match policy with
+  | Round_robin -> Array.init (List.length tenants) (fun i -> i mod machines)
+  | Hash_tenant ->
+      let points = ring machines in
+      Array.of_list
+        (List.map
+           (fun (t : Workload.tenant) ->
+             ring_lookup points (fnv1a t.Workload.name))
+           tenants)
+  | Least_loaded ->
+      let load = Array.make machines 0. in
+      let pick () =
+        (* Lowest accumulated load, ties to the lowest index. *)
+        let best = ref 0 in
+        for m = 1 to machines - 1 do
+          if load.(m) < load.(!best) then best := m
+        done;
+        !best
+      in
+      (* fold_left, not map: placement must accumulate in list order
+         ([List.map] does not specify its application order). *)
+      let rev =
+        List.fold_left
+          (fun acc t ->
+            let m = pick () in
+            load.(m) <- load.(m) +. offered_rate t;
+            m :: acc)
+          [] tenants
+      in
+      Array.of_list (List.rev rev)

@@ -1,0 +1,39 @@
+(** Front-end routing: which fleet machine serves which tenant.
+
+    The router is the only component that sees the whole tenant
+    population; everything downstream of it is per-machine and
+    independent. All three policies are pure functions of the tenant
+    list and the machine count — no randomness, no global state — so an
+    assignment is reproducible and identical no matter how the fleet's
+    machines are later sharded across domains. *)
+
+type policy =
+  | Round_robin  (** Tenant [i] goes to machine [i mod machines]. *)
+  | Hash_tenant
+      (** Consistent hashing by tenant name on a ring of virtual points
+          per machine: adding or removing one machine only moves the
+          tenants whose arc changed, and a tenant's home depends on its
+          name alone, not its position in the list. *)
+  | Least_loaded
+      (** Greedy balance by offered rate: tenants are placed in list
+          order, each on the machine with the least accumulated offered
+          load (open-loop tenants contribute their arrival rate;
+          closed-loop tenants a clients-over-think-time proxy). *)
+
+val policies : (string * policy) list
+(** CLI name/value pairs: round-robin, hash, least-loaded. *)
+
+val policy_name : policy -> string
+
+val policy_of_name : string -> policy option
+
+val offered_rate : Sea_serve.Workload.tenant -> float
+(** The load estimate [Least_loaded] balances on: requests/second for an
+    open-loop tenant; for a closed-loop tenant, clients divided by mean
+    think time (clients × 1000 when think is zero — the saturating
+    regime), a proxy for its maximum offered rate. *)
+
+val assign : policy -> machines:int -> Sea_serve.Workload.tenant list -> int array
+(** [assign p ~machines tenants] gives each tenant (by list position) a
+    machine index in [\[0, machines)]. Raises [Invalid_argument] when
+    [machines < 1]. *)

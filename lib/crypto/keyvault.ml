@@ -1,5 +1,12 @@
 let cache : (string * int, Rsa.private_key) Hashtbl.t = Hashtbl.create 7
 
+(* The cache is process-wide while machines may be created or keys
+   fetched from several domains (fleet simulations); a lock keeps the
+   table consistent. Key material itself stays deterministic: a given
+   (label, bits) always rebuilds the identical key, so whichever domain
+   populates an entry first, every reader sees the same key. *)
+let lock = Mutex.create ()
+
 (* Rebuild a key from its stored prime pair (e is always 65537). *)
 let of_primes p_hex q_hex =
   let open Bignum in
@@ -17,9 +24,16 @@ let embedded ~label ~bits =
     Embedded_keys.table
 
 let get ~label ~bits =
-  match Hashtbl.find_opt cache (label, bits) with
+  let cached =
+    Mutex.protect lock (fun () -> Hashtbl.find_opt cache (label, bits))
+  in
+  match cached with
   | Some key -> key
   | None ->
+      (* Generation happens outside the lock (it can be slow for large
+         keys); a concurrent generator of the same label derives the
+         identical key, so a double-add is harmless and the first entry
+         wins. *)
       let key =
         match embedded ~label ~bits with
         | Some key -> key
@@ -29,7 +43,11 @@ let get ~label ~bits =
             in
             Rsa.generate ~bits drbg
       in
-      Hashtbl.add cache (label, bits) key;
-      key
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt cache (label, bits) with
+          | Some key -> key
+          | None ->
+              Hashtbl.add cache (label, bits) key;
+              key)
 
-let clear () = Hashtbl.reset cache
+let clear () = Mutex.protect lock (fun () -> Hashtbl.reset cache)

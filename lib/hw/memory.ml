@@ -1,10 +1,14 @@
 let page_size = 4096
 
-type t = { pages : Bytes.t array }
+(* Pages are materialised on first touch: a fresh machine's 64 MB of
+   RAM is one option array, not 16k zeroed buffers. An untouched page
+   reads as zeroes, exactly as if it had been allocated eagerly — this
+   is what makes constructing a whole fleet of machines cheap. *)
+type t = { pages : Bytes.t option array }
 
 let create ~pages =
   if pages <= 0 then invalid_arg "Memory.create: page count must be positive";
-  { pages = Array.init pages (fun _ -> Bytes.make page_size '\000') }
+  { pages = Array.make pages None }
 
 let page_count t = Array.length t.pages
 
@@ -14,13 +18,23 @@ let check t ~page ~off ~len =
   if off < 0 || len < 0 || off + len > page_size then
     invalid_arg "Memory: access crosses page boundary"
 
+let materialise t page =
+  match t.pages.(page) with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make page_size '\000' in
+      t.pages.(page) <- Some b;
+      b
+
 let read t ~page ~off ~len =
   check t ~page ~off ~len;
-  Bytes.sub_string t.pages.(page) off len
+  match t.pages.(page) with
+  | Some b -> Bytes.sub_string b off len
+  | None -> String.make len '\000'
 
 let write t ~page ~off data =
   check t ~page ~off ~len:(String.length data);
-  Bytes.blit_string data 0 t.pages.(page) off (String.length data)
+  Bytes.blit_string data 0 (materialise t page) off (String.length data)
 
 let span_iter pages off len f =
   (* Visit (page, page_off, chunk_len, span_off) for a linear range laid
@@ -50,4 +64,6 @@ let write_span t ~pages ~off data =
 
 let zero_page t page =
   check t ~page ~off:0 ~len:page_size;
-  Bytes.fill t.pages.(page) 0 page_size '\000'
+  match t.pages.(page) with
+  | Some b -> Bytes.fill b 0 page_size '\000'
+  | None -> () (* never touched: already all zeroes *)

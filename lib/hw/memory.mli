@@ -2,7 +2,12 @@
 
     Raw storage only — access control lives in {!Memctrl}, which is the
     single gateway through which CPUs and devices reach these pages
-    (Figure 1: the north bridge sits between everything and RAM). *)
+    (Figure 1: the north bridge sits between everything and RAM).
+
+    Pages are allocated lazily on first write; an untouched page reads
+    as zeroes. Creating a machine therefore costs O(page count) words,
+    not 64 MB of zeroed buffers — what keeps building a whole simulated
+    fleet cheap. *)
 
 val page_size : int
 (** 4096 bytes. *)

@@ -42,6 +42,29 @@ type t = {
 
 let window_s t = Time.to_ms t.window /. 1000.
 
+(* --- merge hooks (used by the fleet layer, [Sea_cluster]) --- *)
+
+let merge_rows ~tenant rows =
+  match rows with
+  | [] -> invalid_arg "Report.merge_rows: no rows"
+  | _ ->
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+      {
+        tenant;
+        weight = sum (fun r -> r.weight);
+        offered = sum (fun r -> r.offered);
+        completed = sum (fun r -> r.completed);
+        shed = sum (fun r -> r.shed);
+        timed_out = sum (fun r -> r.timed_out);
+        failed = sum (fun r -> r.failed);
+        latency_ms = Stats.merge (List.map (fun r -> r.latency_ms) rows);
+        queue_high_water =
+          List.fold_left (fun acc r -> Stdlib.max acc r.queue_high_water) 0 rows;
+      }
+
+let row_consistent row =
+  row.offered = row.completed + row.shed + row.timed_out + row.failed
+
 let goodput_per_s t row =
   let s = window_s t in
   if s <= 0. then 0. else float_of_int row.completed /. s

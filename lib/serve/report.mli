@@ -57,6 +57,20 @@ type t = {
           cold start within the same request. *)
 }
 
+val merge_rows : tenant:string -> row list -> row
+(** Combine accounting rows from independent runs (one machine's
+    aggregate each, in a fleet) into one row labelled [tenant]: counters
+    and weights sum, latency samples are merged exactly (in list order,
+    via {!Sea_sim.Stats.merge}) so percentiles of the result are true
+    cross-run percentiles, and the queue high-water mark is the max.
+    Raises [Invalid_argument] on an empty list. *)
+
+val row_consistent : row -> bool
+(** The per-row accounting invariant:
+    [offered = completed + shed + timed_out + failed]. Preserved by
+    {!merge_rows}; exported so fleet-level checks and tests share one
+    definition. *)
+
 val robustness_active : t -> bool
 (** Whether any robustness counter is non-zero — i.e. whether {!pp}
     appends the fault/retry/breaker lines. Always false for a fault-free

@@ -17,6 +17,17 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* An explicit loop, not [Array.init]: the evaluation order of
+     [Array.init]'s callback is unspecified, and each split advances
+     [t], so the streams must be drawn in index order to be stable. *)
+  let streams = Array.make n t in
+  for i = 0 to n - 1 do
+    streams.(i) <- split t
+  done;
+  streams
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] returns a new generator statistically independent of [t];
     both generators advance independently afterwards. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] independent streams off [t], in index order,
+    advancing [t] by exactly [n] draws. Stream [i] is a function of [t]'s
+    state and [i] alone, so carving a fleet's per-machine streams this
+    way yields the same stream for machine [i] no matter how the
+    machines are later grouped or scheduled. Raises [Invalid_argument]
+    on a negative count. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -65,6 +65,11 @@ let percentile t p =
 
 let samples t = List.rev t.values
 
+let merge ts =
+  let m = create () in
+  List.iter (fun t -> List.iter (fun x -> add m x) (samples t)) ts;
+  m
+
 let pp_summary fmt t =
   Format.fprintf fmt "%.2f ± %.2f (n=%d)" (mean t) (stdev t) t.count
 

@@ -37,6 +37,15 @@ val percentile : t -> float -> float
 val samples : t -> float list
 (** All recorded observations, in insertion order. *)
 
+val merge : t list -> t
+(** [merge ts] is a fresh accumulator holding every observation of every
+    [ts] element, appended in list order (each element's own insertion
+    order preserved). The inputs are not consumed. Percentiles of the
+    merge are computed over the union of samples, so merging per-machine
+    accumulators gives exact cross-machine tail latencies — and, the
+    order being fixed by the list, a byte-identical render no matter how
+    the inputs were produced. *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** Renders ["mean ± stdev (n=count)"]. *)
 

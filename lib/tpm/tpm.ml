@@ -40,13 +40,16 @@ let verify_aik_certificate ~ca ~(aik : Rsa.public) cert =
   Wire.add_string enc (Bignum.to_bytes_be aik.Rsa.e);
   Rsa.verify ca ~msg:("AIK-CERT" ^ Wire.contents enc) ~signature:cert
 
-let instance_counter = ref 0
+(* Atomic so TPMs may be created from any domain; the tag only
+   disambiguates blobs across instances, nothing rendered depends on
+   its numeric value. *)
+let instance_counter = Atomic.make 0
 
 let create ?(vendor = Vendor.Broadcom) ?profile ?(key_bits = 2048) ?(sepcr_count = 0)
     engine =
   let profile = match profile with Some p -> p | None -> Timing.profile vendor in
-  incr instance_counter;
-  let tag = Printf.sprintf "%s#%d" (Vendor.name vendor) !instance_counter in
+  let instance = Atomic.fetch_and_add instance_counter 1 + 1 in
+  let tag = Printf.sprintf "%s#%d" (Vendor.name vendor) instance in
   let srk = Keyvault.get ~label:("srk:" ^ Vendor.name vendor) ~bits:key_bits in
   let aik = Keyvault.get ~label:("aik:" ^ Vendor.name vendor) ~bits:key_bits in
   {

@@ -37,16 +37,24 @@ let create () =
     n_events = 0;
   }
 
-let current : sink option ref = ref None
-let install s = current := Some s
-let uninstall () = current := None
-let installed () = !current
-let on () = Option.is_some !current
+(* Domain-local, not a plain ref: a sink buffers unsynchronized mutable
+   state (Buffer, span stack, aggregate tables), so sharing one across
+   domains would race. Keying the installed sink per domain lets each
+   shard of a fleet simulation trace its own machines into its own sink
+   while other domains stay untraced (or trace elsewhere), with no
+   change of behaviour for single-domain programs. *)
+let current : sink option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let install s = Domain.DLS.set current (Some s)
+let uninstall () = Domain.DLS.set current None
+let installed () = Domain.DLS.get current
+let on () = Option.is_some (Domain.DLS.get current)
 
 let with_sink s f =
-  let prev = !current in
-  current := Some s;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
 
 (* --- JSON rendering --- *)
 
@@ -155,14 +163,14 @@ let end_span s engine =
 let no_args () = []
 
 let with_span engine ~cat ?(args = no_args) name f =
-  match !current with
+  match Domain.DLS.get current with
   | None -> f ()
   | Some s ->
       begin_span s engine ~cat ~args:(args ()) name;
       Fun.protect ~finally:(fun () -> end_span s engine) f
 
 let instant engine ~cat ?(args = no_args) name =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s ->
       emit_named s ~ph:"i" ~tid:tid_spans ~ts:(Engine.now engine) ~cat ~name
@@ -174,7 +182,7 @@ let instant engine ~cat ?(args = no_args) name =
 
 let complete engine ~cat ?(args = no_args) ~start ~stop name =
   ignore engine;
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s ->
       let dur = Time.max Time.zero (Time.sub stop start) in
@@ -190,7 +198,7 @@ let complete engine ~cat ?(args = no_args) ~start ~stop name =
       a.a_self <- Time.add a.a_self dur
 
 let count engine name n =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some s ->
       let total = (match Hashtbl.find_opt s.counters name with Some v -> v | None -> 0) + n in

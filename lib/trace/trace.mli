@@ -3,11 +3,13 @@
     A {!sink} collects spans (nested begin/end intervals with a category
     and arguments), instant events, counters and per-span-name latency
     histograms, all timestamped with the {!Sea_sim.Engine} virtual clock.
-    Exactly one sink can be installed process-wide; every instrumentation
+    Exactly one sink can be installed per domain (installation is
+    domain-local state, so each shard of a multi-domain fleet simulation
+    can trace its own machines independently); every instrumentation
     point in the platform first checks {!on} and does nothing — advances
     no time, draws no randomness, emits no event — when no sink is
-    installed, so an untraced run is bit-identical to a build without
-    this module.
+    installed in the calling domain, so an untraced run is bit-identical
+    to a build without this module.
 
     Spans nest: {!with_span} pushes onto a per-sink stack and pops on the
     way out (exception-safe), so the exported stream is always balanced
@@ -26,11 +28,12 @@ val create : unit -> sink
 (** A fresh, empty sink. Creating one does not install it. *)
 
 val install : sink -> unit
-(** Make [sink] the process-wide trace destination. Replaces any
-    previously installed sink. *)
+(** Make [sink] the calling domain's trace destination. Replaces any
+    sink previously installed in this domain. *)
 
 val uninstall : unit -> unit
-(** Remove the installed sink, if any; tracing reverts to free. *)
+(** Remove the calling domain's installed sink, if any; tracing reverts
+    to free. *)
 
 val installed : unit -> sink option
 

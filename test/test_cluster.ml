@@ -1,0 +1,316 @@
+(* Tests for the fleet layer: routing policies, shard-count determinism
+   (the load-bearing property: the merged report is byte-identical on 1
+   and 4 domains), per-machine seed independence, the merge invariants,
+   and the CLI-facing config validation. *)
+
+open Sea_sim
+open Sea_serve
+open Sea_cluster
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let machine_config = Sea_hw.Machine.low_fidelity Sea_hw.Machine.hp_dc5750
+
+let serve_config ?faults ~mode () =
+  Server.config ~queue_depth:8 ?faults ~mode ~duration:(Time.s 1.) ()
+
+let run_fleet ?seed ?(machines = 4) ?(shards = 1) ?(policy = Router.Round_robin)
+    ?faults ?(mode = Server.Proposed) ?(tenants = 8) ?(rate = 40.) () =
+  let machine_config =
+    match mode with
+    | Server.Current -> machine_config
+    | Server.Proposed -> Sea_hw.Machine.proposed_variant machine_config
+  in
+  let cfg = Cluster.config ~shards ~policy ~machines () in
+  Cluster.run ?seed cfg ~machine_config
+    ~serve:(serve_config ?faults ~mode ())
+    (Workload.preset ~tenants (`Open rate))
+
+let run_fleet_exn ?seed ?machines ?shards ?policy ?faults ?mode ?tenants ?rate
+    () =
+  match
+    run_fleet ?seed ?machines ?shards ?policy ?faults ?mode ?tenants ?rate ()
+  with
+  | Ok fr -> fr
+  | Error e -> Alcotest.fail ("fleet run failed: " ^ e)
+
+(* --- routing --- *)
+
+let tenant name rate =
+  {
+    Workload.name;
+    weight = 1;
+    mix = [ (Workload.Ssh_auth, 1) ];
+    process = Workload.Open_loop { rate_per_s = rate };
+    deadline = None;
+  }
+
+let test_router_round_robin () =
+  let tenants = List.init 7 (fun i -> tenant (Printf.sprintf "t%d" i) 1.) in
+  let a = Router.assign Router.Round_robin ~machines:3 tenants in
+  check
+    Alcotest.(array int)
+    "i mod machines"
+    [| 0; 1; 2; 0; 1; 2; 0 |]
+    a
+
+let test_router_hash_by_name () =
+  let tenants = List.init 12 (fun i -> tenant (Printf.sprintf "t%d" i) 1.) in
+  let a = Router.assign Router.Hash_tenant ~machines:4 tenants in
+  Array.iter (fun m -> checkb "in range" true (m >= 0 && m < 4)) a;
+  (* A tenant's home depends on its name alone, not its list position. *)
+  let shuffled = List.rev tenants in
+  let b = Router.assign Router.Hash_tenant ~machines:4 shuffled in
+  List.iteri
+    (fun i t ->
+      let j =
+        let rec find k = function
+          | [] -> Alcotest.fail "tenant lost in shuffle"
+          | t' :: _ when t'.Workload.name = t.Workload.name -> k
+          | _ :: rest -> find (k + 1) rest
+        in
+        find 0 shuffled
+      in
+      checki (t.Workload.name ^ " stable under reorder") a.(i) b.(j))
+    tenants;
+  (* Consistent: growing the fleet only moves tenants, never reshuffles
+     the ones whose machine survives — every tenant that moves moves to
+     the new machine or stays put. *)
+  let c = Router.assign Router.Hash_tenant ~machines:5 tenants in
+  List.iteri
+    (fun i _ ->
+      checkb "move only to the new machine" true (c.(i) = a.(i) || c.(i) = 4))
+    tenants
+
+let test_router_least_loaded () =
+  (* One heavy tenant followed by light ones: the heavy one claims a
+     machine alone; the light ones spread over the remaining machines. *)
+  let tenants =
+    tenant "heavy" 100. :: List.init 4 (fun i -> tenant (Printf.sprintf "l%d" i) 1.)
+  in
+  let a = Router.assign Router.Least_loaded ~machines:2 tenants in
+  checki "heavy claims machine 0" 0 a.(0);
+  check
+    Alcotest.(array int)
+    "lights all land on the other machine"
+    [| 0; 1; 1; 1; 1 |]
+    a
+
+let test_router_rejects_no_machines () =
+  Alcotest.check_raises "machines < 1"
+    (Invalid_argument "Router.assign: machines must be positive") (fun () ->
+      ignore (Router.assign Router.Round_robin ~machines:0 [ tenant "t" 1. ]))
+
+(* --- determinism across shard counts --- *)
+
+let test_shard_determinism () =
+  List.iter
+    (fun mode ->
+      let r1 = run_fleet_exn ~shards:1 ~mode () in
+      let r4 = run_fleet_exn ~shards:4 ~mode () in
+      checks
+        (match mode with
+        | Server.Current -> "current: shards=1 = shards=4"
+        | Server.Proposed -> "proposed: shards=1 = shards=4")
+        (Fleet_report.render r1) (Fleet_report.render r4))
+    [ Server.Current; Server.Proposed ]
+
+let test_shard_determinism_with_faults () =
+  let faults = Sea_fault.Fault.spec ~seed:13 ~rate:0.05 () in
+  let r1 = run_fleet_exn ~shards:1 ~faults () in
+  let r3 = run_fleet_exn ~shards:3 ~faults () in
+  checks "fault schedules shard-independent" (Fleet_report.render r1)
+    (Fleet_report.render r3)
+
+let test_repeatable_and_seed_sensitive () =
+  let a = run_fleet_exn ~seed:5L () and b = run_fleet_exn ~seed:5L () in
+  checks "same seed, same fleet report" (Fleet_report.render a)
+    (Fleet_report.render b);
+  let c = run_fleet_exn ~seed:6L () in
+  checkb "different seed, different fleet report" true
+    (Fleet_report.render a <> Fleet_report.render c)
+
+let test_machine_seed_independence () =
+  (* Growing the fleet must not disturb the machines that already
+     existed: with round-robin and a tenant count that keeps machine 0's
+     share fixed, machine 0's report is the same in a 2-machine and a
+     4-machine fleet (its engine stream depends only on (seed, 0)). *)
+  let share_of fr i =
+    match List.nth fr.Fleet_report.per_machine i with
+    | { Fleet_report.report = Some r; _ } -> Report.render r
+    | _ -> Alcotest.fail "machine unexpectedly idle"
+  in
+  (* Hash routing keeps most tenants put when the fleet grows by one
+     machine; any machine whose tenant share is literally unchanged must
+     then produce a byte-identical report in both fleets. *)
+  let tenants = List.init 8 (fun i -> tenant (Printf.sprintf "t%d" i) 4.) in
+  let run machines =
+    let cfg = Cluster.config ~policy:Router.Hash_tenant ~machines () in
+    match
+      Cluster.run ~seed:9L cfg
+        ~machine_config:(Sea_hw.Machine.proposed_variant machine_config)
+        ~serve:(serve_config ~mode:Server.Proposed ())
+        tenants
+    with
+    | Ok fr -> fr
+    | Error e -> Alcotest.fail e
+  in
+  let small = run 4 and large = run 5 in
+  let a4 = Router.assign Router.Hash_tenant ~machines:4 tenants in
+  let a5 = Router.assign Router.Hash_tenant ~machines:5 tenants in
+  let shares a m =
+    List.filteri (fun i _ -> a.(i) = m) tenants
+    |> List.map (fun t -> t.Workload.name)
+  in
+  let compared = ref 0 in
+  for m = 0 to 3 do
+    if shares a4 m = shares a5 m && shares a4 m <> [] then begin
+      incr compared;
+      checks
+        (Printf.sprintf "machine %d unchanged by fleet growth" m)
+        (share_of small m) (share_of large m)
+    end
+  done;
+  (* At least one machine's share survives 4 -> 5 growth with this
+     population; if the ring constants ever change such that none does,
+     this fails loudly instead of the test silently passing. *)
+  checkb "at least one machine share survived fleet growth" true
+    (!compared > 0)
+
+(* --- merge invariants --- *)
+
+let test_merge_invariants () =
+  let fr = run_fleet_exn ~machines:3 ~tenants:7 () in
+  let f = fr.Fleet_report.fleet in
+  let per_machine_sum field =
+    List.fold_left
+      (fun acc row ->
+        match row.Fleet_report.report with
+        | None -> acc
+        | Some r -> acc + field r.Report.aggregate)
+      0 fr.Fleet_report.per_machine
+  in
+  checki "offered sums" f.Report.offered
+    (per_machine_sum (fun a -> a.Report.offered));
+  checki "completed sums" f.Report.completed
+    (per_machine_sum (fun a -> a.Report.completed));
+  checki "shed sums" f.Report.shed (per_machine_sum (fun a -> a.Report.shed));
+  checkb "fleet row consistent" true (Report.row_consistent f);
+  (* Exact cross-machine percentiles: the fleet sample count is the sum
+     of the machine sample counts. *)
+  checki "latency samples concatenate"
+    (Stats.count f.Report.latency_ms)
+    (List.fold_left
+       (fun acc row ->
+         match row.Fleet_report.report with
+         | None -> acc
+         | Some r -> acc + Stats.count r.Report.aggregate.Report.latency_ms)
+       0 fr.Fleet_report.per_machine);
+  (* The window is the slowest machine's window. *)
+  checkb "window is max" true
+    (List.for_all
+       (fun row ->
+         match row.Fleet_report.report with
+         | None -> true
+         | Some r -> Time.compare r.Report.window fr.Fleet_report.window <= 0)
+       fr.Fleet_report.per_machine)
+
+let test_idle_machines_render () =
+  (* More machines than tenants: the extras are idle but still listed. *)
+  let fr = run_fleet_exn ~machines:6 ~tenants:2 ~rate:8. () in
+  checki "six rows" 6 (List.length fr.Fleet_report.per_machine);
+  checki "four idle" 4 fr.Fleet_report.idle;
+  checkb "idle rendered" true
+    (let s = Fleet_report.render fr in
+     let rec count i acc =
+       match String.index_from_opt s i 'i' with
+       | Some j when j + 4 <= String.length s && String.sub s j 4 = "idle" ->
+           count (j + 4) (acc + 1)
+       | Some j -> count (j + 1) acc
+       | None -> acc
+     in
+     count 0 0 >= 4)
+
+(* --- validation (the CLI-facing bugfix) --- *)
+
+let test_config_validation () =
+  Alcotest.check_raises "machines = 0"
+    (Invalid_argument "--machines must be positive") (fun () ->
+      ignore (Cluster.config ~machines:0 ()));
+  Alcotest.check_raises "machines < 0"
+    (Invalid_argument "--machines must be positive") (fun () ->
+      ignore (Cluster.config ~machines:(-3) ()));
+  Alcotest.check_raises "shards = 0"
+    (Invalid_argument "--shards must be positive") (fun () ->
+      ignore (Cluster.config ~shards:0 ~machines:2 ()));
+  Alcotest.check_raises "shards > machines"
+    (Invalid_argument "--shards must not exceed --machines (idle shards)")
+    (fun () -> ignore (Cluster.config ~shards:4 ~machines:2 ()));
+  let ok = Cluster.config ~shards:2 ~machines:2 () in
+  checki "shards = machines allowed" 2 ok.Cluster.shards
+
+let test_run_rejects_empty_and_retry () =
+  let cfg = Cluster.config ~machines:2 () in
+  Alcotest.check_raises "no tenants"
+    (Invalid_argument "Cluster.run: no tenants") (fun () ->
+      ignore
+        (Cluster.run cfg ~machine_config
+           ~serve:(serve_config ~mode:Server.Current ())
+           []));
+  let serve =
+    Server.config ~queue_depth:8
+      ~faults:(Sea_fault.Fault.spec ~seed:1 ~rate:0.01 ())
+      ~retry:(Sea_fault.Retry.policy ())
+      ~mode:Server.Current ~duration:(Time.s 1.) ()
+  in
+  match
+    Cluster.run cfg ~machine_config ~serve (Workload.preset ~tenants:2 (`Open 2.))
+  with
+  | Ok _ -> Alcotest.fail "preset retry policy must be rejected"
+  | Error e ->
+      let contains_sub s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      checkb "error names retry" true (contains_sub e "retry")
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "round-robin" `Quick test_router_round_robin;
+          Alcotest.test_case "hash by name" `Quick test_router_hash_by_name;
+          Alcotest.test_case "least-loaded" `Quick test_router_least_loaded;
+          Alcotest.test_case "rejects zero machines" `Quick
+            test_router_rejects_no_machines;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "shards 1 = shards 4 (both modes)" `Quick
+            test_shard_determinism;
+          Alcotest.test_case "shard-independent fault schedules" `Quick
+            test_shard_determinism_with_faults;
+          Alcotest.test_case "repeatable and seed-sensitive" `Quick
+            test_repeatable_and_seed_sensitive;
+          Alcotest.test_case "machine seeds independent of fleet size" `Quick
+            test_machine_seed_independence;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "count invariants" `Quick test_merge_invariants;
+          Alcotest.test_case "idle machines" `Quick test_idle_machines_render;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "config bounds" `Quick test_config_validation;
+          Alcotest.test_case "empty tenants and preset retry" `Quick
+            test_run_rejects_empty_and_retry;
+        ] );
+    ]

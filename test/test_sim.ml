@@ -82,6 +82,52 @@ let test_rng_exponential_mean () =
   done;
   checkb "mean near 4" true (abs_float (Stats.mean acc -. 4.) < 0.15)
 
+let test_rng_split_n_pairwise () =
+  (* The cluster layer hands every machine a stream carved off one
+     master: streams must be pairwise independent — no shared values at
+     all in the first 10k draws of any pair. *)
+  let streams = Rng.split_n (Rng.create ~seed:2024L ()) 8 in
+  let draws =
+    Array.map
+      (fun s ->
+        let tbl = Hashtbl.create 10_000 in
+        for _ = 1 to 10_000 do
+          Hashtbl.replace tbl (Rng.int64 s) ()
+        done;
+        tbl)
+      streams
+  in
+  Array.iteri
+    (fun i ti ->
+      Array.iteri
+        (fun j tj ->
+          if i < j then begin
+            let overlap =
+              Hashtbl.fold
+                (fun k () acc -> if Hashtbl.mem tj k then acc + 1 else acc)
+                ti 0
+            in
+            checki (Printf.sprintf "streams %d/%d share draws" i j) 0 overlap
+          end)
+        draws)
+    draws
+
+let test_rng_split_n_stable () =
+  (* Stream [i] depends only on the parent's state and [i], never on how
+     many siblings were carved alongside it — this is what makes a
+     4-machine fleet's machine 2 identical to an 8-machine fleet's. *)
+  let streams_of n = Rng.split_n (Rng.create ~seed:99L ()) n in
+  let a = streams_of 4 and b = streams_of 8 in
+  for i = 0 to 3 do
+    let x = List.init 100 (fun _ -> Rng.int64 a.(i)) in
+    let y = List.init 100 (fun _ -> Rng.int64 b.(i)) in
+    checkb (Printf.sprintf "stream %d same under n=4 and n=8" i) true (x = y)
+  done;
+  checki "zero streams" 0 (Array.length (Rng.split_n (Rng.create ()) 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Rng.split_n: negative count") (fun () ->
+      ignore (Rng.split_n (Rng.create ()) (-1)))
+
 let test_rng_bytes () =
   let rng = Rng.create () in
   let b = Rng.bytes rng 64 in
@@ -328,6 +374,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_n pairwise independence" `Quick
+            test_rng_split_n_pairwise;
+          Alcotest.test_case "split_n stable across counts" `Quick
+            test_rng_split_n_stable;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
           Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
