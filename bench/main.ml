@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table1 figure3 ...
    Experiments: table1 table2 figure2 figure3 impact concurrency
                 faster-tpm io-loss multicore micro analyzer serving
-                degradation trace fleet *)
+                degradation trace fleet cost *)
 
 open Sea_sim
 open Sea_hw
@@ -1075,6 +1075,142 @@ module Fleet = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Cost-aware admission: goodput under a mixed-cost workload, FIFO vs   *)
+(* certificate-driven cost budgets. Emits BENCH_cost.json for the CI    *)
+(* bench gate.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Cost = struct
+  let smoke = Sys.getenv_opt "SEA_BENCH_SMOKE" <> None
+  let duration = Time.s (if smoke then 2. else 5.)
+  let depth = 8
+  let seed = 7L
+  let budget = 4_000_000
+  let rates = if smoke then [ 64.; 512. ] else [ 32.; 64.; 128.; 256.; 512. ]
+
+  (* Mixed-cost tenant set: four cheap SSH tenants offering two thirds
+     of the load next to a CA signer and a KV resealer, the
+     certificate-expensive kinds. Under FIFO overload the expensive
+     requests occupy queue slots and PAL time at the cheap tenants'
+     expense; the cost budget caps each tenant's in-flight certificate
+     cost instead. *)
+  let tenants rate =
+    let cheap = rate *. 2. /. 3. /. 4. and dear = rate /. 3. /. 2. in
+    List.init 4 (fun i ->
+        Sea_serve.Workload.tenant
+          ~name:(Printf.sprintf "ssh%d" i)
+          (Sea_serve.Workload.Open_loop { rate_per_s = cheap }))
+    @ [
+        Sea_serve.Workload.tenant ~name:"ca"
+          ~mix:[ (Sea_serve.Workload.Ca_sign, 1) ]
+          (Sea_serve.Workload.Open_loop { rate_per_s = dear });
+        Sea_serve.Workload.tenant ~name:"kv"
+          ~mix:[ (Sea_serve.Workload.Kv_update, 1) ]
+          (Sea_serve.Workload.Open_loop { rate_per_s = dear });
+      ]
+
+  let run_at discipline rate =
+    let config =
+      Machine.proposed_variant (Machine.low_fidelity Machine.hp_dc5750)
+    in
+    let m = Machine.create ~engine:(Engine.create ~seed ()) config in
+    let cfg =
+      Sea_serve.Server.config ~queue_depth:depth ~discipline
+        ~mode:Sea_serve.Server.Proposed ~duration ()
+    in
+    match Sea_serve.Server.run m cfg (tenants rate) with
+    | Ok r -> r
+    | Error e -> failwith ("cost sweep: " ^ e)
+
+  let cheap_goodput (r : Sea_serve.Report.t) =
+    List.fold_left
+      (fun acc (row : Sea_serve.Report.row) ->
+        if
+          String.length row.Sea_serve.Report.tenant >= 3
+          && String.sub row.Sea_serve.Report.tenant 0 3 = "ssh"
+        then acc +. Sea_serve.Report.goodput_per_s r row
+        else acc)
+      0. r.Sea_serve.Report.rows
+
+  let disciplines =
+    [
+      ("fifo", Sea_serve.Admission.Fifo);
+      ("cost", Sea_serve.Admission.Cost budget);
+    ]
+
+  let json_file = "BENCH_cost.json"
+
+  let write_json results =
+    let oc = open_out json_file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"cost-goodput\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"budget_us\": %d,\n\
+      \  \"seed\": %Ld,\n\
+      \  \"results\": [\n"
+      smoke budget seed;
+    let n = List.length results in
+    List.iteri
+      (fun i (disc, rate, goodput, cheap, shed, cost_shed) ->
+        Printf.fprintf oc
+          "    { \"discipline\": %S, \"rate_rps\": %.1f, \"goodput_rps\": \
+           %.2f, \"cheap_goodput_rps\": %.2f, \"shed\": %d, \"cost_shed\": \
+           %d }%s\n"
+          disc rate goodput cheap shed cost_shed
+          (if i = n - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc
+
+  let run () =
+    section
+      (Printf.sprintf
+         "Cost-aware admission: goodput under a mixed-cost workload%s"
+         (if smoke then " [smoke]" else ""));
+    Printf.printf
+      "4 SSH tenants (cheap, 2/3 of load) + CA + KV (certificate-expensive),\n\
+       proposed hardware, depth %d: FIFO vs a %d us/tenant cost budget.\n\n"
+      depth budget;
+    let results =
+      List.concat_map
+        (fun rate ->
+          List.map
+            (fun (name, disc) ->
+              let r = run_at disc rate in
+              let a = r.Sea_serve.Report.aggregate in
+              let g = Sea_serve.Report.goodput_per_s r a in
+              let cg = cheap_goodput r in
+              Printf.printf
+                "  %-6s %8.1f req/s  goodput %7.2f/s  cheap %7.2f/s  shed \
+                 %4d  cost shed %4d  %s\n"
+                name rate g cg a.Sea_serve.Report.shed
+                r.Sea_serve.Report.cost_shed
+                (Format.asprintf "%a" Stats.pp_percentiles
+                   a.Sea_serve.Report.latency_ms);
+              (name, rate, g, cg, a.Sea_serve.Report.shed,
+               r.Sea_serve.Report.cost_shed))
+            disciplines)
+        rates
+    in
+    let top = List.fold_left (fun acc r -> Float.max acc r) 0. rates in
+    let cheap_at disc =
+      List.fold_left
+        (fun acc (name, rate, _, cg, _, _) ->
+          if name = disc && rate = top then cg else acc)
+        0. results
+    in
+    write_json results;
+    Printf.printf
+      "\nAt the top rate the cost budget keeps the cheap tenants at\n\
+       %.2f completions/s vs %.2f under FIFO: expensive requests beyond\n\
+       each tenant's certificate budget are shed at admission instead of\n\
+       occupying queue slots and PAL time ahead of cheap work. JSON\n\
+       written to %s.\n"
+      (cheap_at "cost") (cheap_at "fifo") json_file
+end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1093,6 +1229,7 @@ let all =
     ("degradation", Degradation.run);
     ("trace", Trace_decomp.run);
     ("fleet", Fleet.run);
+    ("cost", Cost.run);
   ]
 
 let () =

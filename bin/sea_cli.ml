@@ -370,13 +370,26 @@ let analyzable_images () =
     ("toctou-measured", (Toctou.measured_gate ()).Pal.code);
   ]
   @ Samples.all
+  @ List.map
+      (fun k ->
+        ( "workload-" ^ Sea_serve.Workload.kind_name k,
+          (Sea_serve.Workload.pal k).Pal.code ))
+      Sea_serve.Workload.kinds
 
-let run_analyze name =
+let run_analyze name cost =
   let open Sea_analysis in
   let analyze_one (name, code) =
-    let report = Analyzer.analyze code in
-    Printf.printf "%s\n%s\n" name (Report.render report);
-    Report.is_clean report
+    if cost then begin
+      let report, cert = Analyzer.certify code in
+      Printf.printf "%s\n%s\n%s" name (Report.render report)
+        (Certificate.render cert);
+      Report.is_clean report
+    end
+    else begin
+      let report = Analyzer.analyze code in
+      Printf.printf "%s\n%s\n" name (Report.render report);
+      Report.is_clean report
+    end
   in
   match name with
   | "all" ->
@@ -413,17 +426,124 @@ let analyze_cmd =
     let doc =
       "Image to analyze: $(b,all) (every shipped image that must be clean) \
        or one of the named PALVM images (toctou-vulnerable, toctou-hardened, \
-       toctou-measured, seal-echo, xor-checksum, random-nonce, hash-input)."
+       toctou-measured, seal-echo, xor-checksum, random-nonce, hash-input, \
+       workload-ssh-auth, workload-ca-sign, workload-kv-update)."
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"PAL" ~doc)
+  in
+  let cost_arg =
+    let doc =
+      "Also print each image's static cost certificate: worst-case step \
+       count (with provable loop trip bounds), per-service call/byte \
+       ceilings, the TPM-time bound and the LPC traffic bound."
+    in
+    Arg.(value & flag & info [ "cost" ] ~doc)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Static analysis of PAL bytecode: CFG + TOCTOU/self-modification, \
-          secret-flow taint, bounds and service-policy rules. Exits non-zero \
-          on error findings.")
-    Term.(const run_analyze $ name_arg)
+          secret-flow taint, bounds and service-policy rules, plus \
+          $(b,--cost) certificates. Exits non-zero on error findings.")
+    Term.(const run_analyze $ name_arg $ cost_arg)
+
+(* --- soundness --- *)
+
+(* Replay every analyzable bounded image in the PALVM against its own
+   cost certificate: retired instructions must stay within wcet_steps
+   and the jitter-free TPM time of the calls it actually made within
+   tpm_us. A violation means the static analysis under-approximated a
+   real execution — a build-breaking soundness bug, not a tuning
+   matter. Replays use [Vm.run] directly with metering services (no
+   engine, no vendor jitter), so observed TPM time is the reference
+   profile's mean — exactly the distribution the certificate bounds. *)
+let run_soundness () =
+  let open Sea_analysis in
+  let profile = Certificate.reference_profile in
+  let violations = ref 0 in
+  let tighter = ref 0 in
+  let check (name, code) =
+    let _report, cert = Analyzer.certify code in
+    if not cert.Certificate.bounded then
+      Printf.printf "%-22s unbounded certificate; replay skipped\n" name
+    else begin
+      let tpm = ref Time.zero in
+      let meter n bytes =
+        tpm :=
+          Time.add !tpm (Certificate.svc_time profile n ~calls:1 ~bytes)
+      in
+      let services =
+        {
+          Pal.seal =
+            (fun s ->
+              meter Sea_isa.Isa.svc_seal (String.length s);
+              Ok s);
+          unseal =
+            (fun s ->
+              meter Sea_isa.Isa.svc_unseal (String.length s);
+              Ok s);
+          get_random =
+            (fun k ->
+              meter Sea_isa.Isa.svc_random k;
+              String.make k '\x2a');
+          extend_measurement =
+            (fun s -> meter Sea_isa.Isa.svc_extend (String.length s));
+          machine_name = "soundness-replay";
+        }
+      in
+      (* A worst-case-shaped input: long enough to drive every
+         input-bounded loop to its widest provable trip count. *)
+      let input = String.init 4096 (fun i -> Char.chr (i land 0xff)) in
+      match Sea_palvm.Vm.run ~code ~services ~input () with
+      | Error e -> or_die (Error (Printf.sprintf "%s: replay failed: %s" name e))
+      | Ok o ->
+          let tpm_us = Time.to_ns !tpm / 1000 in
+          let steps_ok = o.Sea_palvm.Vm.steps <= cert.Certificate.wcet_steps in
+          let tpm_ok = tpm_us <= cert.Certificate.tpm_us in
+          if cert.Certificate.wcet_steps < Sea_isa.Isa.default_fuel then
+            incr tighter;
+          Printf.printf
+            "%-22s steps %d <= wcet %d: %s   tpm %d us <= bound %d us: %s\n"
+            name o.Sea_palvm.Vm.steps cert.Certificate.wcet_steps
+            (if steps_ok then "ok" else "VIOLATED")
+            tpm_us cert.Certificate.tpm_us
+            (if tpm_ok then "ok" else "VIOLATED");
+          if not (steps_ok && tpm_ok) then incr violations
+    end
+  in
+  (* The samples corpus plus the serving workload images — every real
+     PALVM program the repo ships and certifies. *)
+  let images =
+    Sea_palvm.Samples.all
+    @ List.map
+        (fun k ->
+          ( "workload-" ^ Sea_serve.Workload.kind_name k,
+            (Sea_serve.Workload.pal k).Pal.code ))
+        Sea_serve.Workload.kinds
+  in
+  List.iter check images;
+  if !violations > 0 then
+    or_die
+      (Error
+         (Printf.sprintf "%d image(s) exceeded their static bound" !violations));
+  if !tighter = 0 then
+    or_die
+      (Error
+         "no bounded image has a wcet below the fuel ceiling — loop-bound \
+          inference is not engaging");
+  Printf.printf
+    "all bounds hold; %d image(s) provably tighter than the %d-step fuel\n"
+    !tighter Sea_isa.Isa.default_fuel
+
+let soundness_cmd =
+  Cmd.v
+    (Cmd.info "soundness"
+       ~doc:
+         "Replay every bounded shipped PALVM image against its static cost \
+          certificate: retired steps and jitter-free TPM time must stay \
+          within the certified bounds. Exits non-zero on any violation \
+          (an unsound certificate is a build failure).")
+    Term.(const run_soundness $ const ())
 
 (* --- serve / cluster shared options --- *)
 
@@ -490,6 +610,58 @@ let discipline_arg =
            ])
         Sea_serve.Admission.Fifo
     & info [ "discipline" ] ~docv:"DISC" ~doc)
+
+let analyze_gate_arg =
+  let doc =
+    "Static-analysis launch gate: $(b,off), $(b,warn) (analyze and report, \
+     never refuse) or $(b,enforce) (refuse images with error findings \
+     before anything is measured). Analysis is cached by image digest, so \
+     each distinct image is analyzed once per process."
+  in
+  Arg.(value & opt string "off" & info [ "analyze" ] ~docv:"GATE" ~doc)
+
+let admission_cost_arg =
+  let doc =
+    "Cost-aware admission: $(b,none) (use $(b,--discipline)) or $(b,cost) \
+     (per-tenant in-flight budget over the kinds' static certificate \
+     costs; cheapest-backlog-first dispatch, replaces $(b,--discipline))."
+  in
+  Arg.(value & opt string "none" & info [ "admission" ] ~docv:"ADM" ~doc)
+
+let cost_budget_arg =
+  let doc =
+    "Per-tenant in-flight static-cost budget, in certificate admission-cost \
+     units (virtual us), under $(b,--admission cost)."
+  in
+  Arg.(
+    value & opt int 4_000_000 & info [ "cost-budget" ] ~docv:"US" ~doc)
+
+(* The new serve/cluster flags are validated by hand so a bad value
+   exits 1 with an error naming the flag, like the other numeric-flag
+   failures (a cmdliner enum conversion failure would exit 124). *)
+let gate_of_flag s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Sea_analysis.Analyzer.Off
+  | "warn" -> Sea_analysis.Analyzer.WarnOnly
+  | "enforce" -> Sea_analysis.Analyzer.Enforce
+  | other ->
+      or_die
+        (Error
+           (Printf.sprintf "unknown --analyze gate %S; known: off, warn, \
+                            enforce" other))
+
+let discipline_of_flags ~discipline ~admission ~cost_budget =
+  match String.lowercase_ascii (String.trim admission) with
+  | "none" -> discipline
+  | "cost" ->
+      if cost_budget <= 0 then
+        or_die (Error "--cost-budget must be positive");
+      Sea_serve.Admission.Cost cost_budget
+  | other ->
+      or_die
+        (Error
+           (Printf.sprintf "unknown --admission mode %S; known: none, cost"
+              other))
 
 let timer_arg =
   let doc = "Preemption-timer slice budget, ms (proposed mode)." in
@@ -563,14 +735,16 @@ let fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed =
   else None
 
 let run_serve machine_config mode rate duration_s cores tenants depth
-    discipline timer_ms deadline_ms closed think_ms seed fault_rate fault_kinds
-    fault_seed trace_file trace_summary =
+    discipline analyze admission cost_budget timer_ms deadline_ms closed
+    think_ms seed fault_rate fault_kinds fault_seed trace_file trace_summary =
   (* Validate the numeric flags here, with flag names in the messages,
      instead of letting Invalid_argument escape from the library
      constructors. *)
   if rate <= 0. then or_die (Error "--rate must be positive");
   if duration_s <= 0. then or_die (Error "--duration must be positive");
   if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  let analyze = gate_of_flag analyze in
+  let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
   try
     let config = serving_machine_config machine_config mode cores in
@@ -578,7 +752,7 @@ let run_serve machine_config mode rate duration_s cores tenants depth
       Machine.create ~engine:(Engine.create ~seed:(Int64.of_int seed) ()) config
     in
     let cfg =
-      Sea_serve.Server.config ~queue_depth:depth ~discipline
+      Sea_serve.Server.config ~queue_depth:depth ~discipline ~analyze
         ~preemption_timer:(Time.ms timer_ms) ?faults ~mode
         ~duration:(Time.s duration_s) ()
     in
@@ -640,7 +814,8 @@ let serve_cmd =
           see what the recommended hardware buys under load.")
     Term.(
       const run_serve $ machine_arg $ serve_mode_arg $ rate_arg $ duration_arg
-      $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg $ timer_arg
+      $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg
+      $ analyze_gate_arg $ admission_cost_arg $ cost_budget_arg $ timer_arg
       $ deadline_arg $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg
       $ fault_kinds_arg $ fault_seed_arg $ trace_arg $ trace_summary_arg)
 
@@ -651,8 +826,9 @@ let cluster_usage =
   \       with N >= 1 and 1 <= K <= N; see sea-cli cluster --help"
 
 let run_cluster machine_config mode machines shards policy rate duration_s
-    cores tenants depth discipline timer_ms deadline_ms closed think_ms seed
-    fault_rate fault_kinds fault_seed trace_prefix =
+    cores tenants depth discipline analyze admission cost_budget timer_ms
+    deadline_ms closed think_ms seed fault_rate fault_kinds fault_seed
+    trace_prefix =
   (* Fleet-shape validation first: bad --machines/--shards must exit 1
      with a usage message, never escape as a raised Invalid_argument. *)
   let cfg =
@@ -664,11 +840,13 @@ let run_cluster machine_config mode machines shards policy rate duration_s
   if rate <= 0. then or_die (Error "--rate must be positive");
   if duration_s <= 0. then or_die (Error "--duration must be positive");
   if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  let analyze = gate_of_flag analyze in
+  let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
   try
     let machine_config = serving_machine_config machine_config mode cores in
     let serve =
-      Sea_serve.Server.config ~queue_depth:depth ~discipline
+      Sea_serve.Server.config ~queue_depth:depth ~discipline ~analyze
         ~preemption_timer:(Time.ms timer_ms) ?faults ~mode
         ~duration:(Time.s duration_s) ()
     in
@@ -734,7 +912,9 @@ let cluster_cmd =
   let policy_arg =
     let doc =
       "Tenant routing policy: $(b,round-robin), $(b,hash) \
-       (consistent-hash-by-tenant) or $(b,least-loaded) (by offered rate)."
+       (consistent-hash-by-tenant), $(b,least-loaded) (by offered rate) or \
+       $(b,cost-weighted) (offered rate scaled by the mix's static \
+       certificate cost)."
     in
     Arg.(
       value
@@ -765,7 +945,8 @@ let cluster_cmd =
     Term.(
       const run_cluster $ machine_arg $ serve_mode_arg $ machines_arg
       $ shards_arg $ policy_arg $ rate_arg $ duration_arg $ cores_arg
-      $ tenants_arg $ depth_arg $ discipline_arg $ timer_arg $ deadline_arg
+      $ tenants_arg $ depth_arg $ discipline_arg $ analyze_gate_arg
+      $ admission_cost_arg $ cost_budget_arg $ timer_arg $ deadline_arg
       $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg $ fault_kinds_arg
       $ fault_seed_arg $ trace_arg)
 
@@ -777,12 +958,13 @@ let () =
       ~doc:
         "Simulated minimal-TCB code execution (McCune et al., ASPLOS 2008). \
          Subcommands: machines, session, attest, lifecycle, attack, boot, \
-         toctou, analyze, serve, cluster."
+         toctou, analyze, soundness, serve, cluster."
   in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             machines_cmd; session_cmd; attest_cmd; lifecycle_cmd; attack_cmd;
-            boot_cmd; toctou_cmd; analyze_cmd; serve_cmd; cluster_cmd;
+            boot_cmd; toctou_cmd; analyze_cmd; soundness_cmd; serve_cmd;
+            cluster_cmd;
           ]))

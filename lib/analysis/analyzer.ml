@@ -235,69 +235,115 @@ let dataflow_findings (cfg : Cfg.t) ~policy states =
 
 (* --- resource bounds --- *)
 
-let bounds_findings (cfg : Cfg.t) ~policy =
-  let insns = Cfg.reachable_insns cfg in
+(* The numbers here come from {!Cost} — the same table the certificate
+   prices and the VM charges — so fuel findings and certificates can
+   never disagree. *)
+let bounds_findings (cfg : Cfg.t) ~policy (cost : Cost.t) =
+  let wcet = cost.Cost.wcet_steps in
+  let fuel_check tail =
+    if wcet > policy.fuel then
+      Finding.make ~rule:"bounds/fuel-exceeded" ~severity:Finding.Error
+        ~offset:0
+        (Printf.sprintf
+           "worst case is %d steps, over the %d-step fuel: the PAL cannot \
+            finish"
+           wcet policy.fuel)
+      :: tail
+    else tail
+  in
   match cfg.Cfg.back_edges with
   | [] ->
-      if insns > policy.fuel then
-        [
-          Finding.make ~rule:"bounds/fuel-exceeded" ~severity:Finding.Error
-            ~offset:0
-            (Printf.sprintf
-               "loop-free worst case is %d steps, over the %d-step fuel: the \
-                PAL cannot finish"
-               insns policy.fuel);
-        ]
-      else
+      fuel_check
         [
           Finding.make ~rule:"bounds/straight-line" ~severity:Finding.Info
             ~offset:0
-            (Printf.sprintf "loop-free: worst case %d steps <= fuel %d" insns
+            (Printf.sprintf "loop-free: worst case %d steps <= fuel %d" wcet
                policy.fuel);
         ]
   | (src, _) :: _ as edges ->
-      let severity =
-        if policy.require_bounded then Finding.Error else Finding.Info
-      in
-      [
-        Finding.make ~rule:"bounds/back-edge" ~severity ~offset:src
-          (Printf.sprintf
-             "%d loop back-edge%s: worst case bounded only by the %d-step fuel%s"
-             (List.length edges)
-             (if List.length edges = 1 then "" else "s")
-             policy.fuel
-             (if policy.require_bounded then
-                " (policy requires provably bounded PALs)"
-              else ""));
-      ]
+      if cost.Cost.loops_bounded then
+        fuel_check
+          [
+            Finding.make ~rule:"bounds/loop-bound" ~severity:Finding.Info
+              ~offset:src
+              (Printf.sprintf
+                 "%d loop back-edge%s, every trip count provable (%s): worst \
+                  case %d steps <= fuel %d"
+                 (List.length edges)
+                 (if List.length edges = 1 then "" else "s")
+                 (String.concat ", "
+                    (List.map
+                       (fun (l : Loop_bounds.loop) ->
+                         Printf.sprintf "head %d <=%d trips" l.Loop_bounds.head
+                           l.Loop_bounds.trips)
+                       cost.Cost.loops))
+                 wcet policy.fuel);
+          ]
+      else
+        let severity =
+          if policy.require_bounded then Finding.Error else Finding.Info
+        in
+        [
+          Finding.make ~rule:"bounds/back-edge" ~severity ~offset:src
+            (Printf.sprintf
+               "%d loop back-edge%s without a provable trip count: worst case \
+                bounded only by the %d-step fuel%s"
+               (List.length edges)
+               (if List.length edges = 1 then "" else "s")
+               policy.fuel
+               (if policy.require_bounded then
+                  " (policy requires provably bounded PALs)"
+                else ""));
+        ]
 
-let analyze ?(policy = default_policy) code =
+let degenerate_certificate ~policy ~image_size report =
+  Certificate.make ~image_size ~report
+    {
+      Cost.wcet_steps = policy.fuel;
+      loops_bounded = false;
+      loops = [];
+      svc = [];
+    }
+
+let certify ?(policy = default_policy) code =
   let image_size = String.length code in
   if image_size = 0 then
-    Report.make ~image_size:0 ~reachable_insns:0 ~loops:0
-      [
-        Finding.make ~rule:"image/empty" ~severity:Finding.Error ~offset:0
-          "empty image: nothing to measure or run";
-      ]
+    let report =
+      Report.make ~image_size:0 ~reachable_insns:0 ~loops:0
+        [
+          Finding.make ~rule:"image/empty" ~severity:Finding.Error ~offset:0
+            "empty image: nothing to measure or run";
+        ]
+    in
+    (report, degenerate_certificate ~policy ~image_size report)
   else if image_size > policy.mem_size then
-    Report.make ~image_size ~reachable_insns:0 ~loops:0
-      [
-        Finding.make ~rule:"image/too-large" ~severity:Finding.Error ~offset:0
-          (Printf.sprintf "image is %d bytes; the VM memory holds %d"
-             image_size policy.mem_size);
-      ]
+    let report =
+      Report.make ~image_size ~reachable_insns:0 ~loops:0
+        [
+          Finding.make ~rule:"image/too-large" ~severity:Finding.Error ~offset:0
+            (Printf.sprintf "image is %d bytes; the VM memory holds %d"
+               image_size policy.mem_size);
+        ]
+    in
+    (report, degenerate_certificate ~policy ~image_size report)
   else begin
     let cfg = Cfg.build ~mem_size:policy.mem_size code in
     let states = Dataflow.run cfg ~mem_size:policy.mem_size in
+    let cost = Cost.analyze cfg states ~fuel:policy.fuel ~mem_size:policy.mem_size in
     let findings =
       structure_findings cfg
       @ dataflow_findings cfg ~policy states
-      @ bounds_findings cfg ~policy
+      @ bounds_findings cfg ~policy cost
     in
-    Report.make ~image_size ~reachable_insns:(Cfg.reachable_insns cfg)
-      ~loops:(List.length cfg.Cfg.back_edges)
-      findings
+    let report =
+      Report.make ~image_size ~reachable_insns:(Cfg.reachable_insns cfg)
+        ~loops:(List.length cfg.Cfg.back_edges)
+        findings
+    in
+    (report, Certificate.make ~image_size ~report cost)
   end
+
+let analyze ?policy code = fst (certify ?policy code)
 
 let check ?policy ~gate code =
   match gate with

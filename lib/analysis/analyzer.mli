@@ -24,9 +24,14 @@
       [SEAL]) and [taint/random-to-output] (warn: [RANDOM] bytes
       likewise).
     - {b resource bounds / policy} — [bounds/straight-line] (info: loop-free
-      worst case vs the fuel), [bounds/back-edge] (info, or error under
-      [require_bounded]), [bounds/fuel-exceeded], [svc/unknown],
-      [policy/service-forbidden] (service whitelist).
+      worst case vs the fuel), [bounds/loop-bound] (info: every back-edge
+      carries a provable trip count, with the resulting worst case),
+      [bounds/back-edge] (a loop {e without} a provable trip count —
+      info, or error under [require_bounded]), [bounds/fuel-exceeded],
+      [svc/unknown], [policy/service-forbidden] (service whitelist).
+      The step numbers come from the {!Cost} pass, which folds the
+      {!Sea_isa.Isa.fuel_cost} table and {!Loop_bounds} trip counts, so
+      findings and {!Certificate}s always agree.
 
     Registers are tracked with an interval domain seeded from the
     zeroed machine state, so buffer addresses and lengths built with
@@ -54,6 +59,11 @@ val default_policy : policy
 
 val analyze : ?policy:policy -> string -> Report.t
 (** Analyze a raw PAL image (the exact bytes that would be measured). *)
+
+val certify : ?policy:policy -> string -> Report.t * Certificate.t
+(** [analyze] plus the static cost certificate priced from the same
+    CFG and dataflow fixpoint. Degenerate images (empty, oversized)
+    get an unbounded fuel-ceiling certificate. *)
 
 val check : ?policy:policy -> gate:gate -> string -> (unit, string) result
 (** The launch gate: [Ok] under [Off]/[WarnOnly] or when the report is

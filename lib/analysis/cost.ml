@@ -1,0 +1,162 @@
+(* Static cost semantics over the CFG: fold the per-instruction fuel
+   table ({!Sea_isa.Isa.fuel_cost}) and per-SVC payload bounds into a
+   worst-case execution profile.
+
+   Execution counts are propagated through the CFG in increasing-pc
+   order. With back-edges removed the graph is a DAG ordered by pc
+   (Cfg.build records an edge as a back-edge exactly when its target
+   does not advance), so a single forward sweep sees every
+   contribution before it reads a node's total. Loop heads multiply
+   their inflow by (trips + 1) — the head runs once more than the back
+   edge is taken — and an edge leaving a loop body contributes only the
+   loop's entry count, because each entry exits at most once. Nodes
+   that fail to decode cost one step: the VM charges the faulting (or
+   implicit-Halt) fetch before stopping.
+
+   Counts over-approximate: reconverging forward branches sum both
+   sides. That is sound (a run takes one side) and cheap, and the
+   corpus is branch-light enough that tightness does not suffer.
+
+   When any back-edge lacks a provable trip bound the whole image is
+   priced at the fuel ceiling: wcet = fuel, and every reachable service
+   is assumed to be hit [fuel] times with the largest payload memory
+   allows. Deliberately prohibitive — an unbounded image is
+   "unaffordable" to cost-aware admission, which is the point. *)
+
+open Sea_isa
+
+type svc_use = { svc : int; calls : int; bytes : int }
+
+type t = {
+  wcet_steps : int;
+  loops_bounded : bool;
+  loops : Loop_bounds.loop list;  (* empty when [not loops_bounded] *)
+  svc : svc_use list;  (* ascending svc number *)
+}
+
+(* Counts saturate well below max_int so downstream pricing arithmetic
+   (microseconds x counts) cannot overflow. *)
+let cap = 1 lsl 40
+
+let sat_add a b = if a > cap - b then cap else a + b
+let sat_mul a b = if a = 0 || b = 0 then 0 else if a > cap / b then cap else a * b
+
+(* Worst-case payload bytes a service site can move per call: the
+   length register's upper bound, clamped to memory (the VM faults on
+   anything larger before the service runs). *)
+let payload_hi ~mem_size (st : Dataflow.state) n =
+  if n = Isa.svc_input_len then 0
+  else min st.Dataflow.regs.(1).Interval.hi mem_size
+
+let count_nodes cfg loops =
+  let head_of = Hashtbl.create 4 in
+  let member = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Loop_bounds.loop) ->
+      Hashtbl.replace head_of l.Loop_bounds.head l;
+      List.iter (fun pc -> Hashtbl.replace member pc l) l.Loop_bounds.body)
+    loops;
+  let inflow = Hashtbl.create 64 in
+  let entries = Hashtbl.create 4 in
+  let counts = Hashtbl.create 64 in
+  let add_in pc v =
+    Hashtbl.replace inflow pc
+      (sat_add v (Option.value ~default:0 (Hashtbl.find_opt inflow pc)))
+  in
+  List.iter
+    (fun pc ->
+      let base =
+        (if pc = 0 then 1 else 0)
+        + Option.value ~default:0 (Hashtbl.find_opt inflow pc)
+      in
+      let count =
+        match Hashtbl.find_opt head_of pc with
+        | Some l ->
+            Hashtbl.replace entries l.Loop_bounds.head base;
+            sat_mul base (l.Loop_bounds.trips + 1)
+        | None -> base
+      in
+      Hashtbl.replace counts pc count;
+      let n = Cfg.node cfg pc in
+      List.iter
+        (fun s ->
+          (* Forward edges only: back-edges are modeled by the head's
+             (trips + 1) multiplier. *)
+          if s > pc && Hashtbl.mem cfg.Cfg.nodes s then
+            let contribution =
+              match Hashtbl.find_opt member pc with
+              | Some l when not (Hashtbl.mem member s) ->
+                  (* Leaving the loop: taken at most once per entry. *)
+                  Option.value ~default:0
+                    (Hashtbl.find_opt entries l.Loop_bounds.head)
+              | _ -> count
+            in
+            add_in s contribution)
+        n.Cfg.succs)
+    cfg.Cfg.order;
+  counts
+
+let svc_merge uses =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (u : svc_use) ->
+      let calls, bytes =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl u.svc)
+      in
+      Hashtbl.replace tbl u.svc (sat_add calls u.calls, sat_add bytes u.bytes))
+    uses;
+  Hashtbl.fold (fun svc (calls, bytes) acc -> { svc; calls; bytes } :: acc) tbl []
+  |> List.sort (fun (a : svc_use) (b : svc_use) -> compare a.svc b.svc)
+
+let analyze (cfg : Cfg.t) states ~fuel ~mem_size =
+  let svc_sites =
+    List.filter_map
+      (fun pc ->
+        match (Cfg.node cfg pc).Cfg.decoded with
+        | Ok (Isa.Svc n) -> Some (pc, n)
+        | _ -> None)
+      cfg.Cfg.order
+  in
+  match Loop_bounds.infer cfg states ~mem_size with
+  | None ->
+      (* Unprovable loop somewhere: price at the fuel ceiling. *)
+      let svc =
+        svc_merge
+          (List.map
+             (fun (pc, n) ->
+               let bytes =
+                 match Hashtbl.find_opt states pc with
+                 | Some st -> payload_hi ~mem_size st n
+                 | None -> mem_size
+               in
+               { svc = n; calls = fuel; bytes = sat_mul fuel bytes })
+             svc_sites)
+      in
+      { wcet_steps = fuel; loops_bounded = false; loops = []; svc }
+  | Some loops ->
+      let counts = count_nodes cfg loops in
+      let count pc = Option.value ~default:0 (Hashtbl.find_opt counts pc) in
+      let wcet_steps =
+        List.fold_left
+          (fun acc pc ->
+            let cost =
+              match (Cfg.node cfg pc).Cfg.decoded with
+              | Ok op -> Isa.fuel_cost op
+              | Error _ -> 1
+            in
+            sat_add acc (sat_mul (count pc) cost))
+          0 cfg.Cfg.order
+      in
+      let svc =
+        svc_merge
+          (List.map
+             (fun (pc, n) ->
+               let per_call =
+                 match Hashtbl.find_opt states pc with
+                 | Some st -> payload_hi ~mem_size st n
+                 | None -> 0 (* unreachable by dataflow: never runs *)
+               in
+               { svc = n; calls = count pc; bytes = sat_mul (count pc) per_call })
+             svc_sites)
+      in
+      { wcet_steps; loops_bounded = true; loops; svc }

@@ -31,6 +31,13 @@ val run : Cfg.t -> mem_size:int -> (int, state) Hashtbl.t
     reachable instruction. Widening after a bounded number of visits
     guarantees termination. *)
 
+val transfer : mem_size:int -> state -> Sea_isa.Isa.op -> state
+(** One instruction's abstract effect — exposed so {!Loop_bounds} can
+    evaluate a loop entry edge's out-state without re-running the
+    fixpoint. *)
+
+val join : state -> state -> state
+
 val write_range : mem_size:int -> ptr:Interval.t -> len:Interval.t -> (int * int) option
 (** The half-open byte range a service write [\[ptr, ptr+len)] may
     touch, clamped to memory; [None] when the length is certainly 0. *)

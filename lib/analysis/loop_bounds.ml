@@ -1,0 +1,290 @@
+(* Loop trip-bound inference over the CFG and the interval fixpoint.
+
+   A back-edge (latch, head) gets a provable trip bound when its natural
+   loop is simple enough to reason about syntactically:
+
+   - the body is reducible (entered only through the head) and its
+     internal structure is a single cycle head -> ... -> latch -> head,
+     so every back-edge traversal executes every body instruction once;
+   - bodies of distinct back-edges are pairwise disjoint (no nesting,
+     no shared latches) — nesting multiplies trip counts in ways this
+     pass does not model, so it refuses rather than guess;
+   - a counter register is written exactly once in the body, by an ADD
+     of a step whose interval at that site is a known positive constant
+     range;
+   - the loop exits through a guard: a compare (EQ or LT) of the
+     counter against a bound register that is never written inside the
+     body, feeding an adjacent conditional jump with a successor
+     outside the body.
+
+   Two guard shapes are recognised, both counting upward:
+
+     EQ counter, bound ; JNZ -> stay   ("while counter <> bound")
+       requires step = 1 and init.hi <= bound.lo, else the counter
+       could step over the bound and wrap; trips <= bound.hi - init.lo.
+
+     LT counter, bound ; exit when the compare is false
+       ("while counter < bound"); requires bound.hi + step.hi to stay
+       below 2^32 so the ADD cannot wrap past the guard;
+       trips <= ceil((bound.hi - init.lo) / step.lo).
+
+   The counter's initial value is joined over the out-states of the
+   head's forward (entry) predecessors — NOT the head's own in-state,
+   which has been widened around the loop. Anything that fails a check
+   makes the whole image unbounded: soundness of the certificate rests
+   on every back-edge being covered, so one unprovable loop poisons all
+   of them. *)
+
+open Sea_isa
+
+type loop = {
+  head : int;  (* back-edge destination: the loop's single entry *)
+  latch : int;  (* back-edge source *)
+  body : int list;  (* pcs in the natural loop, head included, sorted *)
+  trips : int;  (* max traversals of the back edge per loop entry *)
+}
+
+(* Register written by an op, if any. Services clobber r0 (the
+   read/seal/unseal return registers); treating every SVC as an r0
+   write is conservative and keeps the counter check simple. *)
+let writes = function
+  | Isa.Halt | Isa.Jmp _ | Isa.Jz _ | Isa.Jnz _ | Isa.Stb _ | Isa.Stw _ -> None
+  | Isa.Loadi (a, _)
+  | Isa.Mov (a, _)
+  | Isa.Add (a, _, _)
+  | Isa.Sub (a, _, _)
+  | Isa.Mul (a, _, _)
+  | Isa.Xor (a, _, _)
+  | Isa.And (a, _, _)
+  | Isa.Or (a, _, _)
+  | Isa.Shl (a, _, _)
+  | Isa.Shr (a, _, _)
+  | Isa.Ldb (a, _, _)
+  | Isa.Ldw (a, _, _)
+  | Isa.Lt (a, _, _)
+  | Isa.Eq (a, _, _) -> Some a
+  | Isa.Svc _ -> Some 0
+
+let preds_of cfg =
+  let preds = Hashtbl.create 64 in
+  List.iter
+    (fun pc ->
+      let n = Cfg.node cfg pc in
+      List.iter
+        (fun s ->
+          if Hashtbl.mem cfg.Cfg.nodes s then
+            Hashtbl.replace preds s
+              (pc :: Option.value ~default:[] (Hashtbl.find_opt preds s)))
+        n.Cfg.succs)
+    cfg.Cfg.order;
+  preds
+
+(* Natural loop of (latch, head): head plus every node that reaches
+   the latch backwards without passing through the head. *)
+let body_of preds ~head ~latch =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen head ();
+  let rec walk pc =
+    if not (Hashtbl.mem seen pc) then begin
+      Hashtbl.replace seen pc ();
+      List.iter walk (Option.value ~default:[] (Hashtbl.find_opt preds pc))
+    end
+  in
+  walk latch;
+  List.sort compare (Hashtbl.fold (fun pc () acc -> pc :: acc) seen [])
+
+let decoded_op cfg pc =
+  match Cfg.node cfg pc with
+  | exception Not_found -> None
+  | n -> ( match n.Cfg.decoded with Ok op -> Some op | Error _ -> None)
+
+(* ceil((hi - lo) / step), all non-negative. *)
+let ceil_div a b = (a + b - 1) / b
+
+let bound_one cfg states preds ~mem_size ~head ~latch =
+  let body = body_of preds ~head ~latch in
+  let member = Hashtbl.create 16 in
+  List.iter (fun pc -> Hashtbl.replace member pc ()) body;
+  let mem pc = Hashtbl.mem member pc in
+  (* The head must be the loop's lowest pc (otherwise another back-edge
+     is hiding inside, and disjointness below would have caught it —
+     check anyway to keep this pass self-contained). *)
+  let structure_ok =
+    List.for_all (fun pc -> pc >= head) body
+    (* Reducible: nobody jumps into the middle of the body. *)
+    && List.for_all
+         (fun pc ->
+           pc = head
+           || List.for_all mem
+                (Option.value ~default:[] (Hashtbl.find_opt preds pc)))
+         body
+    (* Single internal cycle: exactly one in-body successor each, so
+       every traversal of the back edge executes the whole body. *)
+    && List.for_all
+         (fun pc ->
+           match Cfg.node cfg pc with
+           | exception Not_found -> false
+           | n ->
+               Result.is_ok n.Cfg.decoded
+               && List.length (List.filter mem n.Cfg.succs) = 1
+               && List.for_all (fun s -> Hashtbl.mem cfg.Cfg.nodes s) n.Cfg.succs)
+         body
+  in
+  if not structure_ok then None
+  else
+    (* Exactly one body instruction may write the counter; find the
+       single ADD and make sure nothing else in the body writes it. *)
+    let writers reg =
+      List.filter
+        (fun pc ->
+          match decoded_op cfg pc with
+          | Some op -> writes op = Some reg
+          | None -> true (* undecodable body: give up via the caller *))
+        body
+    in
+    (* Locate a guard: a conditional jump in the body with an exit
+       successor, fed by an adjacent compare. *)
+    let guards =
+      List.filter_map
+        (fun pc ->
+          match decoded_op cfg pc with
+          | Some (Isa.Jz (t, _)) | Some (Isa.Jnz (t, _)) -> (
+              let cmp_pc = pc - Isa.insn_size in
+              if not (mem cmp_pc) then None
+              else
+                match decoded_op cfg cmp_pc with
+                | Some (Isa.Eq (t', i, n)) when t' = t ->
+                    Some (pc, cmp_pc, `Eq, i, n)
+                | Some (Isa.Lt (t', i, n)) when t' = t ->
+                    Some (pc, cmp_pc, `Lt, i, n)
+                | _ -> None)
+          | _ -> None)
+        body
+    in
+    let try_guard (jump_pc, cmp_pc, kind, counter, bound) =
+      (* Which way does the jump exit? *)
+      let jump = decoded_op cfg jump_pc in
+      let exit_when_true =
+        match jump with
+        | Some (Isa.Jnz (_, target)) when not (mem target) -> Some true
+        | Some (Isa.Jnz (_, target)) when mem target -> Some false
+        | Some (Isa.Jz (_, target)) when not (mem target) -> Some false
+        | Some (Isa.Jz (_, target)) when mem target -> Some true
+        | _ -> None
+      in
+      match exit_when_true with
+      | None -> None
+      | Some exit_true -> (
+          if counter = bound then None
+          else if writers bound <> [] then None
+          else
+            match writers counter with
+            | [ add_pc ] -> (
+                let step_interval =
+                  match
+                    (decoded_op cfg add_pc, Hashtbl.find_opt states add_pc)
+                  with
+                  | Some (Isa.Add (a, b, c)), Some st when a = counter ->
+                      if b = counter && c <> counter then
+                        Some st.Dataflow.regs.(c)
+                      else if c = counter && b <> counter then
+                        Some st.Dataflow.regs.(b)
+                      else None
+                  | _ -> None
+                in
+                match (step_interval, Hashtbl.find_opt states cmp_pc) with
+                | Some step, Some at_cmp -> (
+                    let bnd = at_cmp.Dataflow.regs.(bound) in
+                    (* Initial counter value: join of the entry
+                       predecessors' out-states (pc 0 enters with all
+                       registers zero). *)
+                    let entry_preds =
+                      List.filter
+                        (fun p -> not (mem p))
+                        (Option.value ~default:[]
+                           (Hashtbl.find_opt preds head))
+                    in
+                    let init =
+                      List.fold_left
+                        (fun acc p ->
+                          match
+                            (decoded_op cfg p, Hashtbl.find_opt states p)
+                          with
+                          | Some op, Some st ->
+                              let out = Dataflow.transfer ~mem_size st op in
+                              let iv = out.Dataflow.regs.(counter) in
+                              Some
+                                (match acc with
+                                | None -> iv
+                                | Some a -> Interval.join a iv)
+                          | _ -> acc)
+                        (if head = 0 then Some (Interval.const 0) else None)
+                        entry_preds
+                    in
+                    match init with
+                    | None -> None
+                    | Some init -> (
+                        let lo_step = step.Interval.lo in
+                        if lo_step < 1 then None
+                        else
+                          match (kind, exit_true) with
+                          | `Eq, true ->
+                              (* while counter <> bound: needs step 1 and
+                                 a start at or below the bound. *)
+                              if
+                                Interval.is_const step
+                                && lo_step = 1
+                                && init.Interval.hi <= bnd.Interval.lo
+                              then Some (bnd.Interval.hi - init.Interval.lo)
+                              else None
+                          | `Lt, false ->
+                              (* while counter < bound: the ADD must not
+                                 wrap past the guard. *)
+                              if
+                                bnd.Interval.hi + step.Interval.hi
+                                <= Interval.max32
+                              then
+                                Some
+                                  (max 0
+                                     (ceil_div
+                                        (max 0
+                                           (bnd.Interval.hi
+                                          - init.Interval.lo))
+                                        lo_step))
+                              else None
+                          | _ -> None))
+                | _ -> None)
+            | _ -> None)
+    in
+    List.fold_left
+      (fun acc g ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match try_guard g with
+            | Some trips -> Some { head; latch; body; trips }
+            | None -> None))
+      None guards
+
+(* Bound every back-edge or none: [Some loops] means each back-edge has
+   a provable trip count and the loop bodies are pairwise disjoint, so
+   the cost pass may multiply counts per-loop independently. *)
+let infer cfg states ~mem_size =
+  match cfg.Cfg.back_edges with
+  | [] -> Some []
+  | edges ->
+      let preds = preds_of cfg in
+      let rec go acc seen = function
+        | [] -> Some (List.rev acc)
+        | (latch, head) :: rest -> (
+            match bound_one cfg states preds ~mem_size ~head ~latch with
+            | None -> None
+            | Some loop ->
+                if List.exists (fun pc -> Hashtbl.mem seen pc) loop.body then
+                  None
+                else begin
+                  List.iter (fun pc -> Hashtbl.replace seen pc ()) loop.body;
+                  go (loop :: acc) seen rest
+                end)
+      in
+      go [] (Hashtbl.create 32) edges

@@ -17,12 +17,19 @@ let config ?(shards = 1) ?(policy = Router.Round_robin) ~machines () =
 (* Force every lazily-built shared value (the per-kind application PALs)
    on the calling domain before any shard domain can race to force it:
    concurrent [Lazy.force] of the same suspension is unsafe under
-   OCaml 5. *)
-let prewarm () =
+   OCaml 5. Under cost-aware admission the per-kind certificates are
+   forced too, so every image is analyzed here, once, rather than by
+   whichever shard domain first prices an arrival (the cache is
+   mutex-guarded either way; this keeps the work off the serving
+   domains entirely). *)
+let prewarm ~serve () =
   List.iter
     (fun k ->
       ignore (Workload.pal k : Sea_core.Pal.t);
-      ignore (Workload.work k : Time.t))
+      ignore (Workload.work k : Time.t);
+      match serve.Server.discipline with
+      | Admission.Cost _ -> ignore (Workload.static_cost k : int)
+      | Admission.Fifo | Admission.Weighted -> ())
     Workload.kinds
 
 let run ?(seed = 1L) ?trace cfg ~machine_config ~serve tenants =
@@ -32,7 +39,7 @@ let run ?(seed = 1L) ?trace cfg ~machine_config ~serve tenants =
       "cluster: leave the serve config's retry policy unset — retry \
        counters are per machine and each machine builds its own"
   else begin
-    prewarm ();
+    prewarm ~serve ();
     let n = cfg.machines in
     let assignment =
       Router.assign cfg.policy ~machines:n tenants

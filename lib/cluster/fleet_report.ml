@@ -15,6 +15,8 @@ type t = {
   policy : string;
   discipline : string;
   depth : int;
+  cost_budget : int option;
+  cost_shed : int;
   window : Time.t;
   per_machine : machine_row list;
   fleet : Report.row;
@@ -64,6 +66,8 @@ let merge ~policy rows =
     policy;
     discipline = first.Report.discipline;
     depth = first.Report.depth;
+    cost_budget = first.Report.cost_budget;
+    cost_shed = sum (fun r -> r.Report.cost_shed);
     window =
       List.fold_left
         (fun acc r -> Time.max acc r.Report.window)
@@ -135,6 +139,13 @@ let pp fmt t =
   Format.fprintf fmt
     "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d"
     t.cold_starts t.warm_hits t.evictions t.sepcr_waits;
+  (* Like the per-machine report, the cost line renders only when the
+     cost discipline was active. *)
+  (match t.cost_budget with
+  | Some b ->
+      Format.fprintf fmt "@,cost admission: budget %d us/tenant  cost shed %d"
+        b t.cost_shed
+  | None -> ());
   if robustness_active t then begin
     let injected = List.filter (fun (_, c) -> c > 0) t.faults_injected in
     Format.fprintf fmt "@,faults injected: %s"

@@ -30,6 +30,10 @@ type t = {
   policy : string;
   discipline : string;
   depth : int;
+  cost_budget : int option;
+      (** The per-tenant cost budget when cost-aware admission was
+          active on the machines; [None] otherwise. *)
+  cost_shed : int;  (** Summed cost-budget sheds across machines. *)
   window : Time.t;  (** Longest per-machine measurement window. *)
   per_machine : machine_row list;  (** In machine-index order. *)
   fleet : Report.row;  (** Merged aggregate row, named ["fleet"]. *)

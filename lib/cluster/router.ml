@@ -1,18 +1,20 @@
 open Sea_serve
 
-type policy = Round_robin | Hash_tenant | Least_loaded
+type policy = Round_robin | Hash_tenant | Least_loaded | Cost_weighted
 
 let policies =
   [
     ("round-robin", Round_robin);
     ("hash", Hash_tenant);
     ("least-loaded", Least_loaded);
+    ("cost-weighted", Cost_weighted);
   ]
 
 let policy_name = function
   | Round_robin -> "round-robin"
   | Hash_tenant -> "hash"
   | Least_loaded -> "least-loaded"
+  | Cost_weighted -> "cost-weighted"
 
 let policy_of_name name =
   List.assoc_opt (String.lowercase_ascii (String.trim name)) policies
@@ -70,6 +72,19 @@ let offered_rate (t : Workload.tenant) =
       if think_ms <= 0. then float_of_int clients *. 1000.
       else float_of_int clients *. 1000. /. think_ms
 
+(* Mean static admission cost of one of this tenant's requests under
+   its weighted mix, from the kinds' cost certificates (cached, so the
+   first tenant prices each kind and the rest look up). *)
+let mix_cost (t : Workload.tenant) =
+  let num, den =
+    List.fold_left
+      (fun (num, den) (k, w) ->
+        ( num +. (float_of_int w *. float_of_int (Workload.static_cost k)),
+          den +. float_of_int w ))
+      (0., 0.) t.Workload.mix
+  in
+  num /. den
+
 let assign policy ~machines tenants =
   if machines < 1 then invalid_arg "Router.assign: machines must be positive";
   match policy with
@@ -81,7 +96,7 @@ let assign policy ~machines tenants =
            (fun (t : Workload.tenant) ->
              ring_lookup points (fnv1a t.Workload.name))
            tenants)
-  | Least_loaded ->
+  | Least_loaded | Cost_weighted ->
       let load = Array.make machines 0. in
       let pick () =
         (* Lowest accumulated load, ties to the lowest index. *)
@@ -91,13 +106,23 @@ let assign policy ~machines tenants =
         done;
         !best
       in
+      let contribution t =
+        match policy with
+        | Cost_weighted ->
+            (* Certificate-priced balance: a tenant's load is its offered
+               rate scaled by the mean static cost of its request mix, so
+               loop-heavy/TPM-heavy tenants spread out even when raw
+               request rates are equal. *)
+            offered_rate t *. mix_cost t
+        | _ -> offered_rate t
+      in
       (* fold_left, not map: placement must accumulate in list order
          ([List.map] does not specify its application order). *)
       let rev =
         List.fold_left
           (fun acc t ->
             let m = pick () in
-            load.(m) <- load.(m) +. offered_rate t;
+            load.(m) <- load.(m) +. contribution t;
             m :: acc)
           [] tenants
       in

@@ -19,9 +19,19 @@ type policy =
           order, each on the machine with the least accumulated offered
           load (open-loop tenants contribute their arrival rate;
           closed-loop tenants a clients-over-think-time proxy). *)
+  | Cost_weighted
+      (** [Least_loaded] with each tenant's contribution scaled by the
+          mean static admission cost of its request mix
+          ({!Sea_analysis.Certificate.admission_cost} of each kind's
+          cost certificate, mix-weighted): tenants sending loop-heavy
+          or TPM-heavy kinds count as proportionally more load, so
+          equal request rates no longer imply equal placement. Still a
+          pure function of the tenant list and machine count — the
+          certificates are static. *)
 
 val policies : (string * policy) list
-(** CLI name/value pairs: round-robin, hash, least-loaded. *)
+(** CLI name/value pairs: round-robin, hash, least-loaded,
+    cost-weighted. *)
 
 val policy_name : policy -> string
 

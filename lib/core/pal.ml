@@ -35,6 +35,24 @@ let of_code ~name ~code ?(compute_time = Sea_sim.Time.zero) behavior =
     invalid_arg "Pal.of_code: code size must be in (0, 64 KB]";
   { name; code; compute_time; behavior }
 
+let measurement t = Sha1.digest t.code
+
+(* Content-addressed analysis cache, keyed on the measurement digest
+   (plus policy): the analyzer is a pure function of the measured
+   bytes, so one process never analyzes the same image twice — what
+   makes the preflight gate affordable on the serving hot path, where
+   the same few images launch thousands of times. *)
+let analysis_cache = Sea_analysis.Certificate.create_cache ()
+
+let analyzed ?policy t =
+  Sea_analysis.Certificate.cache_find_or analysis_cache ~digest:(measurement t)
+    ~policy (fun () -> Sea_analysis.Analyzer.certify ?policy t.code)
+
+let certificate ?policy t = snd (analyzed ?policy t)
+
+let analysis_runs () =
+  Sea_analysis.Certificate.cache_runs analysis_cache
+
 (* Pre-launch static analysis. Shared by both launch paths (today's
    Session and the proposed Slaunch_session), and run strictly before
    pages are allocated or the TPM touched: an image that [Enforce]
@@ -43,7 +61,7 @@ let preflight ?policy ?(analyze = Sea_analysis.Analyzer.Off) ?on_report t =
   match analyze with
   | Sea_analysis.Analyzer.Off -> Ok ()
   | Sea_analysis.Analyzer.WarnOnly | Sea_analysis.Analyzer.Enforce -> (
-      let report = Sea_analysis.Analyzer.analyze ?policy t.code in
+      let report, _ = analyzed ?policy t in
       (match on_report with Some f -> f report | None -> ());
       match (analyze, Sea_analysis.Report.errors report) with
       | Sea_analysis.Analyzer.Enforce, f :: _ ->
@@ -52,8 +70,6 @@ let preflight ?policy ?(analyze = Sea_analysis.Analyzer.Off) ?on_report t =
                (Sea_analysis.Report.verdict report)
                (Sea_analysis.Finding.to_string f))
       | _ -> Ok ())
-
-let measurement t = Sha1.digest t.code
 let code_size t = String.length t.code
 
 let pages_needed t =

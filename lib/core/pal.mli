@@ -75,7 +75,20 @@ val preflight :
     is handed to [on_report] and the launch proceeds; under [Off] (the
     default) nothing runs. Only meaningful for PALs whose code is real
     PALVM bytecode ({!of_code} / [Sea_palvm]); the synthetic filler
-    {!create} generates will not decode. *)
+    {!create} generates will not decode.
+
+    Analysis results are cached process-wide, content-addressed by the
+    PAL's {!measurement} (and policy): launching the same image a
+    thousand times under [WarnOnly]/[Enforce] costs one analysis. *)
+
+val certificate :
+  ?policy:Sea_analysis.Analyzer.policy -> t -> Sea_analysis.Certificate.t
+(** The static cost certificate for the measured bytes, through the
+    same content-addressed cache as {!preflight}. *)
+
+val analysis_runs : unit -> int
+(** Process-wide count of actual analyzer invocations (cache misses) —
+    lets tests assert each distinct image is analyzed exactly once. *)
 
 val measurement : t -> string
 (** SHA-1 of the code — what lands in PCR 17 / the sePCR. *)

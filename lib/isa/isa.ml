@@ -129,6 +129,45 @@ let decode s ~pos = decode_bytes (Bytes.unsafe_of_string s) ~pos
 let default_fuel = 1_000_000
 let default_mem_size = 64 * 1024
 
+(* The one fuel cost table. The VM charges these per executed
+   instruction and the static cost analysis folds the same numbers into
+   its certificates, so the two can never drift apart. Every op costs 1
+   today; the explicit match is the contract that a future non-uniform
+   table updates both sides at once. *)
+let fuel_cost = function
+  | Halt -> 1
+  | Loadi _ -> 1
+  | Mov _ -> 1
+  | Add _ -> 1
+  | Sub _ -> 1
+  | Mul _ -> 1
+  | Xor _ -> 1
+  | And _ -> 1
+  | Or _ -> 1
+  | Shl _ -> 1
+  | Shr _ -> 1
+  | Ldb _ -> 1
+  | Stb _ -> 1
+  | Ldw _ -> 1
+  | Stw _ -> 1
+  | Jmp _ -> 1
+  | Jz _ -> 1
+  | Jnz _ -> 1
+  | Svc _ -> 1
+  | Lt _ -> 1
+  | Eq _ -> 1
+
+let svc_name n =
+  if n = svc_input_len then "input-len"
+  else if n = svc_input_read then "input-read"
+  else if n = svc_output then "output"
+  else if n = svc_seal then "seal"
+  else if n = svc_unseal then "unseal"
+  else if n = svc_random then "random"
+  else if n = svc_extend then "extend"
+  else if n = svc_sha256 then "sha256"
+  else Printf.sprintf "svc%d" n
+
 let encode_program ops = String.concat "" (List.map encode ops)
 
 let pp fmt op =

@@ -66,8 +66,19 @@ val default_fuel : int
 val default_mem_size : int
 (** The interpreter's default memory size, 64 KB (SKINIT's limit). *)
 
+val fuel_cost : op -> int
+(** Fuel units one execution of [op] charges. This is the {e single}
+    cost table: the interpreter decrements fuel by it and the static
+    cost analysis ({!Sea_analysis}) folds the same numbers into its
+    certificates, so dynamic accounting and static bounds cannot
+    drift. Every op costs 1 today. *)
+
 val encode_program : op list -> string
 val pp : Format.formatter -> op -> unit
+
+val svc_name : int -> string
+(** Human-readable service name ("seal", "input-read", ...); falls back
+    to ["svcN"] for unknown numbers. *)
 
 (** Service numbers accepted by [Svc]. *)
 

@@ -11,7 +11,9 @@ val seal_echo : string
 
 val xor_checksum : string
 (** Loops over the input bytes and outputs a 4-byte XOR checksum — the
-    shipped example of a loop (fuel-bounded, not statically bounded). *)
+    shipped example of a loop. Its trip count is provable by the
+    analyzer's counter-pattern inference, so its certificate carries a
+    finite WCET well under the fuel ceiling. *)
 
 val random_nonce : string
 (** Generates 16 random bytes, seals them, outputs only the sealed

@@ -103,13 +103,15 @@ let run ?(mem_size = Isa.default_mem_size) ?(fuel = Isa.default_fuel) ~code
     let rec step () =
       if !steps >= fuel then Error "fuel exhausted (hung PAL)"
       else begin
-        incr steps;
         (* Fetch from live memory: the program can rewrite itself. The
            decoder reports its own bounds/operand errors — surface them
            verbatim rather than collapsing them to a generic fault. *)
         match Isa.decode_bytes mem ~pos:!pc with
-        | Error e -> Error e
+        | Error e ->
+            incr steps;
+            Error e
         | Ok op -> (
+            steps := !steps + Isa.fuel_cost op;
             let next = !pc + Isa.insn_size in
             let continue () =
               pc := next;

@@ -1,6 +1,9 @@
-type discipline = Fifo | Weighted
+type discipline = Fifo | Weighted | Cost of int
 
-let discipline_name = function Fifo -> "fifo" | Weighted -> "weighted"
+let discipline_name = function
+  | Fifo -> "fifo"
+  | Weighted -> "weighted"
+  | Cost _ -> "cost"
 
 type 'a t = {
   discipline : discipline;
@@ -15,10 +18,20 @@ type 'a t = {
   mutable high_water : int;
   tenant_lengths : int array;
   tenant_high_water : int array;
+  (* [Cost] bookkeeping: per-request static costs queued in lockstep
+     with [queues], the per-tenant total in flight, and how many offers
+     the budget (rather than the depth) turned away. *)
+  cost_queues : int Queue.t array;
+  tenant_cost : int array;
+  mutable cost_shed : int;
 }
 
 let create ~discipline ~depth ~weights =
   if depth <= 0 then invalid_arg "Admission.create: depth must be positive";
+  (match discipline with
+  | Cost budget when budget <= 0 ->
+      invalid_arg "Admission.create: cost budget must be positive"
+  | _ -> ());
   let tenants = Array.length weights in
   if tenants = 0 then invalid_arg "Admission.create: no tenants";
   Array.iter
@@ -38,32 +51,52 @@ let create ~discipline ~depth ~weights =
     high_water = 0;
     tenant_lengths = Array.make tenants 0;
     tenant_high_water = Array.make tenants 0;
+    cost_queues = Array.init tenants (fun _ -> Queue.create ());
+    tenant_cost = Array.make tenants 0;
+    cost_shed = 0;
   }
 
 let length t = t.length
 let tenant_length t i = t.tenant_lengths.(i)
 let high_water t = t.high_water
 let tenant_high_water t i = t.tenant_high_water.(i)
+let cost_shed t = t.cost_shed
 
 let full t ~tenant =
   match t.discipline with
   | Fifo -> t.length >= t.depth
-  | Weighted -> t.tenant_lengths.(tenant) >= t.depth
+  | Weighted | Cost _ -> t.tenant_lengths.(tenant) >= t.depth
 
-let offer t ~tenant x =
+let offer ?(cost = 0) t ~tenant x =
   if tenant < 0 || tenant >= t.tenants then
     invalid_arg "Admission.offer: unknown tenant";
+  if cost < 0 then invalid_arg "Admission.offer: negative cost";
   if full t ~tenant then false
   else begin
-    (match t.discipline with
-    | Fifo -> Queue.push (tenant, x) t.fifo
-    | Weighted -> Queue.push x t.queues.(tenant));
-    t.length <- t.length + 1;
-    if t.length > t.high_water then t.high_water <- t.length;
-    t.tenant_lengths.(tenant) <- t.tenant_lengths.(tenant) + 1;
-    if t.tenant_lengths.(tenant) > t.tenant_high_water.(tenant) then
-      t.tenant_high_water.(tenant) <- t.tenant_lengths.(tenant);
-    true
+    let over_budget =
+      match t.discipline with
+      | Cost budget -> t.tenant_cost.(tenant) + cost > budget
+      | Fifo | Weighted -> false
+    in
+    if over_budget then begin
+      t.cost_shed <- t.cost_shed + 1;
+      false
+    end
+    else begin
+      (match t.discipline with
+      | Fifo -> Queue.push (tenant, x) t.fifo
+      | Weighted -> Queue.push x t.queues.(tenant)
+      | Cost _ ->
+          Queue.push x t.queues.(tenant);
+          Queue.push cost t.cost_queues.(tenant);
+          t.tenant_cost.(tenant) <- t.tenant_cost.(tenant) + cost);
+      t.length <- t.length + 1;
+      if t.length > t.high_water then t.high_water <- t.length;
+      t.tenant_lengths.(tenant) <- t.tenant_lengths.(tenant) + 1;
+      if t.tenant_lengths.(tenant) > t.tenant_high_water.(tenant) then
+        t.tenant_high_water.(tenant) <- t.tenant_lengths.(tenant);
+      true
+    end
   end
 
 let took t tenant x =
@@ -98,4 +131,22 @@ let take t =
         let i = find () in
         t.credits.(i) <- t.credits.(i) - 1;
         let x = Queue.pop t.queues.(i) in
+        took t i x
+    | Cost _ ->
+        (* Cheapest backlog first: the non-empty tenant with the least
+           static cost in flight drains next (ties to the lowest
+           index), so tenants queueing expensive work wait behind cheap
+           ones instead of starving them. Purely a function of offer
+           history — no clock, no randomness. *)
+        let best = ref (-1) in
+        for i = t.tenants - 1 downto 0 do
+          if
+            t.tenant_lengths.(i) > 0
+            && (!best < 0 || t.tenant_cost.(i) <= t.tenant_cost.(!best))
+          then best := i
+        done;
+        let i = !best in
+        let x = Queue.pop t.queues.(i) in
+        let c = Queue.pop t.cost_queues.(i) in
+        t.tenant_cost.(i) <- t.tenant_cost.(i) - c;
         took t i x

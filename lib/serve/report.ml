@@ -18,6 +18,8 @@ type t = {
   cores : int;
   discipline : string;
   depth : int;
+  cost_budget : int option;
+  cost_shed : int;
   window : Time.t;
   rows : row list;
   aggregate : row;
@@ -100,6 +102,13 @@ let pp fmt t =
     "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d (%a)"
     t.cold_starts t.warm_hits t.evictions t.sepcr_waits Stats.pp_percentiles
     t.sepcr_wait_ms;
+  (* The cost-admission line appears only under the cost discipline, so
+     fifo/weighted reports render exactly as before it existed. *)
+  (match t.cost_budget with
+  | Some b ->
+      Format.fprintf fmt "@,cost admission: budget %d us/tenant  cost shed %d"
+        b t.cost_shed
+  | None -> ());
   (* The robustness lines appear only when something robustness-related
      actually happened, so fault-free reports render exactly as before
      this machinery existed. *)

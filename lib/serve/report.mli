@@ -27,6 +27,13 @@ type t = {
   cores : int;
   discipline : string;
   depth : int;
+  cost_budget : int option;
+      (** The per-tenant in-flight cost budget when the cost-aware
+          admission discipline ({!Admission.discipline}[.Cost]) was
+          active; [None] otherwise (and then no cost line renders). *)
+  cost_shed : int;
+      (** Offers turned away by the cost budget rather than queue depth
+          (a subset of the rows' [shed]). *)
   window : Time.t;
   rows : row list;
   aggregate : row;

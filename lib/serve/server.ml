@@ -12,6 +12,7 @@ type config = {
   duration : Time.t;
   queue_depth : int;
   discipline : Admission.discipline;
+  analyze : Sea_analysis.Analyzer.gate;
   preemption_timer : Time.t;
   faults : Sea_fault.Fault.spec option;
   retry : Sea_fault.Retry.policy option;
@@ -19,16 +20,16 @@ type config = {
 }
 
 let config ?(queue_depth = 16) ?(discipline = Admission.Fifo)
-    ?(preemption_timer = Time.ms 10.) ?faults ?retry ?breaker ~mode ~duration
-    () =
+    ?(analyze = Sea_analysis.Analyzer.Off) ?(preemption_timer = Time.ms 10.)
+    ?faults ?retry ?breaker ~mode ~duration () =
   if Time.compare duration Time.zero <= 0 then
     invalid_arg "Server.config: duration must be positive";
   if queue_depth <= 0 then
     invalid_arg "Server.config: queue depth must be positive";
   if Time.compare preemption_timer Time.zero <= 0 then
     invalid_arg "Server.config: preemption timer must be positive";
-  { mode; duration; queue_depth; discipline; preemption_timer; faults; retry;
-    breaker }
+  { mode; duration; queue_depth; discipline; analyze; preemption_timer;
+    faults; retry; breaker }
 
 (* One queued request. [client] is the closed-loop client slot that will
    reissue once this request is answered ([None] for open-loop). *)
@@ -95,7 +96,10 @@ let run (m : Machine.t) cfg tenant_list =
       let input =
         Workload.init_input kind ~tenant:tenants.(i).Workload.name
       in
-      let* outcome = Session.execute m ~cpu:0 (Workload.pal kind) ~input in
+      let* outcome =
+        Session.execute m ~cpu:0 ~analyze:cfg.analyze (Workload.pal kind)
+          ~input
+      in
       let* state =
         Workload.init_state_of_output kind outcome.Session.output
       in
@@ -204,6 +208,18 @@ let run (m : Machine.t) cfg tenant_list =
     Admission.create ~discipline:cfg.discipline ~depth:cfg.queue_depth
       ~weights:(Array.map (fun t -> t.Workload.weight) tenants)
   in
+  (* Static request costs (certificate admission costs, via the
+     content-addressed cache) are priced only when the cost discipline
+     is active: other disciplines never consult them. *)
+  let request_cost =
+    match cfg.discipline with
+    | Admission.Cost _ ->
+        let costs =
+          Array.of_list (List.map Workload.static_cost Workload.kinds)
+        in
+        fun kind -> costs.(Workload.kind_index kind)
+    | Admission.Fifo | Admission.Weighted -> fun _ -> 0
+  in
   let cores =
     match cfg.mode with
     | Current -> [ 0 ] (* one server: a session owns the whole platform *)
@@ -223,7 +239,10 @@ let run (m : Machine.t) cfg tenant_list =
         ~state ~seq:(next_seq k)
     in
     let ok =
-      match Session.execute m ~cpu:0 ?retry (Workload.pal r.kind) ~input with
+      match
+        Session.execute m ~cpu:0 ~analyze:cfg.analyze ?retry
+          (Workload.pal r.kind) ~input
+      with
       | Ok o ->
           if Workload.updates_state r.kind then
             Hashtbl.replace states k o.Session.output;
@@ -328,7 +347,8 @@ let run (m : Machine.t) cfg tenant_list =
               let session =
                 match
                   Slaunch_session.start m ~cpu:core
-                    ~preemption_timer:cfg.preemption_timer ?retry
+                    ~preemption_timer:cfg.preemption_timer
+                    ~analyze:cfg.analyze ?retry
                     (Workload.resident_pal r.kind) ~input:""
                 with
                 | Ok s -> s
@@ -562,7 +582,8 @@ let run (m : Machine.t) cfg tenant_list =
             end
             else begin
               let r = { tenant; kind; arrival = t; client } in
-              if Admission.offer queue ~tenant r then try_dispatch t
+              if Admission.offer queue ~cost:(request_cost kind) ~tenant r
+              then try_dispatch t
               else begin
                 shed.(tenant) <- shed.(tenant) + 1;
                 Sea_trace.Trace.instant engine ~cat:"serve"
@@ -656,6 +677,11 @@ let run (m : Machine.t) cfg tenant_list =
       cores = List.length cores;
       discipline = Admission.discipline_name cfg.discipline;
       depth = cfg.queue_depth;
+      cost_budget =
+        (match cfg.discipline with
+        | Admission.Cost b -> Some b
+        | Admission.Fifo | Admission.Weighted -> None);
+      cost_shed = Admission.cost_shed queue;
       window;
       rows;
       aggregate;

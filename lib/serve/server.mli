@@ -33,6 +33,13 @@ type config = {
   duration : Sea_sim.Time.t;  (** How long arrivals keep coming. *)
   queue_depth : int;
   discipline : Admission.discipline;
+  analyze : Sea_analysis.Analyzer.gate;
+      (** Static-analysis launch gate applied to every session and
+          resident launch (default [Off]). Analysis is content-addressed
+          through {!Sea_core.Pal}'s certificate cache, so each distinct
+          image is analyzed once per process regardless of request
+          volume, and the gate costs no virtual time: an admitted run's
+          report is byte-identical to the ungated one. *)
   preemption_timer : Sea_sim.Time.t;  (** Slice budget ([Proposed]). *)
   faults : Sea_fault.Fault.spec option;
       (** Deterministic fault plan injected at the TPM/LPC boundary for
@@ -48,6 +55,7 @@ type config = {
 val config :
   ?queue_depth:int ->
   ?discipline:Admission.discipline ->
+  ?analyze:Sea_analysis.Analyzer.gate ->
   ?preemption_timer:Sea_sim.Time.t ->
   ?faults:Sea_fault.Fault.spec ->
   ?retry:Sea_fault.Retry.policy ->
@@ -56,8 +64,9 @@ val config :
   duration:Sea_sim.Time.t ->
   unit ->
   config
-(** Defaults: depth 16, FIFO, 10 ms preemption timer, no faults. Raises
-    [Invalid_argument] on non-positive values. *)
+(** Defaults: depth 16, FIFO, analysis gate [Off], 10 ms preemption
+    timer, no faults. Raises [Invalid_argument] on non-positive
+    values. *)
 
 val run :
   Sea_hw.Machine.t ->

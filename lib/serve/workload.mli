@@ -57,6 +57,13 @@ val resident_pal : kind -> Sea_core.Pal.t
     resident under {!Sea_core.Slaunch_session} on the proposed hardware
     and feeding it one request's compute per resume/yield cycle. *)
 
+val static_cost : kind -> int
+(** The static admission cost of one request of this kind:
+    {!Sea_analysis.Certificate.admission_cost} of the kind's image
+    certificate, in virtual microseconds. Every kind's image is real,
+    provably bounded PALVM bytecode, so these are finite and ordered
+    [Ssh_auth < Ca_sign < Kv_update]. *)
+
 (** {1 Tenants} *)
 
 type process =

@@ -73,10 +73,13 @@ let test_samples_clean_and_run () =
     Samples.all
 
 let test_sample_semantics () =
-  (* xor_checksum really is a loop, and the analyzer saw it. *)
+  (* xor_checksum really is a loop, and the analyzer saw it — and since
+     the counter pattern is recognizable, it now carries a provable trip
+     bound rather than resting on the fuel ceiling. *)
   let r = Analyzer.analyze Samples.xor_checksum in
   checki "one back-edge" 1 r.Report.loops;
-  checkb "bounded only by fuel" true (has_rule r "bounds/back-edge");
+  checkb "trip count provable" true (has_rule r "bounds/loop-bound");
+  checkb "not fuel-bounded" false (has_rule r "bounds/back-edge");
   let o =
     ok
       (Vm.run ~code:Samples.xor_checksum ~services:null_services ~input:"\x01\x02\x04" ())
@@ -163,10 +166,135 @@ let test_service_whitelist () =
 
 let test_require_bounded () =
   let policy = { Analyzer.default_policy with Analyzer.require_bounded = true } in
-  let r = Analyzer.analyze ~policy Samples.xor_checksum in
+  (* A loop with no recognizable counter has no provable trip count, so
+     require_bounded escalates it to an error... *)
+  let r = analyze_ops ~policy Isa.[ Loadi (0, 1); Jmp 0 ] in
   let f = find_rule r "bounds/back-edge" in
   checkb "escalated to error" true (f.Finding.severity = Finding.Error);
-  checkb "rejected" false (Report.is_clean r)
+  checkb "rejected" false (Report.is_clean r);
+  (* ...while a provable loop satisfies the policy: xor_checksum's trip
+     count is inferred, so it stays launchable even under
+     require_bounded. *)
+  let r = Analyzer.analyze ~policy Samples.xor_checksum in
+  checkb "provable loop passes" true (Report.is_clean r)
+
+(* --- cost certificates and loop bounds --- *)
+
+let certify_ops ?policy ops = Analyzer.certify ?policy (Isa.encode_program ops)
+
+let test_loop_bound_inference () =
+  (* xor_checksum: counter r1 steps by 1 from 0 toward r2 <= 4096, so
+     the whole image gets a finite wcet strictly tighter than the fuel
+     ceiling. The exact number is locked by the golden analyze report;
+     here we pin the structural facts. *)
+  let _, cert = Analyzer.certify Samples.xor_checksum in
+  checkb "bounded" true cert.Certificate.bounded;
+  checkb "tighter than fuel" true
+    (cert.Certificate.wcet_steps < Isa.default_fuel);
+  (* And the bound is sound against a real worst-case-shaped run. *)
+  let o =
+    ok
+      (Vm.run ~code:Samples.xor_checksum ~services:null_services
+         ~input:(String.make 4096 'x') ())
+  in
+  checkb "dynamic steps within static wcet" true
+    (o.Vm.steps <= cert.Certificate.wcet_steps)
+
+let test_unprovable_loop_unbounded () =
+  (* No counter pattern: the certificate falls back to fuel-ceiling
+     pricing and is not bounded. *)
+  let _, cert = certify_ops Isa.[ Loadi (0, 1); Jmp 0 ] in
+  checkb "unbounded" false cert.Certificate.bounded;
+  checki "wcet is the fuel ceiling" Isa.default_fuel cert.Certificate.wcet_steps
+
+let test_dirty_report_unbounded () =
+  (* Loop-free but self-modifying: a static text-derived bound is
+     meaningless once the program can rewrite its measured bytes, so
+     the certificate refuses to claim one. *)
+  let _, cert = certify_ops Isa.[ Loadi (0, 65); Stb (0, 1, 8); Halt ] in
+  checkb "not bounded despite no loops" false cert.Certificate.bounded
+
+let test_straight_line_agrees_with_certificate () =
+  (* Satellite invariant: the bounds/straight-line finding and the
+     certificate must quote the same worst-case step count — one cost
+     table ([Isa.fuel_cost]) feeds both. *)
+  List.iter
+    (fun (name, code) ->
+      let report, cert = Analyzer.certify code in
+      if report.Report.loops = 0 && Report.is_clean report then begin
+        let f = find_rule report "bounds/straight-line" in
+        let expected =
+          Printf.sprintf "worst case %d steps" cert.Certificate.wcet_steps
+        in
+        let contains needle hay =
+          let n = String.length needle and h = String.length hay in
+          let rec go i =
+            i + n <= h && (String.sub hay i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        checkb
+          (name ^ ": straight-line quotes the certificate wcet")
+          true
+          (contains expected f.Finding.message)
+      end)
+    Samples.all
+
+let test_certificate_render_deterministic () =
+  let _, c1 = Analyzer.certify Samples.seal_echo in
+  let _, c2 = Analyzer.certify Samples.seal_echo in
+  checks "byte-identical renders" (Certificate.render c1)
+    (Certificate.render c2);
+  checkb "admission cost positive" true (Certificate.admission_cost c1 > 0)
+
+(* --- interval / write_range corners --- *)
+
+let test_interval_edges () =
+  let open Interval in
+  (* Overflow clamps to the 32-bit ceiling instead of wrapping. *)
+  let near = make ~lo:(max32 - 1) ~hi:max32 in
+  let sum = add near (const 2) in
+  checkb "overflowing add goes top-ish" true (sum.hi = max32);
+  (* const masks to 32 bits. *)
+  checki "const masked" 0 (const 0x1_0000_0000).lo;
+  (* Widening is stable: once widened, re-widening the result against
+     any larger-in-the-same-direction value is a fixpoint jump, not a
+     creep. *)
+  let w = widen (make ~lo:0 ~hi:10) (make ~lo:0 ~hi:11) in
+  checki "grew hi jumps to max32" max32 w.hi;
+  let w2 = widen w (make ~lo:0 ~hi:(max32 - 5)) in
+  checkb "idempotent after the jump" true (equal w w2);
+  (* join is the convex hull. *)
+  let j = join (make ~lo:2 ~hi:3) (make ~lo:10 ~hi:12) in
+  checkb "hull" true (j.lo = 2 && j.hi = 12)
+
+let test_write_range_corners () =
+  let mem = Isa.default_mem_size in
+  (* Certainly-zero length: no write at all. *)
+  checkb "zero length is None" true
+    (Dataflow.write_range ~mem_size:mem ~ptr:(Interval.const 100)
+       ~len:(Interval.const 0)
+    = None);
+  (* Pointer straddling the end of memory: clamped to memory, never
+     past it. *)
+  (match
+     Dataflow.write_range ~mem_size:mem
+       ~ptr:(Interval.make ~lo:(mem - 4) ~hi:(mem + 100))
+       ~len:(Interval.const 64)
+   with
+  | None -> Alcotest.fail "straddling write should be Some"
+  | Some (lo, hi) ->
+      checki "clamped to memory end" mem hi;
+      checki "starts at the pointer" (mem - 4) lo);
+  (* Wholly past the end: clamps to an empty-at-the-boundary span or
+     None — either way it must not extend past memory. *)
+  (match
+     Dataflow.write_range ~mem_size:mem
+       ~ptr:(Interval.const (mem + 10))
+       ~len:(Interval.const 4)
+   with
+  | None -> ()
+  | Some (_, hi) -> checkb "never past memory" true (hi <= mem))
 
 (* --- the launch gate --- *)
 
@@ -258,6 +386,25 @@ let () =
             test_random_leak_is_warn;
           Alcotest.test_case "service whitelist" `Quick test_service_whitelist;
           Alcotest.test_case "require_bounded" `Quick test_require_bounded;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "loop bound inferred and sound" `Quick
+            test_loop_bound_inference;
+          Alcotest.test_case "unprovable loop stays unbounded" `Quick
+            test_unprovable_loop_unbounded;
+          Alcotest.test_case "dirty report voids the bound" `Quick
+            test_dirty_report_unbounded;
+          Alcotest.test_case "straight-line agrees with certificate" `Quick
+            test_straight_line_agrees_with_certificate;
+          Alcotest.test_case "deterministic render" `Quick
+            test_certificate_render_deterministic;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "interval edges" `Quick test_interval_edges;
+          Alcotest.test_case "write_range corners" `Quick
+            test_write_range_corners;
         ] );
       ( "launch gate",
         [

@@ -14,11 +14,13 @@ let checks = Alcotest.(check string)
 
 let machine_config = Sea_hw.Machine.low_fidelity Sea_hw.Machine.hp_dc5750
 
-let serve_config ?faults ~mode () =
-  Server.config ~queue_depth:8 ?faults ~mode ~duration:(Time.s 1.) ()
+let serve_config ?faults ?discipline ~mode () =
+  Server.config ~queue_depth:8 ?faults ?discipline ~mode ~duration:(Time.s 1.)
+    ()
 
 let run_fleet ?seed ?(machines = 4) ?(shards = 1) ?(policy = Router.Round_robin)
-    ?faults ?(mode = Server.Proposed) ?(tenants = 8) ?(rate = 40.) () =
+    ?faults ?discipline ?(mode = Server.Proposed) ?(tenants = 8) ?(rate = 40.)
+    () =
   let machine_config =
     match mode with
     | Server.Current -> machine_config
@@ -26,13 +28,14 @@ let run_fleet ?seed ?(machines = 4) ?(shards = 1) ?(policy = Router.Round_robin)
   in
   let cfg = Cluster.config ~shards ~policy ~machines () in
   Cluster.run ?seed cfg ~machine_config
-    ~serve:(serve_config ?faults ~mode ())
+    ~serve:(serve_config ?faults ?discipline ~mode ())
     (Workload.preset ~tenants (`Open rate))
 
-let run_fleet_exn ?seed ?machines ?shards ?policy ?faults ?mode ?tenants ?rate
-    () =
+let run_fleet_exn ?seed ?machines ?shards ?policy ?faults ?discipline ?mode
+    ?tenants ?rate () =
   match
-    run_fleet ?seed ?machines ?shards ?policy ?faults ?mode ?tenants ?rate ()
+    run_fleet ?seed ?machines ?shards ?policy ?faults ?discipline ?mode
+      ?tenants ?rate ()
   with
   | Ok fr -> fr
   | Error e -> Alcotest.fail ("fleet run failed: " ^ e)
@@ -99,6 +102,37 @@ let test_router_least_loaded () =
     [| 0; 1; 1; 1; 1 |]
     a
 
+let test_router_cost_weighted () =
+  (* Four tenants at the same offered rate, but one's mix is the
+     certificate-expensive KV kind: cost weighting gives it a machine
+     alone, while rate-only least-loaded sees four equal tenants and
+     alternates them. *)
+  let mix name kind =
+    {
+      Workload.name;
+      weight = 1;
+      mix = [ (kind, 1) ];
+      process = Workload.Open_loop { rate_per_s = 1. };
+      deadline = None;
+    }
+  in
+  let tenants =
+    [
+      mix "kv" Workload.Kv_update;
+      mix "s0" Workload.Ssh_auth;
+      mix "s1" Workload.Ssh_auth;
+      mix "s2" Workload.Ssh_auth;
+    ]
+  in
+  let a = Router.assign Router.Cost_weighted ~machines:2 tenants in
+  check
+    Alcotest.(array int)
+    "expensive mix claims a machine alone"
+    [| 0; 1; 1; 1 |]
+    a;
+  checkb "differs from rate-only least-loaded" true
+    (Router.assign Router.Least_loaded ~machines:2 tenants <> a)
+
 let test_router_rejects_no_machines () =
   Alcotest.check_raises "machines < 1"
     (Invalid_argument "Router.assign: machines must be positive") (fun () ->
@@ -124,6 +158,21 @@ let test_shard_determinism_with_faults () =
   let r3 = run_fleet_exn ~shards:3 ~faults () in
   checks "fault schedules shard-independent" (Fleet_report.render r1)
     (Fleet_report.render r3)
+
+let test_cost_shard_determinism () =
+  (* The load-bearing property extended to the cost-aware pair: with
+     cost-weighted routing and cost-budget admission, shards 1 and 4
+     still merge to a byte-identical fleet report, and the budget
+     surfaces in it. *)
+  let go shards =
+    run_fleet_exn ~seed:5L ~shards ~policy:Router.Cost_weighted
+      ~discipline:(Admission.Cost 4_000_000) ()
+  in
+  let r1 = go 1 and r4 = go 4 in
+  checks "cost-aware fleet is shard-independent" (Fleet_report.render r1)
+    (Fleet_report.render r4);
+  checkb "fleet report surfaces the budget" true
+    (r1.Fleet_report.cost_budget = Some 4_000_000)
 
 let test_repeatable_and_seed_sensitive () =
   let a = run_fleet_exn ~seed:5L () and b = run_fleet_exn ~seed:5L () in
@@ -288,6 +337,7 @@ let () =
           Alcotest.test_case "round-robin" `Quick test_router_round_robin;
           Alcotest.test_case "hash by name" `Quick test_router_hash_by_name;
           Alcotest.test_case "least-loaded" `Quick test_router_least_loaded;
+          Alcotest.test_case "cost-weighted" `Quick test_router_cost_weighted;
           Alcotest.test_case "rejects zero machines" `Quick
             test_router_rejects_no_machines;
         ] );
@@ -297,6 +347,8 @@ let () =
             test_shard_determinism;
           Alcotest.test_case "shard-independent fault schedules" `Quick
             test_shard_determinism_with_faults;
+          Alcotest.test_case "cost-aware pair shard-independent" `Quick
+            test_cost_shard_determinism;
           Alcotest.test_case "repeatable and seed-sensitive" `Quick
             test_repeatable_and_seed_sensitive;
           Alcotest.test_case "machine seeds independent of fleet size" `Quick

@@ -17,12 +17,12 @@ let machine ?(seed = 11L) ?(cores = 2) ?sepcr_count proposed =
   let config = { config with Sea_hw.Machine.cpu_count = cores } in
   Sea_hw.Machine.create ~engine:(Engine.create ~seed ()) config
 
-let serve ?seed ?cores ?sepcr_count ?(depth = 16) ?discipline ?timer ~mode
-    ~duration tenants =
+let serve ?seed ?cores ?sepcr_count ?(depth = 16) ?discipline ?analyze ?timer
+    ~mode ~duration tenants =
   let m = machine ?seed ?cores ?sepcr_count (mode = Server.Proposed) in
   let cfg =
-    Server.config ~queue_depth:depth ?discipline ?preemption_timer:timer ~mode
-      ~duration ()
+    Server.config ~queue_depth:depth ?discipline ?analyze
+      ?preemption_timer:timer ~mode ~duration ()
   in
   match Server.run m cfg tenants with
   | Ok r -> r
@@ -44,6 +44,11 @@ let aggregate_sums (r : Report.t) =
   && a.Report.shed = sum (fun x -> x.Report.shed)
   && a.Report.timed_out = sum (fun x -> x.Report.timed_out)
   && a.Report.failed = sum (fun x -> x.Report.failed)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 (* --- admission --- *)
 
@@ -100,6 +105,56 @@ let test_admission_weighted_per_tenant_depth () =
   checkb "t0 full" false (Admission.offer q ~tenant:0 2);
   checkb "t1 unaffected" true (Admission.offer q ~tenant:1 3);
   checki "t0 high water" 2 (Admission.tenant_high_water q 0)
+
+let test_admission_cost_budget () =
+  let q =
+    Admission.create ~discipline:(Admission.Cost 10) ~depth:16
+      ~weights:[| 1; 1 |]
+  in
+  checkb "fits" true (Admission.offer q ~cost:6 ~tenant:0 "a");
+  checkb "fills the budget" true (Admission.offer q ~cost:4 ~tenant:0 "b");
+  (* 10 units already in flight: one more unit is a budget shed, and it
+     is counted separately from depth sheds. *)
+  checkb "over budget" false (Admission.offer q ~cost:1 ~tenant:0 "c");
+  checki "counted as a cost shed" 1 (Admission.cost_shed q);
+  (* Budgets are per tenant. *)
+  checkb "t1 has its own budget" true (Admission.offer q ~cost:10 ~tenant:1 "d");
+  (* Draining releases budget: both tenants hold 10 units, so the tie
+     goes to tenant 0, whose head request (6 units) frees room. *)
+  checkb "tie to the lowest index" true (Admission.take q = Some (0, "a"));
+  checkb "released budget readmits" true
+    (Admission.offer q ~cost:6 ~tenant:0 "e");
+  checki "no further cost sheds" 1 (Admission.cost_shed q)
+
+let test_admission_cost_cheapest_first () =
+  let q =
+    Admission.create ~discipline:(Admission.Cost 100) ~depth:16
+      ~weights:[| 1; 1; 1 |]
+  in
+  (* Tenant 0 queues the expensive backlog; tenants 1 and 2 tie cheap. *)
+  checkb "t0" true (Admission.offer q ~cost:30 ~tenant:0 "exp");
+  checkb "t1" true (Admission.offer q ~cost:5 ~tenant:1 "cheap1");
+  checkb "t2" true (Admission.offer q ~cost:5 ~tenant:2 "cheap2");
+  (* Cheapest backlog drains first, ties to the lowest index, and the
+     expensive tenant waits without being starved forever. *)
+  checkb "cheapest-first order" true
+    (List.init 3 (fun _ -> Admission.take q)
+    = [ Some (1, "cheap1"); Some (2, "cheap2"); Some (0, "exp") ]);
+  checkb "empty" true (Admission.take q = None)
+
+let test_admission_cost_validation () =
+  Alcotest.check_raises "zero budget"
+    (Invalid_argument "Admission.create: cost budget must be positive")
+    (fun () ->
+      ignore
+        (Admission.create ~discipline:(Admission.Cost 0) ~depth:1
+           ~weights:[| 1 |]));
+  let q =
+    Admission.create ~discipline:(Admission.Cost 5) ~depth:1 ~weights:[| 1 |]
+  in
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Admission.offer: negative cost") (fun () ->
+      ignore (Admission.offer q ~cost:(-1) ~tenant:0 "x"))
 
 (* --- workload --- *)
 
@@ -365,6 +420,76 @@ let test_different_seeds_differ () =
   checkb "different seeds give different traffic" true
     (Report.render (go 1L) <> Report.render (go 2L))
 
+(* --- analysis gate and cost-aware admission --- *)
+
+let test_analysis_cache_exactly_once () =
+  (* The certificate cache is process-wide and content-addressed, so a
+     gated serve run analyzes each distinct workload image at most
+     once, and a second run (even with a different seed) re-analyzes
+     nothing. *)
+  let gated seed =
+    serve ~seed ~analyze:Sea_analysis.Analyzer.Enforce ~mode:Server.Proposed
+      ~duration:(Time.s 1.)
+      (Workload.preset ~tenants:3 (`Open 8.))
+  in
+  let r = gated 3L in
+  checkb "gated run completes work" true
+    (r.Report.aggregate.Report.completed > 0);
+  let after_first = Sea_core.Pal.analysis_runs () in
+  checkb "something was analyzed" true (after_first > 0);
+  let (_ : Report.t) = gated 4L in
+  checki "second run is all cache hits" after_first
+    (Sea_core.Pal.analysis_runs ());
+  (* Certificate pricing rides the same cache as the launch gate. *)
+  List.iter (fun k -> ignore (Workload.static_cost k)) Workload.kinds;
+  checki "certificates are cache hits too" after_first
+    (Sea_core.Pal.analysis_runs ())
+
+let test_enforce_gate_byte_identical_report () =
+  (* All shipped workload images are clean and bounded, so turning the
+     gate on must not change a single byte of the report. *)
+  let go analyze =
+    Report.render
+      (serve ?analyze ~seed:7L ~mode:Server.Proposed ~duration:(Time.s 1.)
+         (Workload.preset ~tenants:3 (`Open 10.)))
+  in
+  Alcotest.(check string) "enforce leaves the report byte-identical"
+    (go None)
+    (go (Some Sea_analysis.Analyzer.Enforce))
+
+let test_cost_admission_serves_and_reports () =
+  (* A budget with room for every kind: nothing is cost-shed, and the
+     report grows the cost line with the configured budget. *)
+  let budget = 4_000_000 in
+  let r =
+    serve ~discipline:(Admission.Cost budget) ~mode:Server.Proposed
+      ~duration:(Time.s 2.)
+      (Workload.preset ~tenants:3 (`Open 10.))
+  in
+  checkb "rows consistent" true (row_consistent r);
+  checkb "work completes under cost admission" true
+    (r.Report.aggregate.Report.completed > 0);
+  checkb "budget surfaced in the report" true
+    (r.Report.cost_budget = Some budget);
+  checkb "cost line renders" true
+    (contains "cost admission: budget" (Report.render r))
+
+let test_cost_admission_sheds_expensive_kinds () =
+  (* A budget below the CA and KV certificate costs: only SSH requests
+     fit, the rest are cost-shed and counted both as sheds and in the
+     dedicated cost_shed counter. *)
+  let r =
+    serve ~discipline:(Admission.Cost 1_000) ~mode:Server.Proposed
+      ~duration:(Time.s 2.)
+      (Workload.preset ~tenants:3 (`Open 10.))
+  in
+  checkb "rows consistent" true (row_consistent r);
+  checkb "expensive kinds are cost-shed" true (r.Report.cost_shed > 0);
+  checkb "cost sheds are visible as sheds" true
+    (r.Report.aggregate.Report.shed >= r.Report.cost_shed);
+  checkb "cheap work still completes" true
+    (r.Report.aggregate.Report.completed > 0)
+
 (* --- zero-completion rendering --- *)
 
 let test_zero_completion_report_renders () =
@@ -390,6 +515,8 @@ let test_zero_completion_report_renders () =
       cores = 2;
       discipline = "fifo";
       depth = 1;
+      cost_budget = None;
+      cost_shed = 0;
       window = Time.s 1.;
       rows = [ empty_row "t0" ];
       aggregate = empty_row "all";
@@ -413,11 +540,6 @@ let test_zero_completion_report_renders () =
     }
   in
   let s = Report.render r in
-  let contains needle hay =
-    let n = String.length needle and h = String.length hay in
-    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-    go 0
-  in
   checkb "renders" true (String.length s > 0);
   checkb "empty percentiles render as dashes" true (contains "-/-/-" s);
   checkb "no robustness lines on a fault-free report" true
@@ -447,6 +569,12 @@ let () =
             test_admission_weighted_donates;
           Alcotest.test_case "per-tenant depth" `Quick
             test_admission_weighted_per_tenant_depth;
+          Alcotest.test_case "cost budget sheds" `Quick
+            test_admission_cost_budget;
+          Alcotest.test_case "cheapest backlog first" `Quick
+            test_admission_cost_cheapest_first;
+          Alcotest.test_case "cost validation" `Quick
+            test_admission_cost_validation;
         ] );
       ( "workload",
         [
@@ -493,6 +621,17 @@ let () =
             test_identical_seeds_identical_reports;
           Alcotest.test_case "different seeds differ" `Quick
             test_different_seeds_differ;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "analysis cache hits exactly once" `Quick
+            test_analysis_cache_exactly_once;
+          Alcotest.test_case "enforce gate byte-identical" `Quick
+            test_enforce_gate_byte_identical_report;
+          Alcotest.test_case "cost admission serves and reports" `Quick
+            test_cost_admission_serves_and_reports;
+          Alcotest.test_case "cost admission sheds expensive kinds" `Quick
+            test_cost_admission_sheds_expensive_kinds;
         ] );
       ( "rendering",
         [
