@@ -547,6 +547,16 @@ let soundness_cmd =
 
 (* --- serve / cluster shared options --- *)
 
+(* Named manual sections so `serve --help` and `cluster --help` list
+   every flag group in one place; shared flags carry the same section in
+   both commands. *)
+let s_serve = "SERVING OPTIONS"
+let s_admission = "ADMISSION OPTIONS"
+let s_analysis = "ANALYSIS OPTIONS"
+let s_fault = "FAULT INJECTION OPTIONS"
+let s_vtpm = "VIRTUAL TPM OPTIONS"
+let s_fleet = "FLEET OPTIONS"
+
 let serve_mode_arg =
   let doc =
     "Hardware to serve on: $(b,current) (each request is a full SKINIT \
@@ -562,7 +572,7 @@ let serve_mode_arg =
              ("proposed", Sea_serve.Server.Proposed);
            ])
         Sea_serve.Server.Current
-    & info [ "mode" ] ~docv:"MODE" ~doc)
+    & info [ "mode" ] ~docv:"MODE" ~docs:s_serve ~doc)
 
 (* The per-machine hardware configuration serve and cluster share:
    crypto fidelity does not affect timing (latency comes from the
@@ -584,19 +594,19 @@ let serving_machine_config machine_config mode cores =
 
 let rate_arg =
   let doc = "Total open-loop arrival rate, requests/second." in
-  Arg.(value & opt float 16. & info [ "r"; "rate" ] ~docv:"RATE" ~doc)
+  Arg.(value & opt float 16. & info [ "r"; "rate" ] ~docv:"RATE" ~docs:s_serve ~doc)
 
 let duration_arg =
   let doc = "How long arrivals keep coming, seconds of simulated time." in
-  Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+  Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS" ~docs:s_serve ~doc)
 
 let cores_arg =
   let doc = "Override the preset's core count." in
-  Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~docs:s_serve ~doc)
 
 let depth_arg =
   let doc = "Admission queue depth; arrivals beyond it are shed." in
-  Arg.(value & opt int 16 & info [ "depth" ] ~docv:"N" ~doc)
+  Arg.(value & opt int 16 & info [ "depth" ] ~docv:"N" ~docs:s_admission ~doc)
 
 let discipline_arg =
   let doc = "Admission discipline: $(b,fifo) or $(b,weighted)." in
@@ -609,7 +619,7 @@ let discipline_arg =
              ("weighted", Sea_serve.Admission.Weighted);
            ])
         Sea_serve.Admission.Fifo
-    & info [ "discipline" ] ~docv:"DISC" ~doc)
+    & info [ "discipline" ] ~docv:"DISC" ~docs:s_admission ~doc)
 
 let analyze_gate_arg =
   let doc =
@@ -618,7 +628,7 @@ let analyze_gate_arg =
      before anything is measured). Analysis is cached by image digest, so \
      each distinct image is analyzed once per process."
   in
-  Arg.(value & opt string "off" & info [ "analyze" ] ~docv:"GATE" ~doc)
+  Arg.(value & opt string "off" & info [ "analyze" ] ~docv:"GATE" ~docs:s_analysis ~doc)
 
 let admission_cost_arg =
   let doc =
@@ -626,7 +636,7 @@ let admission_cost_arg =
      (per-tenant in-flight budget over the kinds' static certificate \
      costs; cheapest-backlog-first dispatch, replaces $(b,--discipline))."
   in
-  Arg.(value & opt string "none" & info [ "admission" ] ~docv:"ADM" ~doc)
+  Arg.(value & opt string "none" & info [ "admission" ] ~docv:"ADM" ~docs:s_admission ~doc)
 
 let cost_budget_arg =
   let doc =
@@ -634,7 +644,7 @@ let cost_budget_arg =
      units (virtual us), under $(b,--admission cost)."
   in
   Arg.(
-    value & opt int 4_000_000 & info [ "cost-budget" ] ~docv:"US" ~doc)
+    value & opt int 4_000_000 & info [ "cost-budget" ] ~docv:"US" ~docs:s_admission ~doc)
 
 (* The new serve/cluster flags are validated by hand so a bad value
    exits 1 with an error naming the flag, like the other numeric-flag
@@ -665,47 +675,73 @@ let discipline_of_flags ~discipline ~admission ~cost_budget =
 
 let timer_arg =
   let doc = "Preemption-timer slice budget, ms (proposed mode)." in
-  Arg.(value & opt float 10. & info [ "timer" ] ~docv:"MS" ~doc)
+  Arg.(value & opt float 10. & info [ "timer" ] ~docv:"MS" ~docs:s_serve ~doc)
 
 let deadline_arg =
   let doc = "Queueing deadline, ms: requests queued longer are dropped." in
-  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~docs:s_serve ~doc)
 
 let closed_arg =
   let doc =
     "Closed-loop mode: this many clients per tenant, each waiting for its \
      response before the next request (replaces the open-loop $(b,--rate))."
   in
-  Arg.(value & opt (some int) None & info [ "closed" ] ~docv:"CLIENTS" ~doc)
+  Arg.(value & opt (some int) None & info [ "closed" ] ~docv:"CLIENTS" ~docs:s_serve ~doc)
 
 let think_arg =
   let doc = "Mean closed-loop think time, ms." in
-  Arg.(value & opt float 0. & info [ "think" ] ~docv:"MS" ~doc)
+  Arg.(value & opt float 0. & info [ "think" ] ~docv:"MS" ~docs:s_serve ~doc)
 
 let seed_arg =
   let doc = "Simulation seed; identical seeds give identical reports." in
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~docs:s_serve ~doc)
 
 let fault_rate_arg =
   let doc =
     "Probability in [0,1] of injecting a fault at each TPM/LPC injection \
      point during serving (0 disables injection entirely)."
   in
-  Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~doc)
+  Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P" ~docs:s_fault ~doc)
 
 let fault_kinds_arg =
   let doc =
     "Comma-separated fault kinds to inject ($(b,all) or any of tpm-busy, \
      lpc-stall, hash-abort, seal-fail, nv-fail)."
   in
-  Arg.(value & opt string "all" & info [ "fault-kinds" ] ~docv:"KINDS" ~doc)
+  Arg.(value & opt string "all" & info [ "fault-kinds" ] ~docv:"KINDS" ~docs:s_fault ~doc)
 
 let fault_seed_arg =
   let doc =
     "Seed for the fault plan's own stream; identical fault seeds replay \
      the identical fault schedule independently of $(b,--seed)."
   in
-  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~docs:s_fault ~doc)
+
+let vtpm_arg =
+  let doc =
+    "Multiplex $(docv) virtual TPMs over each machine's hardware TPM. \
+     Tenants are routed tenant mod $(docv); every vTPM state change is \
+     anchored into a hardware PCR so quotes chain to the physical root of \
+     trust."
+  in
+  Arg.(value & opt (some int) None & info [ "vtpm" ] ~docv:"N" ~docs:s_vtpm ~doc)
+
+let vtpm_batch_arg =
+  let doc =
+    "Anchor-pipeline batch size: hardware anchor extends are coalesced \
+     into one LPC round-trip per $(docv) state changes. Reports are \
+     byte-identical across batch sizes; only the anchor pipeline's \
+     virtual-time cost changes."
+  in
+  Arg.(value & opt int 16 & info [ "vtpm-batch" ] ~docv:"N" ~docs:s_vtpm ~doc)
+
+(* Shared by serve and cluster: both flags follow the exit-1-plus-message
+   convention of --rate/--timer rather than raising from Server.config. *)
+let validate_vtpm_flags ~vtpm ~vtpm_batch =
+  (match vtpm with
+  | Some k when k <= 0 -> or_die (Error "--vtpm must be positive")
+  | _ -> ());
+  if vtpm_batch <= 0 then or_die (Error "--vtpm-batch must be positive")
 
 (* Parse the --fault-kinds / --fault-rate pair shared by serve and
    cluster into an optional fault spec. *)
@@ -736,13 +772,15 @@ let fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed =
 
 let run_serve machine_config mode rate duration_s cores tenants depth
     discipline analyze admission cost_budget timer_ms deadline_ms closed
-    think_ms seed fault_rate fault_kinds fault_seed trace_file trace_summary =
+    think_ms seed fault_rate fault_kinds fault_seed vtpm vtpm_batch trace_file
+    trace_summary =
   (* Validate the numeric flags here, with flag names in the messages,
      instead of letting Invalid_argument escape from the library
      constructors. *)
   if rate <= 0. then or_die (Error "--rate must be positive");
   if duration_s <= 0. then or_die (Error "--duration must be positive");
   if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  validate_vtpm_flags ~vtpm ~vtpm_batch;
   let analyze = gate_of_flag analyze in
   let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
@@ -753,7 +791,7 @@ let run_serve machine_config mode rate duration_s cores tenants depth
     in
     let cfg =
       Sea_serve.Server.config ~queue_depth:depth ~discipline ~analyze
-        ~preemption_timer:(Time.ms timer_ms) ?faults ~mode
+        ~preemption_timer:(Time.ms timer_ms) ?faults ?vtpm ~vtpm_batch ~mode
         ~duration:(Time.s duration_s) ()
     in
     let deadline = Option.map Time.ms deadline_ms in
@@ -788,7 +826,7 @@ let run_serve machine_config mode rate duration_s cores tenants depth
 let serve_cmd =
   let tenants_arg =
     let doc = "Number of tenants (single-kind mixes cycling ssh/ca/kv)." in
-    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc)
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~docs:s_serve ~doc)
   in
   let trace_arg =
     let doc =
@@ -796,17 +834,25 @@ let serve_cmd =
        spans for instructions, TPM commands, LPC transfers and serve \
        requests) to $(docv); load it in Perfetto or chrome://tracing."
     in
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~docs:s_serve ~doc)
   in
   let trace_summary_arg =
     let doc =
       "Print a compact trace summary (top spans, per-category self time, \
        counters) after the report."
     in
-    Arg.(value & flag & info [ "trace-summary" ] ~doc)
+    Arg.(value & flag & info [ "trace-summary" ] ~docs:s_serve ~doc)
+  in
+  (* Pin the help-page section order so every flag group reads top to
+     bottom in one place: serving, admission, analysis, faults, vTPM. *)
+  let man =
+    [
+      `S s_serve; `S s_admission; `S s_analysis; `S s_fault; `S s_vtpm;
+      `S Manpage.s_options;
+    ]
   in
   Cmd.v
-    (Cmd.info "serve"
+    (Cmd.info "serve" ~man
        ~doc:
          "Serve a multi-tenant PAL request load and report per-tenant \
           goodput, shed/timeout counts and p50/p95/p99 latency. Compare \
@@ -817,7 +863,8 @@ let serve_cmd =
       $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg
       $ analyze_gate_arg $ admission_cost_arg $ cost_budget_arg $ timer_arg
       $ deadline_arg $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg
-      $ fault_kinds_arg $ fault_seed_arg $ trace_arg $ trace_summary_arg)
+      $ fault_kinds_arg $ fault_seed_arg $ vtpm_arg $ vtpm_batch_arg
+      $ trace_arg $ trace_summary_arg)
 
 (* --- cluster --- *)
 
@@ -827,8 +874,8 @@ let cluster_usage =
 
 let run_cluster machine_config mode machines shards policy rate duration_s
     cores tenants depth discipline analyze admission cost_budget timer_ms
-    deadline_ms closed think_ms seed fault_rate fault_kinds fault_seed
-    trace_prefix =
+    deadline_ms closed think_ms seed fault_rate fault_kinds fault_seed vtpm
+    vtpm_batch trace_prefix =
   (* Fleet-shape validation first: bad --machines/--shards must exit 1
      with a usage message, never escape as a raised Invalid_argument. *)
   let cfg =
@@ -840,6 +887,7 @@ let run_cluster machine_config mode machines shards policy rate duration_s
   if rate <= 0. then or_die (Error "--rate must be positive");
   if duration_s <= 0. then or_die (Error "--duration must be positive");
   if timer_ms <= 0. then or_die (Error "--timer must be positive");
+  validate_vtpm_flags ~vtpm ~vtpm_batch;
   let analyze = gate_of_flag analyze in
   let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
@@ -847,7 +895,7 @@ let run_cluster machine_config mode machines shards policy rate duration_s
     let machine_config = serving_machine_config machine_config mode cores in
     let serve =
       Sea_serve.Server.config ~queue_depth:depth ~discipline ~analyze
-        ~preemption_timer:(Time.ms timer_ms) ?faults ~mode
+        ~preemption_timer:(Time.ms timer_ms) ?faults ?vtpm ~vtpm_batch ~mode
         ~duration:(Time.s duration_s) ()
     in
     let deadline = Option.map Time.ms deadline_ms in
@@ -899,7 +947,7 @@ let run_cluster machine_config mode machines shards policy rate duration_s
 let cluster_cmd =
   let machines_arg =
     let doc = "Number of machines in the fleet." in
-    Arg.(value & opt int 4 & info [ "machines" ] ~docv:"N" ~doc)
+    Arg.(value & opt int 4 & info [ "machines" ] ~docv:"N" ~docs:s_fleet ~doc)
   in
   let shards_arg =
     let doc =
@@ -907,7 +955,7 @@ let cluster_cmd =
        $(i,i) mod $(docv)). The merged report is byte-identical for every \
        shard count; only wall-clock time changes."
     in
-    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~docs:s_fleet ~doc)
   in
   let policy_arg =
     let doc =
@@ -919,23 +967,29 @@ let cluster_cmd =
     Arg.(
       value
       & opt (enum Sea_cluster.Router.policies) Sea_cluster.Router.Round_robin
-      & info [ "policy" ] ~docv:"POLICY" ~doc)
+      & info [ "policy" ] ~docv:"POLICY" ~docs:s_fleet ~doc)
   in
   let tenants_arg =
     let doc =
       "Number of tenants routed across the fleet (default: 3 per machine)."
     in
-    Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N" ~doc)
+    Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N" ~docs:s_serve ~doc)
   in
   let trace_arg =
     let doc =
       "Write one Chrome trace_event JSON file per serving machine, named \
        $(docv).machine-<i>.json (idle machines are skipped)."
     in
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PREFIX" ~doc)
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PREFIX" ~docs:s_fleet ~doc)
+  in
+  let man =
+    [
+      `S s_fleet; `S s_serve; `S s_admission; `S s_analysis; `S s_fault;
+      `S s_vtpm; `S Manpage.s_options;
+    ]
   in
   Cmd.v
-    (Cmd.info "cluster"
+    (Cmd.info "cluster" ~man
        ~doc:
          "Serve a multi-tenant load on a fleet of $(b,--machines) independent \
           machines, routed by $(b,--policy) and sharded across $(b,--shards) \
@@ -948,7 +1002,7 @@ let cluster_cmd =
       $ tenants_arg $ depth_arg $ discipline_arg $ analyze_gate_arg
       $ admission_cost_arg $ cost_budget_arg $ timer_arg $ deadline_arg
       $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg $ fault_kinds_arg
-      $ fault_seed_arg $ trace_arg)
+      $ fault_seed_arg $ vtpm_arg $ vtpm_batch_arg $ trace_arg)
 
 (* --- main --- *)
 

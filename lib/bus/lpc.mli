@@ -55,6 +55,23 @@ val transfer : t -> device_wait:Sea_sim.Time.t -> bytes:int -> unit
 (** Perform the transfer: advances the engine clock by {!transfer_time} and
     records traffic statistics. *)
 
+val batch_transfer_time :
+  t -> device_wait:Sea_sim.Time.t -> chunks:int list -> Sea_sim.Time.t
+(** Duration of moving several logical command payloads in {e one}
+    coalesced burst: the payload bytes are packed across command
+    boundaries, so the whole batch pays [ceil (total / data_bytes_per_txn)]
+    transactions — per byte actually moved — instead of each chunk paying
+    its own final-partial-transaction framing. Always at most
+    [sum (transfer_time chunk)]; equal when every chunk is a multiple of
+    [data_bytes_per_txn]. Non-positive chunks contribute nothing. *)
+
+val batch_transfer :
+  t -> device_wait:Sea_sim.Time.t -> chunks:int list -> unit
+(** Perform the coalesced burst: advances the engine clock by
+    {!batch_transfer_time}, records traffic statistics, and draws at most
+    one injected [Lpc_stall] for the whole batch (one bus tenure, one
+    stall opportunity — same as a single {!transfer}). *)
+
 val total_bytes : t -> int
 (** Cumulative payload bytes moved over this bus instance. *)
 

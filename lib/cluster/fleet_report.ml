@@ -32,6 +32,7 @@ type t = {
   breaker_shed : int;
   breaker_transitions : int;
   recoveries : int;
+  vtpm : Report.vtpm_stats option;
 }
 
 (* Sum per-kind fault counts across machines, preserving the kind order
@@ -89,6 +90,22 @@ let merge ~policy rows =
     breaker_shed = sum (fun r -> r.Report.breaker_shed);
     breaker_transitions = sum (fun r -> r.Report.breaker_transitions);
     recoveries = sum (fun r -> r.Report.recoveries);
+    vtpm =
+      (* Counters sum across machines; [instances] too — the fleet line
+         reports the total vTPM population, each machine contributing
+         its own multiplexer. *)
+      (match List.filter_map (fun r -> r.Report.vtpm) reports with
+      | [] -> None
+      | stats ->
+          let sumv f = List.fold_left (fun acc v -> acc + f v) 0 stats in
+          Some
+            {
+              Report.instances = sumv (fun v -> v.Report.instances);
+              extends = sumv (fun v -> v.Report.extends);
+              seals = sumv (fun v -> v.Report.seals);
+              unseals = sumv (fun v -> v.Report.unseals);
+              resets = sumv (fun v -> v.Report.resets);
+            });
   }
 
 let window_s t = Time.to_ms t.window /. 1000.
@@ -139,6 +156,16 @@ let pp fmt t =
   Format.fprintf fmt
     "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d"
     t.cold_starts t.warm_hits t.evictions t.sepcr_waits;
+  (* Like the per-machine report, the vtpm line renders only when a
+     multiplexer served the fleet, and carries only batch-size-invariant
+     counters. *)
+  (match t.vtpm with
+  | Some v ->
+      Format.fprintf fmt
+        "@,vtpm: %d instances  extends %d  seals %d  unseals %d  resets %d"
+        v.Report.instances v.Report.extends v.Report.seals v.Report.unseals
+        v.Report.resets
+  | None -> ());
   (* Like the per-machine report, the cost line renders only when the
      cost discipline was active. *)
   (match t.cost_budget with

@@ -49,6 +49,9 @@ type t = {
   breaker_shed : int;
   breaker_transitions : int;
   recoveries : int;
+  vtpm : Report.vtpm_stats option;
+      (** Summed vTPM counters (including [instances] — the fleet's
+          total vTPM population); [None] when no machine multiplexed. *)
 }
 
 val merge : policy:string -> machine_row list -> t

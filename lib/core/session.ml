@@ -43,8 +43,8 @@ let suspend_cost (m : Machine.t) =
 
 let resume_cost = Time.us 30.
 
-let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
-    ~input =
+let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry
+    ?tpm_cap pal ~input =
   match
     (* Analyzed before the OS is suspended, pages claimed or the TPM
        touched: an image the gate refuses is never measured. *)
@@ -92,6 +92,16 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
           let late_launch_time = Time.sub (Engine.now engine) t0 in
           let identity_pcr = identity_pcr_for m in
           let identity_value = expected_identity m pal in
+          let cap =
+            match tpm_cap with
+            | Some c -> c
+            | None -> Sea_tpm.Cap.of_tpm tpm
+          in
+          (* Mirror the launch into the capability's PCR bank (no-op for
+             hardware, whose TPM_HASH_* sequence already extended it), so
+             the identity-bound seal policy below holds against whichever
+             bank the capability seals against. *)
+          cap.Sea_tpm.Cap.launch_measured ~pcr:identity_pcr ~measurement;
           (* 3. Run the PAL behaviour with TPM-backed services. *)
           let seal_time = ref Time.zero
           and unseal_time = ref Time.zero
@@ -110,17 +120,17 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
                 (fun data ->
                   timed seal_time (fun () ->
                       Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
-                          Sea_tpm.Tpm.seal tpm ~caller ~pcr_policy:policy data)));
+                          cap.Sea_tpm.Cap.seal ~caller ~pcr_policy:policy data)));
               unseal =
                 (fun blob ->
                   timed unseal_time (fun () ->
                       Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
-                          Sea_tpm.Tpm.unseal tpm ~caller blob)));
-              get_random = (fun n -> Sea_tpm.Tpm.get_random tpm n);
+                          cap.Sea_tpm.Cap.unseal ~caller blob)));
+              get_random = (fun n -> cap.Sea_tpm.Cap.get_random n);
               extend_measurement =
                 (fun data ->
                   timed extend_time (fun () ->
-                      ignore (Sea_tpm.Tpm.pcr_extend tpm identity_pcr data)));
+                      ignore (cap.Sea_tpm.Cap.pcr_extend identity_pcr data)));
               machine_name = m.Machine.config.Machine.name;
             }
           in
@@ -133,8 +143,10 @@ let execute (m : Machine.t) ~cpu ?analyze ?analysis_policy ?on_report ?retry pal
                 r)
           in
           let behavior_span = Time.sub (Engine.now engine) t_behavior in
-          (* 4. Extend the exit marker so post-PAL software cannot unseal. *)
-          ignore (Sea_tpm.Tpm.pcr_extend tpm identity_pcr exit_marker);
+          (* 4. Extend the exit marker so post-PAL software cannot unseal.
+             Goes through the capability: the marker must land in the bank
+             the seal policy was checked against. *)
+          ignore (cap.Sea_tpm.Cap.pcr_extend identity_pcr exit_marker);
           (* 5. Resume the untrusted OS. *)
           cleanup ();
           let total = Time.sub (Engine.now engine) t_start in

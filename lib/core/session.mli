@@ -43,12 +43,22 @@ val execute :
   ?analysis_policy:Sea_analysis.Analyzer.policy ->
   ?on_report:(Sea_analysis.Report.t -> unit) ->
   ?retry:Sea_fault.Retry.policy ->
+  ?tpm_cap:Sea_tpm.Cap.t ->
   Pal.t ->
   input:string ->
   (outcome, string) result
 (** Run one complete session. Fails on machines without a TPM, if the PAL
     does not fit the late-launch limit, or if the PAL's behaviour fails;
     the OS is resumed and pages freed on all paths.
+
+    [?tpm_cap] is the TPM capability the PAL's data-path services (seal,
+    unseal, randomness, extends) execute against — default the machine's
+    hardware TPM via {!Sea_tpm.Cap.of_tpm}, byte-for-byte the historical
+    behaviour. A vTPM capability ([Sea_vtpm.Vtpm.cap]) routes them to a
+    per-tenant virtual TPM instead; the late launch and its measurement
+    always stay on hardware, and the capability's [launch_measured] hook
+    mirrors them into the virtual bank so the identity-bound seal policy
+    (and the exit-marker hygiene) hold there too.
 
     [?analyze] (default [Off]) runs {!Pal.preflight} first: under
     [Enforce] a PALVM image with error findings is refused {e before}

@@ -15,6 +15,7 @@ type t = {
   mutable primary_cpu : int;
   mutable joined_cpus : int list;
   retry : Sea_fault.Retry.policy option;
+  tpm_cap : Sea_tpm.Cap.t option;
 }
 
 let state t = t.state
@@ -32,7 +33,7 @@ let step t ev =
   | Error e -> invalid_arg ("Slaunch_session: " ^ e)
 
 let start (m : Machine.t) ~cpu ?preemption_timer ?analyze ?analysis_policy
-    ?on_report ?retry pal ~input =
+    ?on_report ?retry ?tpm_cap pal ~input =
   if not m.Machine.config.Machine.proposed then
     Error "this machine lacks the proposed hardware"
   else begin
@@ -63,6 +64,7 @@ let start (m : Machine.t) ~cpu ?preemption_timer ?analyze ?analysis_policy
         primary_cpu = cpu;
         joined_cpus = [];
         retry;
+        tpm_cap;
       }
     in
     step t Lifecycle.Ev_slaunch_first;
@@ -100,16 +102,22 @@ let services t ~cpu =
   let retry_run f =
     Sea_fault.Retry.run ?policy:t.retry ~engine:m.Machine.engine f
   in
+  let cap =
+    match t.tpm_cap with Some c -> c | None -> Sea_tpm.Cap.of_tpm tpm
+  in
   {
     Pal.seal =
       (fun data ->
         retry_run (fun () ->
-            Sea_tpm.Tpm.seal tpm ~caller ~sepcr ~pcr_policy:[] data));
+            cap.Sea_tpm.Cap.seal ~caller ~sepcr ~pcr_policy:[] data));
     unseal =
-      (fun blob -> retry_run (fun () -> Sea_tpm.Tpm.unseal tpm ~caller ~sepcr blob));
-    get_random = (fun n -> Sea_tpm.Tpm.get_random tpm n);
+      (fun blob ->
+        retry_run (fun () -> cap.Sea_tpm.Cap.unseal ~caller ~sepcr blob));
+    get_random = (fun n -> cap.Sea_tpm.Cap.get_random n);
     extend_measurement =
-      (fun data -> ignore (Sea_tpm.Tpm.sepcr_extend tpm ~caller sepcr data));
+      (* The measurement chain is the hardware sePCR — a capability never
+         virtualizes it (vTPM caps pass this straight through). *)
+      (fun data -> ignore (cap.Sea_tpm.Cap.sepcr_extend ~caller sepcr data));
     machine_name = m.Machine.config.Machine.name;
   }
 

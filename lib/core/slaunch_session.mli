@@ -22,6 +22,7 @@ val start :
   ?analysis_policy:Sea_analysis.Analyzer.policy ->
   ?on_report:(Sea_analysis.Report.t -> unit) ->
   ?retry:Sea_fault.Retry.policy ->
+  ?tpm_cap:Sea_tpm.Cap.t ->
   Pal.t ->
   input:string ->
   (t, string) result
@@ -40,7 +41,12 @@ val start :
     from scratch (the failed attempt backs out its sePCR and page
     claim); a resume that still fails after retries leaves the session
     in [Suspend], so the caller can {!kill} it and cold-start a
-    replacement. *)
+    replacement.
+
+    [?tpm_cap] routes the PAL's data-path TPM services (seal, unseal,
+    randomness) — default the hardware TPM, unchanged. The SLAUNCH
+    measurement and the sePCR chain always stay on hardware regardless
+    of the capability. *)
 
 val state : t -> Lifecycle.state
 val secb : t -> Sea_hw.Secb.t

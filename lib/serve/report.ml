@@ -12,6 +12,14 @@ type row = {
   queue_high_water : int;
 }
 
+type vtpm_stats = {
+  instances : int;
+  extends : int;
+  seals : int;
+  unseals : int;
+  resets : int;
+}
+
 type t = {
   mode : string;
   machine : string;
@@ -40,6 +48,7 @@ type t = {
   breaker_transitions : int;
   degraded : Time.t;
   recoveries : int;
+  vtpm : vtpm_stats option;
 }
 
 let window_s t = Time.to_ms t.window /. 1000.
@@ -102,6 +111,17 @@ let pp fmt t =
     "PAL launches: %d cold, %d warm  evictions %d  sePCR waits %d (%a)"
     t.cold_starts t.warm_hits t.evictions t.sepcr_waits Stats.pp_percentiles
     t.sepcr_wait_ms;
+  (* The vTPM line appears only when a multiplexer was in front of the
+     hardware TPM, so non-vTPM reports render exactly as before it
+     existed. Only batch-size-invariant counters appear here: flush and
+     batch-occupancy counts live in the trace ("vtpm" category), keeping
+     the render byte-identical across [--vtpm-batch] settings. *)
+  (match t.vtpm with
+  | Some v ->
+      Format.fprintf fmt
+        "@,vtpm: %d instances  extends %d  seals %d  unseals %d  resets %d"
+        v.instances v.extends v.seals v.unseals v.resets
+  | None -> ());
   (* The cost-admission line appears only under the cost discipline, so
      fifo/weighted reports render exactly as before it existed. *)
   (match t.cost_budget with

@@ -21,6 +21,18 @@ type row = {
   queue_high_water : int;
 }
 
+type vtpm_stats = {
+  instances : int;  (** Virtual TPMs multiplexed on this machine. *)
+  extends : int;  (** Virtual PCR extends (anchor records enqueued). *)
+  seals : int;  (** Software seals served by vTPM instances. *)
+  unseals : int;
+  resets : int;  (** Quarantined vTPMs healed back into service. *)
+}
+(** Batch-size-invariant vTPM counters: anchor flush/batch-occupancy
+    counts depend on the [--vtpm-batch] pipeline setting and live in the
+    trace ("vtpm" category) instead, so a report renders byte-identically
+    for any batch size. *)
+
 type t = {
   mode : string;
   machine : string;
@@ -62,6 +74,9 @@ type t = {
   recoveries : int;
       (** Residents quarantined after a faulted resume and replaced by a
           cold start within the same request. *)
+  vtpm : vtpm_stats option;
+      (** Present iff a vTPM multiplexer served this run (and then the
+          vtpm line renders). *)
 }
 
 val merge_rows : tenant:string -> row list -> row

@@ -17,19 +17,27 @@ type config = {
   faults : Sea_fault.Fault.spec option;
   retry : Sea_fault.Retry.policy option;
   breaker : Breaker.config option;
+  vtpm : int option;
+  vtpm_batch : int;
 }
 
 let config ?(queue_depth = 16) ?(discipline = Admission.Fifo)
     ?(analyze = Sea_analysis.Analyzer.Off) ?(preemption_timer = Time.ms 10.)
-    ?faults ?retry ?breaker ~mode ~duration () =
+    ?faults ?retry ?breaker ?vtpm ?(vtpm_batch = 16) ~mode ~duration () =
   if Time.compare duration Time.zero <= 0 then
     invalid_arg "Server.config: duration must be positive";
   if queue_depth <= 0 then
     invalid_arg "Server.config: queue depth must be positive";
   if Time.compare preemption_timer Time.zero <= 0 then
     invalid_arg "Server.config: preemption timer must be positive";
+  (match vtpm with
+  | Some k when k <= 0 ->
+      invalid_arg "Server.config: vtpm instances must be positive"
+  | _ -> ());
+  if vtpm_batch <= 0 then
+    invalid_arg "Server.config: vtpm batch must be positive";
   { mode; duration; queue_depth; discipline; analyze; preemption_timer;
-    faults; retry; breaker }
+    faults; retry; breaker; vtpm; vtpm_batch }
 
 (* One queued request. [client] is the closed-loop client slot that will
    reissue once this request is answered ([None] for open-loop). *)
@@ -85,6 +93,48 @@ let run (m : Machine.t) cfg tenant_list =
   in
   let nkinds = List.length Workload.kinds in
   let key tenant kind = (tenant * nkinds) + Workload.kind_index kind in
+  (* The retry policy is resolved before provisioning so the vTPM layer's
+     hardware legs (checkpoints, anchor quotes) share it; building the
+     plan touches neither the engine clock nor its generator (it splits
+     its own seeded stream), and it is only {e installed} after
+     bootstrap, below. *)
+  let plan = Option.map Sea_fault.Fault.of_spec cfg.faults in
+  let retry =
+    match cfg.retry with
+    | Some _ as r -> r
+    | None -> Option.map (fun _ -> Sea_fault.Retry.policy ()) plan
+  in
+  (* --- vTPM multiplexer: provisioned before bootstrap (provisioning is
+     part of machine setup, like bootstrap itself) so every session in
+     the run — bootstrap included — executes against its tenant's
+     capability. --- *)
+  let* vtpm =
+    match cfg.vtpm with
+    | None -> Ok None
+    | Some count -> (
+        match
+          Sea_vtpm.Vtpm.create ~batch:cfg.vtpm_batch ?retry ~tpm
+            ~instances:count ()
+        with
+        | Ok v -> Ok (Some v)
+        | Error e -> Error e)
+  in
+  let cap_for tenant =
+    Option.map (fun v -> Sea_vtpm.Vtpm.cap v ~tenant) vtpm
+  in
+  (* A quarantined vTPM is healed on the next request routed to it: the
+     repair (hardware checkpoint seal, retried) happens on the request's
+     clock, and if it still fails only this tenant's requests fail — its
+     breaker opens while every other vTPM keeps serving. *)
+  let ensure_healthy tenant =
+    match vtpm with
+    | None -> true
+    | Some v ->
+        let inst = Sea_vtpm.Vtpm.for_tenant v ~tenant in
+        if Sea_vtpm.Vtpm.broken inst then
+          match Sea_vtpm.Vtpm.heal inst with Ok () -> true | Error _ -> false
+        else true
+  in
   (* --- bootstrap: on today's hardware every (tenant, kind) needs its
      sealed state created by a full init session before serving. On the
      proposed hardware state lives with the resident PAL instead. --- *)
@@ -97,8 +147,8 @@ let run (m : Machine.t) cfg tenant_list =
         Workload.init_input kind ~tenant:tenants.(i).Workload.name
       in
       let* outcome =
-        Session.execute m ~cpu:0 ~analyze:cfg.analyze (Workload.pal kind)
-          ~input
+        Session.execute m ~cpu:0 ~analyze:cfg.analyze ?tpm_cap:(cap_for i)
+          (Workload.pal kind) ~input
       in
       let* state =
         Workload.init_state_of_output kind outcome.Session.output
@@ -129,13 +179,7 @@ let run (m : Machine.t) cfg tenant_list =
      below are unperturbed: a rate-0 or no-fault run replays the exact
      pre-fault-machinery timeline. Retry and breakers default on
      whenever faults are injected. --- *)
-  let plan = Option.map Sea_fault.Fault.of_spec cfg.faults in
   Tpm.set_faults tpm plan;
-  let retry =
-    match cfg.retry with
-    | Some _ as r -> r
-    | None -> Option.map (fun _ -> Sea_fault.Retry.policy ()) plan
-  in
   let retries0 =
     match retry with Some p -> Sea_fault.Retry.retries p | None -> 0
   and give_ups0 =
@@ -239,9 +283,11 @@ let run (m : Machine.t) cfg tenant_list =
         ~state ~seq:(next_seq k)
     in
     let ok =
+      ensure_healthy r.tenant
+      &&
       match
         Session.execute m ~cpu:0 ~analyze:cfg.analyze ?retry
-          (Workload.pal r.kind) ~input
+          ?tpm_cap:(cap_for r.tenant) (Workload.pal r.kind) ~input
       with
       | Ok o ->
           if Workload.updates_state r.kind then
@@ -326,6 +372,9 @@ let run (m : Machine.t) cfg tenant_list =
     let e0 = Engine.now engine in
     let k = key r.tenant r.kind in
     ignore (next_seq k);
+    if not (ensure_healthy r.tenant) then
+      (Time.sub (Engine.now engine) e0, false)
+    else begin
     let virtual_wait = ref Time.zero in
     let rec attempt ~recovering =
       virtual_wait := Time.zero;
@@ -348,7 +397,7 @@ let run (m : Machine.t) cfg tenant_list =
                 match
                   Slaunch_session.start m ~cpu:core
                     ~preemption_timer:cfg.preemption_timer
-                    ~analyze:cfg.analyze ?retry
+                    ~analyze:cfg.analyze ?retry ?tpm_cap:(cap_for r.tenant)
                     (Workload.resident_pal r.kind) ~input:""
                 with
                 | Ok s -> s
@@ -415,6 +464,7 @@ let run (m : Machine.t) cfg tenant_list =
           (Time.add !virtual_wait (Time.sub (Engine.now engine) e0), false)
     in
     attempt ~recovering:false
+    end
   in
   (* --- the event loop: virtual-time queueing over real executions --- *)
   (* Closed-loop clients shed with a zero think-time draw cannot reissue
@@ -629,6 +679,10 @@ let run (m : Machine.t) cfg tenant_list =
       Slaunch_session.release res.session)
     residents;
   Hashtbl.reset residents;
+  (* Drain the anchor pipeline (post-window: accounting is already cut)
+     so the hardware PCR covers every state change before the plan is
+     removed. *)
+  Option.iter Sea_vtpm.Vtpm.sync vtpm;
   Tpm.set_faults tpm None;
   (* --- report --- *)
   let window = Time.max cfg.duration (Time.sub !last_completion base) in
@@ -717,4 +771,16 @@ let run (m : Machine.t) cfg tenant_list =
       breaker_transitions;
       degraded;
       recoveries = !recoveries;
+      vtpm =
+        Option.map
+          (fun v ->
+            let c = Sea_vtpm.Vtpm.counters v in
+            {
+              Report.instances = Sea_vtpm.Vtpm.instances v;
+              extends = c.Sea_vtpm.Vtpm.extends;
+              seals = c.Sea_vtpm.Vtpm.seals;
+              unseals = c.Sea_vtpm.Vtpm.unseals;
+              resets = c.Sea_vtpm.Vtpm.resets;
+            })
+          vtpm;
     }

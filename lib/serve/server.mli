@@ -50,6 +50,19 @@ type config = {
   breaker : Breaker.config option;
       (** Per-(tenant, kind) circuit breakers; default on (with
           {!Breaker.config} defaults) whenever [faults] is set. *)
+  vtpm : int option;
+      (** Multiplex this many virtual TPMs over the machine's hardware
+          TPM ([Sea_vtpm]); every session — bootstrap included — then
+          executes against its tenant's vTPM capability (tenant [i] →
+          instance [i mod vtpm]), with the hardware part serving only as
+          the integrity anchor. [None] (default): sessions talk to the
+          hardware TPM directly, byte-for-byte the historical
+          behaviour. *)
+  vtpm_batch : int;
+      (** Anchor-pipeline batch size (pending state-change records per
+          hardware anchor flush; default 16). Affects only the anchor
+          pipeline's background lag: reports are byte-identical across
+          batch sizes. *)
 }
 
 val config :
@@ -60,13 +73,15 @@ val config :
   ?faults:Sea_fault.Fault.spec ->
   ?retry:Sea_fault.Retry.policy ->
   ?breaker:Breaker.config ->
+  ?vtpm:int ->
+  ?vtpm_batch:int ->
   mode:mode ->
   duration:Sea_sim.Time.t ->
   unit ->
   config
 (** Defaults: depth 16, FIFO, analysis gate [Off], 10 ms preemption
-    timer, no faults. Raises [Invalid_argument] on non-positive
-    values. *)
+    timer, no faults, no vTPM layer, vTPM batch 16. Raises
+    [Invalid_argument] on non-positive values. *)
 
 val run :
   Sea_hw.Machine.t ->
@@ -90,4 +105,12 @@ val run :
     a (tenant, kind) stream that keeps failing is shed by its circuit
     breaker for a cooldown instead of being dispatched to certain
     failure. Breaker sheds count in the rows' [shed], preserving
-    [offered = completed + shed + timed_out + failed]. *)
+    [offered = completed + shed + timed_out + failed].
+
+    With [vtpm] set, faults also reach the vTPM anchor path: background
+    anchor extends burn bounded retries against injected busy faults and
+    a checkpoint seal can fail permanently — either quarantines only the
+    affected vTPM. A quarantined vTPM is healed on the next request
+    routed to it; if the repair still fails, only that tenant's requests
+    fail (and its breaker opens) while every other vTPM keeps
+    serving. *)

@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  seal :
+    caller:Tpm.caller ->
+    ?sepcr:Sepcr.handle ->
+    pcr_policy:(int * string) list ->
+    string ->
+    (string, string) result;
+  unseal :
+    caller:Tpm.caller ->
+    ?sepcr:Sepcr.handle ->
+    string ->
+    (string, string) result;
+  get_random : int -> string;
+  pcr_extend : int -> string -> string;
+  sepcr_extend :
+    caller:Tpm.caller -> Sepcr.handle -> string -> (string, string) result;
+  launch_measured : pcr:int -> measurement:string -> unit;
+}
+
+let of_tpm tpm =
+  {
+    name = "hw:" ^ Tpm.tag tpm;
+    seal = (fun ~caller ?sepcr ~pcr_policy p -> Tpm.seal tpm ~caller ?sepcr ~pcr_policy p);
+    unseal = (fun ~caller ?sepcr blob -> Tpm.unseal tpm ~caller ?sepcr blob);
+    get_random = (fun n -> Tpm.get_random tpm n);
+    pcr_extend = (fun i m -> Tpm.pcr_extend tpm i m);
+    sepcr_extend = (fun ~caller h m -> Tpm.sepcr_extend tpm ~caller h m);
+    (* The hardware already reset its dynamic bank and extended the
+       measurement during TPM_HASH_*/SLAUNCH; nothing to mirror. *)
+    launch_measured = (fun ~pcr:_ ~measurement:_ -> ());
+  }

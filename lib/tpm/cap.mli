@@ -1,0 +1,48 @@
+(** The TPM capability a session executes against.
+
+    {!Sea_core.Session} and {!Sea_core.Slaunch_session} historically
+    closed over the machine's hardware {!Tpm.t} directly. A capability is
+    the same set of operations as a record of closures, so the session
+    layer can be handed either the hardware TPM ({!of_tpm}) or a
+    per-tenant virtual TPM ([Sea_vtpm.Vtpm.cap]) without [Sea_core]
+    depending on the vTPM layer. The hardware capability built by
+    {!of_tpm} delegates every field 1:1, so a session run against it is
+    byte-for-byte what it was before this module existed.
+
+    The measurement path (SKINIT/SLAUNCH, sePCR identity) always stays in
+    hardware; a capability only virtualizes the data-path commands —
+    seal, unseal, randomness, PCR extends — plus {!launch_measured}, the
+    hook that lets a virtual PCR bank mirror the hardware dynamic-PCR
+    reset-and-extend a late launch performs. *)
+
+type t = {
+  name : string;  (** For traces/debugging; never rendered in reports. *)
+  seal :
+    caller:Tpm.caller ->
+    ?sepcr:Sepcr.handle ->
+    pcr_policy:(int * string) list ->
+    string ->
+    (string, string) result;
+  unseal :
+    caller:Tpm.caller ->
+    ?sepcr:Sepcr.handle ->
+    string ->
+    (string, string) result;
+  get_random : int -> string;
+  pcr_extend : int -> string -> string;
+      (** Extend a (virtual or hardware) PCR; returns the new value. *)
+  sepcr_extend :
+    caller:Tpm.caller -> Sepcr.handle -> string -> (string, string) result;
+      (** Always the hardware sePCR bank — sePCRs {e are} the hardware
+          anchor on the proposed hardware. *)
+  launch_measured : pcr:int -> measurement:string -> unit;
+      (** Called once after a successful late launch: the hardware has
+          dynamically reset its PCRs and extended [measurement] into
+          [pcr]; a virtual bank mirrors that so identity-bound seal
+          policies hold against it. No-op for the hardware capability
+          (the TPM_HASH_* sequence already did it). *)
+}
+
+val of_tpm : Tpm.t -> t
+(** The hardware capability: every operation is the corresponding
+    {!Tpm} command on [tpm], unchanged. *)

@@ -77,6 +77,7 @@ let create ?(vendor = Vendor.Broadcom) ?profile ?(key_bits = 2048) ?(sepcr_count
   }
 
 let vendor t = t.vendor
+let tag t = t.instance_tag
 let profile t = t.profile
 let engine t = t.engine
 let lpc t = t.lpc
@@ -158,6 +159,14 @@ let pcr_extend t i m =
   traced t "pcr-extend" (fun () ->
       charge t t.profile.Timing.pcr_extend;
       Pcr.extend t.pcrs i m)
+
+let pcr_extend_deferred t i m =
+  (* The pipelined path: commit the extend now, hand its hardware cost
+     back for the caller to account on the device's own timeline. No
+     jitter draw — a background timeline must not perturb the stream the
+     foreground commands draw their jitter from. *)
+  let v = Pcr.extend t.pcrs i m in
+  (v, t.profile.Timing.pcr_extend)
 
 (* --- TPM_HASH_* sequence --- *)
 

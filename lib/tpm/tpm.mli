@@ -33,6 +33,12 @@ val create :
     part; a positive count enables the proposed sePCR bank. *)
 
 val vendor : t -> Vendor.t
+
+val tag : t -> string
+(** A process-unique instance tag ("<vendor>#<n>"); seeds per-instance
+    deterministic streams (e.g. the vTPM layer's DRBGs). Nothing rendered
+    may depend on its numeric part. *)
+
 val profile : t -> Timing.profile
 val engine : t -> Sea_sim.Engine.t
 
@@ -72,6 +78,15 @@ val lock_contentions : t -> int
 
 val pcr_read : t -> int -> string
 val pcr_extend : t -> int -> string -> string
+
+val pcr_extend_deferred : t -> int -> string -> string * Sea_sim.Time.t
+(** The pipelined/batched accounting path used by the vTPM anchor
+    scheduler: commits the extend to PCR state immediately and returns
+    [(new value, hardware cost)] {e without} advancing the engine clock
+    or drawing timing jitter. The caller accounts the returned cost (plus
+    the batch's coalesced LPC time, {!Sea_bus.Lpc.batch_transfer_time})
+    on the device's own background timeline — once per batch, per byte
+    actually moved, rather than per command framing. *)
 
 (** {1 The TPM_HASH_START/DATA/END sequence}
 

@@ -537,6 +537,7 @@ let test_zero_completion_report_renders () =
       breaker_transitions = 0;
       degraded = Time.zero;
       recoveries = 0;
+      vtpm = None;
     }
   in
   let s = Report.render r in
