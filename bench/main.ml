@@ -973,7 +973,9 @@ module Fleet = struct
     && f.Sea_serve.Report.timed_out = 0
     && f.Sea_serve.Report.failed = 0
     && f.Sea_serve.Report.completed > 0
-    && Stats.percentile f.Sea_serve.Report.latency_ms 95. <= slo_ms
+    && (match Stats.percentile_opt f.Sea_serve.Report.latency_ms 95. with
+       | Some p -> p <= slo_ms
+       | None -> false)
     && Time.compare fr.Sea_cluster.Fleet_report.window
          (Time.scale_f duration 1.2)
        <= 0
@@ -1258,8 +1260,14 @@ module Vtpm_density = struct
     | Error e -> failwith ("vtpm density sweep: " ^ e)
 
   let p95 (r : Sea_serve.Report.t) =
-    Stats.percentile r.Sea_serve.Report.aggregate.Sea_serve.Report.latency_ms
-      95.
+    (* An empty completion window (every request shed or failed) means
+       the SLO is unmeetable, not a crash: report it as infinite. *)
+    match
+      Stats.percentile_opt
+        r.Sea_serve.Report.aggregate.Sea_serve.Report.latency_ms 95.
+    with
+    | Some p -> p
+    | None -> Float.infinity
 
   let meets_slo (r : Sea_serve.Report.t) =
     let a = r.Sea_serve.Report.aggregate in
@@ -1357,6 +1365,163 @@ module Vtpm_density = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* A10 — graceful degradation under machine churn: fleet goodput and    *)
+(* p95 vs MTTF, current vs proposed hardware, sealed-state failover on  *)
+(* vs off. Emits BENCH_churn.json for the CI bench gate, which also     *)
+(* checks the headline: at the sweep's mid MTTF on proposed hardware,   *)
+(* failover must recover at least 2x the goodput of failing in place.   *)
+(* ------------------------------------------------------------------ *)
+
+module Churn = struct
+  let smoke = Sys.getenv_opt "SEA_BENCH_SMOKE" <> None
+  let duration_s = if smoke then 6. else 8.
+  let machines = 8
+  let per_machine_rate = 8.
+  let mttr_s = 4.
+  let mttfs = if smoke then [ 1.5 ] else [ 0.75; 1.5; 3.0 ]
+  let seed = 7L
+  let churn_seed = 1
+
+  let run_at mode ~mttf_s ~failover =
+    let cfg = Sea_cluster.Cluster.config ~machines () in
+    let machine_config = Machine.low_fidelity Machine.hp_dc5750 in
+    let machine_config =
+      match mode with
+      | Sea_serve.Server.Current -> machine_config
+      | Sea_serve.Server.Proposed -> Machine.proposed_variant machine_config
+    in
+    let serve =
+      Sea_serve.Server.config ~queue_depth:16 ~mode
+        ~duration:(Time.s duration_s) ()
+    in
+    let tenants =
+      Sea_serve.Workload.preset ~tenants:(machines * 3)
+        (`Open (per_machine_rate *. float_of_int machines))
+    in
+    let plan =
+      Sea_fault.Machine_fault.spec ~mttf:(Time.s mttf_s)
+        ~mttr:(Time.s mttr_s) ~seed:churn_seed ()
+    in
+    let churn = Sea_cluster.Cluster.churn ~failover plan () in
+    match
+      Sea_cluster.Cluster.run ~seed ~churn cfg ~machine_config ~serve tenants
+    with
+    | Ok fr -> fr
+    | Error e -> failwith ("churn sweep: " ^ e)
+
+  (* Goodput over the configured arrival window, not the report window:
+     a failover-off fleet stops serving early (its machines' last epochs
+     black-hole), so completions per configured second is the fair
+     cross-mode comparison. *)
+  let goodput (fr : Sea_cluster.Fleet_report.t) =
+    float_of_int fr.Sea_cluster.Fleet_report.fleet.Sea_serve.Report.completed
+    /. duration_s
+
+  let p95 (fr : Sea_cluster.Fleet_report.t) =
+    match
+      Stats.percentile_opt
+        fr.Sea_cluster.Fleet_report.fleet.Sea_serve.Report.latency_ms 95.
+    with
+    | Some p -> p
+    | None -> Float.infinity
+
+  let mode_name = function
+    | Sea_serve.Server.Current -> "current"
+    | Sea_serve.Server.Proposed -> "proposed"
+
+  let json_file = "BENCH_churn.json"
+
+  let write_json results =
+    let oc = open_out json_file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"churn-degradation\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"machines\": %d,\n\
+      \  \"mttr_s\": %.2f,\n\
+      \  \"seed\": %Ld,\n\
+      \  \"results\": [\n"
+      smoke machines mttr_s seed;
+    let n = List.length results in
+    List.iteri
+      (fun i (mode, mttf_s, failover, fr) ->
+        let c = Option.get fr.Sea_cluster.Fleet_report.churn in
+        Printf.fprintf oc
+          "    { \"mode\": %S, \"mttf_s\": %.2f, \"failover\": %b, \
+           \"goodput_rps\": %.2f, \"p95_ms\": %s, \"lost\": %d, \
+           \"migrations_warm\": %d, \"migrations_cold\": %d }%s\n"
+          (mode_name mode) mttf_s failover (goodput fr)
+          (let p = p95 fr in
+           if Float.is_finite p then Printf.sprintf "%.2f" p else "null")
+          c.Sea_cluster.Fleet_report.lost_requests
+          c.Sea_cluster.Fleet_report.migrations
+          c.Sea_cluster.Fleet_report.cold_restarts
+          (if i = n - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc
+
+  let run () =
+    section
+      (Printf.sprintf
+         "A10 — degradation under machine churn: goodput vs MTTF (%d \
+          machines, MTTR %.0f s, %.0f req/s fleet)%s"
+         machines mttr_s
+         (per_machine_rate *. float_of_int machines)
+         (if smoke then " [smoke]" else ""));
+    let results =
+      List.concat_map
+        (fun mode ->
+          List.concat_map
+            (fun mttf_s ->
+              List.map
+                (fun failover ->
+                  let fr = run_at mode ~mttf_s ~failover in
+                  (mode, mttf_s, failover, fr))
+                [ true; false ])
+            mttfs)
+        [ Sea_serve.Server.Current; Sea_serve.Server.Proposed ]
+    in
+    Printf.printf "%-10s %8s %9s %12s %10s %6s %12s\n" "mode" "mttf s"
+      "failover" "goodput r/s" "p95 ms" "lost" "warm/cold";
+    List.iter
+      (fun (mode, mttf_s, failover, fr) ->
+        let c = Option.get fr.Sea_cluster.Fleet_report.churn in
+        Printf.printf "%-10s %8.2f %9s %12.2f %10s %6d %8d/%d\n"
+          (mode_name mode) mttf_s
+          (if failover then "on" else "off")
+          (goodput fr)
+          (let p = p95 fr in
+           if Float.is_finite p then Printf.sprintf "%.2f" p else "n/a")
+          c.Sea_cluster.Fleet_report.lost_requests
+          c.Sea_cluster.Fleet_report.migrations
+          c.Sea_cluster.Fleet_report.cold_restarts)
+      results;
+    write_json results;
+    (* The headline the CI gate re-checks from the JSON: failover vs
+       fail-in-place at the sweep's middle MTTF on proposed hardware. *)
+    let mid = List.nth mttfs (List.length mttfs / 2) in
+    let at failover =
+      List.fold_left
+        (fun acc (mode, mttf_s, fo, fr) ->
+          if mode = Sea_serve.Server.Proposed && mttf_s = mid && fo = failover
+          then goodput fr
+          else acc)
+        0. results
+    in
+    Printf.printf
+      "\nAt MTTF %.2f s on the proposed hardware, sealed-state failover\n\
+       holds %.2f req/s where failing in place holds %.2f (%.2fx): the\n\
+       heartbeat detector reroutes a dead machine's tenants within its\n\
+       detection lag and sePCR-bound seal/unseal moves their resident\n\
+       PALs, so the fleet degrades by the detection window instead of\n\
+       the repair time. JSON written to %s.\n"
+      mid (at true) (at false)
+      (at true /. Float.max (at false) 1e-9)
+      json_file
+end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1377,6 +1542,7 @@ let all =
     ("fleet", Fleet.run);
     ("cost", Cost.run);
     ("vtpm", Vtpm_density.run);
+    ("churn", Churn.run);
   ]
 
 let () =

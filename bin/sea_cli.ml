@@ -556,6 +556,7 @@ let s_analysis = "ANALYSIS OPTIONS"
 let s_fault = "FAULT INJECTION OPTIONS"
 let s_vtpm = "VIRTUAL TPM OPTIONS"
 let s_fleet = "FLEET OPTIONS"
+let s_churn = "FLEET CHURN OPTIONS"
 
 let serve_mode_arg =
   let doc =
@@ -872,10 +873,61 @@ let cluster_usage =
   "usage: sea-cli cluster --machines N --shards K --policy POLICY\n\
   \       with N >= 1 and 1 <= K <= N; see sea-cli cluster --help"
 
+(* Parse the churn flag group into an optional churn config. Everything
+   follows the exit-1-plus-message convention; the fleet-shape check
+   (failover needs survivors to fail over to) uses the cluster usage
+   string because it is a --machines problem as much as a --failover
+   one. *)
+let churn_of_flags ~machines ~duration_s ~mttf ~mttr ~partition ~link_loss
+    ~failover ~fault_seed =
+  let failover_on =
+    match String.lowercase_ascii (String.trim failover) with
+    | "on" -> true
+    | "off" -> false
+    | other ->
+        or_die
+          (Error (Printf.sprintf "--failover must be on or off, not %S" other))
+  in
+  match mttf with
+  | None ->
+      if partition <> None then
+        or_die (Error "--partition needs --mttf (it seeds the churn plan)");
+      if link_loss <> 0. then
+        or_die (Error "--link-loss needs --mttf (it seeds the churn plan)");
+      None
+  | Some mttf_s ->
+      if mttf_s <= 0. then or_die (Error "--mttf must be positive");
+      if mttr <= 0. then or_die (Error "--mttr must be positive");
+      (match partition with
+      | Some p when p <= 0. -> or_die (Error "--partition must be positive")
+      | Some p when p > duration_s ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "--partition %.3gs exceeds the serving window (--duration \
+                   %.3gs)"
+                  p duration_s))
+      | _ -> ());
+      if link_loss < 0. || link_loss >= 1. then
+        or_die (Error "--link-loss must be in [0, 1)");
+      if failover_on && machines < 2 then begin
+        Printf.eprintf
+          "error: --failover on needs at least 2 machines (no survivor to \
+           fail over to)\n%s\n"
+          cluster_usage;
+        exit 1
+      end;
+      let plan =
+        Sea_fault.Machine_fault.spec ~mttf:(Time.s mttf_s) ~mttr:(Time.s mttr)
+          ?partition:(Option.map Time.s partition)
+          ~link_loss ~seed:fault_seed ()
+      in
+      Some (Sea_cluster.Cluster.churn ~failover:failover_on plan ())
+
 let run_cluster machine_config mode machines shards policy rate duration_s
     cores tenants depth discipline analyze admission cost_budget timer_ms
     deadline_ms closed think_ms seed fault_rate fault_kinds fault_seed vtpm
-    vtpm_batch trace_prefix =
+    vtpm_batch mttf mttr partition link_loss failover trace_prefix =
   (* Fleet-shape validation first: bad --machines/--shards must exit 1
      with a usage message, never escape as a raised Invalid_argument. *)
   let cfg =
@@ -888,6 +940,10 @@ let run_cluster machine_config mode machines shards policy rate duration_s
   if duration_s <= 0. then or_die (Error "--duration must be positive");
   if timer_ms <= 0. then or_die (Error "--timer must be positive");
   validate_vtpm_flags ~vtpm ~vtpm_batch;
+  let churn =
+    churn_of_flags ~machines ~duration_s ~mttf ~mttr ~partition ~link_loss
+      ~failover ~fault_seed
+  in
   let analyze = gate_of_flag analyze in
   let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
@@ -919,7 +975,7 @@ let run_cluster machine_config mode machines shards policy rate duration_s
     let result =
       Sea_cluster.Cluster.run ~seed:(Int64.of_int seed)
         ?trace:(Option.map (fun arr i -> arr.(i)) sinks)
-        cfg ~machine_config ~serve workload
+        ?churn cfg ~machine_config ~serve workload
     in
     let wall = Unix.gettimeofday () -. t0 in
     let report = or_die result in
@@ -982,10 +1038,47 @@ let cluster_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PREFIX" ~docs:s_fleet ~doc)
   in
+  let mttf_arg =
+    let doc =
+      "Enable machine churn: mean time to failure, seconds of simulated \
+       time per machine (exponential fail-stop crashes). The churn plan is \
+       seeded from $(b,--fault-seed)."
+    in
+    Arg.(value & opt (some float) None & info [ "mttf" ] ~docv:"SECONDS" ~docs:s_churn ~doc)
+  in
+  let mttr_arg =
+    let doc = "Mean time to repair a crashed machine, seconds." in
+    Arg.(value & opt float 2. & info [ "mttr" ] ~docv:"SECONDS" ~docs:s_churn ~doc)
+  in
+  let partition_arg =
+    let doc =
+      "Also net-partition each machine once, for $(docv) seconds at a \
+       seed-chosen instant (the machine keeps running but is unreachable)."
+    in
+    Arg.(
+      value & opt (some float) None
+      & info [ "partition" ] ~docv:"SECONDS" ~docs:s_churn ~doc)
+  in
+  let link_loss_arg =
+    let doc =
+      "Per-message drop probability in [0,1) on the migration link state \
+       blobs cross during failover."
+    in
+    Arg.(value & opt float 0. & info [ "link-loss" ] ~docv:"P" ~docs:s_churn ~doc)
+  in
+  let failover_arg =
+    let doc =
+      "$(b,on): heartbeat-detect dead machines, re-route their tenants over \
+       the surviving ring and migrate resident PAL state by \
+       seal-transfer-unseal. $(b,off): machines fail in place and their \
+       traffic black-holes for the outage."
+    in
+    Arg.(value & opt string "on" & info [ "failover" ] ~docv:"on|off" ~docs:s_churn ~doc)
+  in
   let man =
     [
-      `S s_fleet; `S s_serve; `S s_admission; `S s_analysis; `S s_fault;
-      `S s_vtpm; `S Manpage.s_options;
+      `S s_fleet; `S s_churn; `S s_serve; `S s_admission; `S s_analysis;
+      `S s_fault; `S s_vtpm; `S Manpage.s_options;
     ]
   in
   Cmd.v
@@ -1002,7 +1095,8 @@ let cluster_cmd =
       $ tenants_arg $ depth_arg $ discipline_arg $ analyze_gate_arg
       $ admission_cost_arg $ cost_budget_arg $ timer_arg $ deadline_arg
       $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg $ fault_kinds_arg
-      $ fault_seed_arg $ vtpm_arg $ vtpm_batch_arg $ trace_arg)
+      $ fault_seed_arg $ vtpm_arg $ vtpm_batch_arg $ mttf_arg $ mttr_arg
+      $ partition_arg $ link_loss_arg $ failover_arg $ trace_arg)
 
 (* --- main --- *)
 

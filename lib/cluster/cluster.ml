@@ -1,5 +1,6 @@
 open Sea_sim
 open Sea_serve
+module Machine_fault = Sea_fault.Machine_fault
 
 type config = {
   machines : int;
@@ -14,6 +15,20 @@ let config ?(shards = 1) ?(policy = Router.Round_robin) ~machines () =
     invalid_arg "--shards must not exceed --machines (idle shards)";
   { machines; shards; policy }
 
+type churn_config = {
+  plan : Machine_fault.spec;
+  failover : bool;
+  heartbeat : Time.t;
+  dead_after : int;
+}
+
+let churn ?(failover = true) ?(heartbeat = Time.ms 100.) ?(dead_after = 3)
+    plan () =
+  if Time.compare heartbeat Time.zero <= 0 then
+    invalid_arg "Cluster.churn: heartbeat must be positive";
+  if dead_after < 1 then invalid_arg "Cluster.churn: dead_after must be >= 1";
+  { plan; failover; heartbeat; dead_after }
+
 (* Force every lazily-built shared value (the per-kind application PALs)
    on the calling domain before any shard domain can race to force it:
    concurrent [Lazy.force] of the same suspension is unsafe under
@@ -26,13 +41,99 @@ let prewarm ~serve () =
   List.iter
     (fun k ->
       ignore (Workload.pal k : Sea_core.Pal.t);
+      ignore (Workload.resident_pal k : Sea_core.Pal.t);
       ignore (Workload.work k : Time.t);
       match serve.Server.discipline with
       | Admission.Cost _ -> ignore (Workload.static_cost k : int)
       | Admission.Fifo | Admission.Weighted -> ())
     Workload.kinds
 
-let run ?(seed = 1L) ?trace cfg ~machine_config ~serve tenants =
+(* --- the virtual-time heartbeat failure detector --- *)
+
+(* One outage as the detector sees it. All instants are ticks of the
+   heartbeat clock or outage endpoints, clamped to the serving horizon;
+   everything below is integer arithmetic on Time.t nanoseconds, so the
+   detection schedule is exact and wall-clock-free. *)
+type outage_view = {
+  ov_machine : int;
+  ov_kind : Machine_fault.kind;
+  ov_start : Time.t;
+  ov_until : Time.t;  (** Actual recovery, clamped to the horizon. *)
+  ov_detect : Time.t option;
+      (** Instant the detector declares the machine dead (the
+          [dead_after]'th consecutive missed heartbeat), when that
+          happens before the machine recovers; [None] for blips the
+          detector never promotes past suspicion. *)
+  ov_heal : Time.t;
+      (** First heartbeat tick at or after recovery: the machine is
+          routed back from here (meaningful only under [ov_detect]). *)
+  ov_misses : int;  (** Heartbeat ticks missed, capped at [dead_after]. *)
+}
+
+let view_outages ~churn:c ~duration outages_per_machine =
+  let hb = Time.to_ns c.heartbeat in
+  let tick_after t = ((Time.to_ns t / hb) + 1) * hb in
+  let views = ref [] in
+  Array.iteri
+    (fun m outages ->
+      List.iter
+        (fun (o : Machine_fault.outage) ->
+          if Time.compare o.start duration < 0 then begin
+            let until = Time.min o.until duration in
+            let first_miss = tick_after o.start in
+            let raw_detect = first_miss + ((c.dead_after - 1) * hb) in
+            let detect =
+              (* The detector fires only if the machine is still silent
+                 at the threshold tick and the run is still going. *)
+              if raw_detect < Time.to_ns until && raw_detect < Time.to_ns duration
+              then Some (Time.ns raw_detect)
+              else None
+            in
+            let heal =
+              Time.min duration
+                (Time.ns (((Time.to_ns until + hb - 1) / hb) * hb))
+            in
+            let misses =
+              if first_miss >= Time.to_ns until then 0
+              else
+                Stdlib.min c.dead_after
+                  (((Time.to_ns until - first_miss) / hb) + 1)
+            in
+            views :=
+              { ov_machine = m; ov_kind = o.kind; ov_start = o.start;
+                ov_until = until; ov_detect = detect; ov_heal = heal;
+                ov_misses = misses }
+              :: !views
+          end)
+        outages)
+    outages_per_machine;
+  List.rev !views
+
+(* Cut [0, duration) at every instant a machine's availability or the
+   router's belief about it changes. Within one epoch both are constant,
+   so each machine's serve is again a self-contained, shardable run. *)
+let epoch_bounds ~duration views =
+  let add s t = if Time.compare t Time.zero > 0 && Time.compare t duration < 0 then t :: s else s in
+  let instants =
+    List.fold_left
+      (fun acc v ->
+        let acc = add acc v.ov_start in
+        let acc = add acc v.ov_until in
+        let acc =
+          match v.ov_detect with Some d -> add (add acc d) v.ov_heal | None -> acc
+        in
+        acc)
+      [] views
+  in
+  let sorted = List.sort_uniq Time.compare (Time.zero :: duration :: instants) in
+  let rec pair = function
+    | a :: (b :: _ as rest) -> (a, b) :: pair rest
+    | _ -> []
+  in
+  pair sorted
+
+let run ?(seed = 1L) ?trace ?churn:churn_cfg cfg ~machine_config ~serve tenants
+    =
   if tenants = [] then invalid_arg "Cluster.run: no tenants";
   if Option.is_some serve.Server.retry then
     Error
@@ -80,15 +181,12 @@ let run ?(seed = 1L) ?trace cfg ~machine_config ~serve tenants =
              machine_config)
     done;
     let machines = Array.map Option.get machines in
-    let results :
-        (Sea_serve.Report.t, string) result option array =
-      Array.make n None
-    in
-    let serve_one i =
-      match shares.(i) with
+    (* Run machine [i]'s serve (with config [cfg_i] and tenant share
+       [share]) under its trace sink, storing into [results.(i)]. *)
+    let serve_into results i cfg_i share =
+      match share with
       | [] -> () (* idle machine: the router sent it no tenants *)
       | share ->
-          let cfg_i = { serve with Server.faults = fault_specs.(i) } in
           let go () =
             match Server.run machines.(i) cfg_i share with
             | r -> r
@@ -102,44 +200,300 @@ let run ?(seed = 1L) ?trace cfg ~machine_config ~serve tenants =
           in
           results.(i) <- Some r
     in
-    let shard s =
-      (* Machine i runs on shard (i mod shards); within a shard,
-         machines run in increasing index order. Each machine is
-         self-contained, so the partition affects wall-clock only. *)
-      let i = ref s in
-      while !i < n do
-        serve_one !i;
-        i := !i + cfg.shards
-      done
-    in
-    if cfg.shards = 1 then shard 0
-    else begin
-      let domains =
-        List.init (cfg.shards - 1) (fun s -> Domain.spawn (fun () -> shard (s + 1)))
+    let shard_over results cfgs epoch_shares =
+      let shard s =
+        (* Machine i runs on shard (i mod shards); within a shard,
+           machines run in increasing index order. Each machine is
+           self-contained, so the partition affects wall-clock only. *)
+        let i = ref s in
+        while !i < n do
+          serve_into results !i cfgs.(!i) epoch_shares.(!i);
+          i := !i + cfg.shards
+        done
       in
-      shard 0;
-      List.iter Domain.join domains
-    end;
-    (* Collect in machine order; the first failure wins. *)
-    let rec collect i acc =
-      if i = n then Ok (List.rev acc)
-      else
-        match results.(i) with
-        | None ->
-            collect (i + 1)
-              ({ Fleet_report.index = i; tenants = 0; report = None } :: acc)
-        | Some (Ok r) ->
-            collect (i + 1)
-              ({
-                 Fleet_report.index = i;
-                 tenants = List.length shares.(i);
-                 report = Some r;
-               }
-              :: acc)
-        | Some (Error e) -> Error (Printf.sprintf "machine %d: %s" i e)
+      if cfg.shards = 1 then shard 0
+      else begin
+        let domains =
+          List.init (cfg.shards - 1) (fun s ->
+              Domain.spawn (fun () -> shard (s + 1)))
+        in
+        shard 0;
+        List.iter Domain.join domains
+      end
     in
-    match collect 0 [] with
-    | Error e -> Error e
-    | Ok rows ->
-        Ok (Fleet_report.merge ~policy:(Router.policy_name cfg.policy) rows)
+    match churn_cfg with
+    | None -> (
+        (* Churn-free: one serving window per machine, exactly the
+           historical path (and the historical render, byte for byte). *)
+        let results :
+            (Sea_serve.Report.t, string) result option array =
+          Array.make n None
+        in
+        let cfgs =
+          Array.map (fun spec -> { serve with Server.faults = spec }) fault_specs
+        in
+        shard_over results cfgs shares;
+        (* Collect in machine order; the first failure wins. *)
+        let rec collect i acc =
+          if i = n then Ok (List.rev acc)
+          else
+            match results.(i) with
+            | None ->
+                collect (i + 1)
+                  ({ Fleet_report.index = i; tenants = 0; report = None;
+                     lost = 0 }
+                  :: acc)
+            | Some (Ok r) ->
+                collect (i + 1)
+                  ({
+                     Fleet_report.index = i;
+                     tenants = List.length shares.(i);
+                     report = Some r;
+                     lost = 0;
+                   }
+                  :: acc)
+            | Some (Error e) -> Error (Printf.sprintf "machine %d: %s" i e)
+        in
+        match collect 0 [] with
+        | Error e -> Error e
+        | Ok rows ->
+            Ok (Fleet_report.merge ~policy:(Router.policy_name cfg.policy) rows))
+    | Some c ->
+        if c.failover && n < 2 then
+          Error "cluster: --failover on needs at least 2 machines"
+        else begin
+          let duration = serve.Server.duration in
+          let tenant_arr = Array.of_list tenants in
+          let nt = Array.length tenant_arr in
+          (* The whole fleet's outage schedule, detection instants and
+             epoch cuts are precomputed from the plan's seed alone —
+             independent of workload execution and of the shard count. *)
+          let outages = Machine_fault.plans c.plan ~duration ~machines:n in
+          let views = view_outages ~churn:c ~duration outages in
+          let epochs = epoch_bounds ~duration views in
+          (* Streams for the churn layer's own draws (durable-blob
+             survival) and the shared migration link, carved off the
+             plan seed under a distinct label so they perturb neither
+             the outage walk nor any engine stream. *)
+          let churn_rng =
+            Rng.create
+              ~seed:(Int64.add (Int64.of_int c.plan.Machine_fault.seed)
+                       0x6368_75726eL)
+              ()
+          in
+          let link =
+            Link.create ~loss:c.plan.Machine_fault.link_loss
+              (Rng.split churn_rng)
+          in
+          let epoch_reports = Array.make n [] in
+          let lost = Array.make n 0 in
+          let host_prev = Array.copy assignment in
+          let failovers = ref 0 and migrations = ref 0 in
+          let cold_restarts = ref 0 and torn = ref 0 in
+          let link_retries = ref 0 and recovered = ref 0 in
+          let first_err = ref None in
+          let reroute_active at v =
+            match v.ov_detect with
+            | Some d ->
+                Time.compare d at <= 0 && Time.compare at v.ov_heal < 0
+            | None -> false
+          in
+          List.iter
+            (fun (a, b) ->
+              if !first_err = None then begin
+                let down m = Machine_fault.down_at outages.(m) a in
+                let dead m =
+                  c.failover
+                  && List.exists
+                       (fun v -> v.ov_machine = m && reroute_active a v)
+                       views
+                in
+                let alive =
+                  List.filter (fun m -> not (dead m)) (List.init n Fun.id)
+                in
+                (* Routing for this epoch: a detected-dead machine's
+                   tenants ride the consistent-hash ring minus the dead
+                   nodes; everyone else stays home. *)
+                let host =
+                  Array.init nt (fun ti ->
+                      let home = assignment.(ti) in
+                      if dead home && alive <> [] then
+                        Router.reroute ~alive tenant_arr.(ti)
+                      else home)
+                in
+                (* Barrier work, main domain, machine-index order:
+                   heartbeat suspicion for outages starting here, then
+                   sealed-state failover for machines declared dead
+                   here. Trace events land in the affected machine's
+                   own sink. *)
+                let under_sink m f =
+                  match trace with
+                  | None -> f ()
+                  | Some sink_for -> Sea_trace.Trace.with_sink (sink_for m) f
+                in
+                List.iter
+                  (fun v ->
+                    if Time.compare v.ov_start a = 0 then
+                      under_sink v.ov_machine (fun () ->
+                          let engine =
+                            Sea_hw.Machine.engine machines.(v.ov_machine)
+                          in
+                          for j = 1 to v.ov_misses do
+                            Sea_trace.Trace.instant engine ~cat:"churn"
+                              ~args:(fun () ->
+                                [
+                                  ("machine",
+                                   Sea_trace.Trace.Int v.ov_machine);
+                                  ("miss", Sea_trace.Trace.Int j);
+                                  ("outage",
+                                   Sea_trace.Trace.Str
+                                     (Machine_fault.kind_name v.ov_kind));
+                                ])
+                              "heartbeat-miss"
+                          done))
+                  views;
+                List.iter
+                  (fun v ->
+                    if v.ov_detect = Some a && c.failover then
+                      let m = v.ov_machine in
+                      for ti = 0 to nt - 1 do
+                        if host_prev.(ti) = m && host.(ti) <> m then begin
+                          incr failovers;
+                          let target = host.(ti) in
+                          if
+                            serve.Server.mode = Server.Proposed
+                            && not (down target)
+                          then
+                            List.iter
+                              (fun (kind, _w) ->
+                                let source_alive =
+                                  v.ov_kind = Machine_fault.Partition
+                                in
+                                let blob_available =
+                                  source_alive
+                                  || Rng.float churn_rng 1.0 < 0.5
+                                in
+                                under_sink target (fun () ->
+                                    match
+                                      Migrate.failover ~source:machines.(m)
+                                        ~target:machines.(target) ~link
+                                        ~source_alive ~blob_available
+                                        ~preemption_timer:
+                                          serve.Server.preemption_timer
+                                        ~tenant:
+                                          tenant_arr.(ti).Workload.name
+                                        ~kind_name:(Workload.kind_name kind)
+                                        (Workload.resident_pal kind) ()
+                                    with
+                                    | Ok r ->
+                                        (match r.Migrate.outcome with
+                                        | Migrate.Warm -> incr migrations
+                                        | Migrate.Cold -> incr cold_restarts);
+                                        if r.Migrate.torn then incr torn;
+                                        link_retries :=
+                                          !link_retries
+                                          + r.Migrate.link_retries;
+                                        Migrate.dispose r
+                                    | Error _ -> incr cold_restarts))
+                              tenant_arr.(ti).Workload.mix
+                        end
+                      done)
+                  views;
+                (* Shares for this epoch; a tenant whose host is down
+                   (crashed but not yet detected, or failover off) is
+                   black-holed: its offered load is charged to the dead
+                   machine as offered-and-failed. *)
+                let epoch_shares = Array.make n [] in
+                let epoch_len = Time.sub b a in
+                for ti = nt - 1 downto 0 do
+                  let h = host.(ti) in
+                  if down h then
+                    lost.(h) <-
+                      lost.(h)
+                      + int_of_float
+                          (Float.round
+                             (Router.offered_rate tenant_arr.(ti)
+                             *. Time.to_s epoch_len))
+                  else epoch_shares.(h) <- tenant_arr.(ti) :: epoch_shares.(h)
+                done;
+                let results = Array.make n None in
+                let cfgs =
+                  Array.map
+                    (fun spec ->
+                      { serve with Server.faults = spec;
+                        duration = epoch_len })
+                    fault_specs
+                in
+                shard_over results cfgs epoch_shares;
+                (* Collect this epoch in machine order. *)
+                for i = 0 to n - 1 do
+                  match results.(i) with
+                  | None -> ()
+                  | Some (Ok r) ->
+                      epoch_reports.(i) <- r :: epoch_reports.(i);
+                      (* Completions by displaced tenants on this
+                         survivor are goodput failover recovered. *)
+                      for ti = 0 to nt - 1 do
+                        if host.(ti) = i && assignment.(ti) <> i then
+                          List.iter
+                            (fun (row : Report.row) ->
+                              if
+                                row.Report.tenant
+                                = tenant_arr.(ti).Workload.name
+                              then
+                                recovered := !recovered + row.Report.completed)
+                            r.Report.rows
+                      done
+                  | Some (Error e) ->
+                      if !first_err = None then
+                        first_err :=
+                          Some (Printf.sprintf "machine %d: %s" i e)
+                done;
+                Array.blit host 0 host_prev 0 nt
+              end)
+            epochs;
+          match !first_err with
+          | Some e -> Error e
+          | None ->
+              let rows =
+                List.init n (fun i ->
+                    {
+                      Fleet_report.index = i;
+                      tenants = List.length shares.(i);
+                      report =
+                        (match List.rev epoch_reports.(i) with
+                        | [] -> None
+                        | rs -> Some (Report.merge_seq rs));
+                      lost = lost.(i);
+                    })
+              in
+              let count kind =
+                List.length (List.filter (fun v -> v.ov_kind = kind) views)
+              in
+              let churn_stats =
+                {
+                  Fleet_report.failover = c.failover;
+                  crashes = count Machine_fault.Crash;
+                  partitions = count Machine_fault.Partition;
+                  heartbeat_misses =
+                    List.fold_left (fun acc v -> acc + v.ov_misses) 0 views;
+                  failovers = !failovers;
+                  migrations = !migrations;
+                  cold_restarts = !cold_restarts;
+                  torn_backouts = !torn;
+                  link_drops = Link.drops link;
+                  link_retries = !link_retries;
+                  lost_requests = Array.fold_left ( + ) 0 lost;
+                  recovered = !recovered;
+                }
+              in
+              (try
+                 Ok
+                   (Fleet_report.merge ~churn:churn_stats
+                      ~policy:(Router.policy_name cfg.policy) rows)
+               with Invalid_argument _ ->
+                 Error
+                   "cluster: every machine was down for the whole window — \
+                    nothing served (raise --mttf or shorten --mttr)")
+        end
   end

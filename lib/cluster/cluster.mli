@@ -27,7 +27,29 @@
     before any shard starts serving; shard domains only execute
     already-built machines. Per-machine traces are supported by handing
     each machine its own sink ({!Sea_trace.Trace} installation is
-    domain-local). *)
+    domain-local).
+
+    {2 Churn}
+
+    With a {!churn_config}, the run injects machine-scoped failures from
+    a deterministic {!Sea_fault.Machine_fault} plan and detects them
+    with a virtual-time heartbeat detector: a machine that misses
+    [dead_after] consecutive heartbeats is declared dead, its queue is
+    drained, and its tenants re-route over the consistent-hash ring
+    minus the dead node ({!Router.reroute}). In proposed mode each
+    displaced tenant's resident PALs fail over by sealed-state migration
+    ({!Migrate.failover}); requests offered to a machine that is down
+    but not yet (or never, with failover off) detected are black-holed
+    and accounted offered-and-failed.
+
+    The serving window is cut into epochs at the instants machine
+    availability or routing belief changes; within an epoch every
+    machine's serve is self-contained, so the epochs shard across
+    domains exactly like a churn-free run and the merged report stays
+    byte-identical across shard counts. All cross-machine work
+    (detection, migration) happens between epochs on the calling domain
+    in machine-index order. A run without [?churn] takes the historical
+    code path unchanged. *)
 
 type config = {
   machines : int;
@@ -41,9 +63,34 @@ val config : ?shards:int -> ?policy:Router.policy -> machines:int -> unit -> con
     messages name the CLI flags, and [sea_cli cluster] turns them into a
     usage error (exit 1). *)
 
+type churn_config = {
+  plan : Sea_fault.Machine_fault.spec;
+      (** Machine crash/partition/link-loss schedule. *)
+  failover : bool;
+      (** [true]: detect, re-route and migrate; [false]: machines fail
+          in place and their traffic black-holes for the outage. *)
+  heartbeat : Sea_sim.Time.t;  (** Heartbeat tick interval. *)
+  dead_after : int;
+      (** Consecutive missed heartbeats before a machine is declared
+          dead. Detection latency is
+          [heartbeat * dead_after] (to the next tick). *)
+}
+
+val churn :
+  ?failover:bool ->
+  ?heartbeat:Sea_sim.Time.t ->
+  ?dead_after:int ->
+  Sea_fault.Machine_fault.spec ->
+  unit ->
+  churn_config
+(** Defaults: failover on, 100 ms heartbeat, dead after 3 misses.
+    Raises [Invalid_argument] unless [heartbeat > 0] and
+    [dead_after >= 1]. *)
+
 val run :
   ?seed:int64 ->
   ?trace:(int -> Sea_trace.Trace.sink) ->
+  ?churn:churn_config ->
   config ->
   machine_config:Sea_hw.Machine.config ->
   serve:Sea_serve.Server.config ->
@@ -63,6 +110,10 @@ val run :
     [trace], when given, supplies machine [i]'s private sink; the sink
     is installed around that machine's serve only (in whichever domain
     runs it) and can be exported after [run] returns.
+
+    [churn], when given, drives the failure-domain machinery described
+    above; [Error] if failover is on with fewer than 2 machines, or if
+    the plan downs every machine for the entire window.
 
     Raises [Invalid_argument] on an empty tenant list. [Error] surfaces
     the first failing machine by index. *)

@@ -5,6 +5,22 @@ type machine_row = {
   index : int;
   tenants : int;
   report : Report.t option;
+  lost : int;
+}
+
+type churn_stats = {
+  failover : bool;
+  crashes : int;
+  partitions : int;
+  heartbeat_misses : int;
+  failovers : int;
+  migrations : int;
+  cold_restarts : int;
+  torn_backouts : int;
+  link_drops : int;
+  link_retries : int;
+  lost_requests : int;
+  recovered : int;
 }
 
 type t = {
@@ -33,24 +49,39 @@ type t = {
   breaker_transitions : int;
   recoveries : int;
   vtpm : Report.vtpm_stats option;
+  churn : churn_stats option;
 }
 
-(* Sum per-kind fault counts across machines, preserving the kind order
-   of the first non-empty list (all reports emit Fault.all_kinds order). *)
-let merge_faults lists =
-  match List.filter (fun l -> l <> []) lists with
-  | [] -> []
-  | first :: _ as nonempty ->
-      List.map
-        (fun (kind, _) ->
-          ( kind,
-            List.fold_left
-              (fun acc l ->
-                acc + (match List.assoc_opt kind l with Some c -> c | None -> 0))
-              0 nonempty ))
-        first
+(* Requests black-holed while a machine was down are real offered load
+   that failed: fold a row's [lost] into its accounting so the fleet
+   invariant [offered = completed + shed + timed_out + failed] survives
+   churn. Lost 0 (every churn-free run) leaves the row untouched. *)
+let with_lost (row : Report.row) lost =
+  if lost = 0 then row
+  else { row with Report.offered = row.Report.offered + lost;
+         failed = row.Report.failed + lost }
 
-let merge ~policy rows =
+(* A machine that was down for its whole window has no report but still
+   black-holed arrivals: account them through an empty row. *)
+let down_row lost =
+  {
+    Report.tenant = "down";
+    weight = 0;
+    offered = lost;
+    completed = 0;
+    shed = 0;
+    timed_out = 0;
+    failed = lost;
+    latency_ms = Stats.create ();
+    queue_high_water = 0;
+  }
+
+let accounted_row row =
+  match row.report with
+  | Some r -> Some (with_lost r.Report.aggregate row.lost)
+  | None -> if row.lost > 0 then Some (down_row row.lost) else None
+
+let merge ?churn ~policy rows =
   if rows = [] then invalid_arg "Fleet_report.merge: no machines";
   let reports = List.filter_map (fun r -> r.report) rows in
   if reports = [] then invalid_arg "Fleet_report.merge: every machine is idle";
@@ -63,7 +94,9 @@ let merge ~policy rows =
     mode = first.Report.mode;
     hw = first.Report.machine;
     machines = List.length rows;
-    idle = List.length (List.filter (fun r -> r.report = None) rows);
+    idle =
+      List.length
+        (List.filter (fun r -> r.report = None && r.lost = 0) rows);
     policy;
     discipline = first.Report.discipline;
     depth = first.Report.depth;
@@ -75,8 +108,7 @@ let merge ~policy rows =
         Time.zero reports;
     per_machine = rows;
     fleet =
-      Report.merge_rows ~tenant:"fleet"
-        (List.map (fun r -> r.Report.aggregate) reports);
+      Report.merge_rows ~tenant:"fleet" (List.filter_map accounted_row rows);
     pal_busy = sum_time (fun r -> r.Report.pal_busy);
     stalled = sum_time (fun r -> r.Report.stalled);
     cold_starts = sum (fun r -> r.Report.cold_starts);
@@ -84,7 +116,8 @@ let merge ~policy rows =
     evictions = sum (fun r -> r.Report.evictions);
     sepcr_waits = sum (fun r -> r.Report.sepcr_waits);
     faults_injected =
-      merge_faults (List.map (fun r -> r.Report.faults_injected) reports);
+      Report.merge_fault_counts
+        (List.map (fun r -> r.Report.faults_injected) reports);
     retries = sum (fun r -> r.Report.retries);
     retry_give_ups = sum (fun r -> r.Report.retry_give_ups);
     breaker_shed = sum (fun r -> r.Report.breaker_shed);
@@ -106,6 +139,7 @@ let merge ~policy rows =
               unseals = sumv (fun v -> v.Report.unseals);
               resets = sumv (fun v -> v.Report.resets);
             });
+    churn;
   }
 
 let window_s t = Time.to_ms t.window /. 1000.
@@ -118,6 +152,13 @@ let machine_goodput_per_s row =
   match row.report with
   | None -> 0.
   | Some r -> Report.goodput_per_s r r.Report.aggregate
+
+let recovered_goodput_per_s t =
+  match t.churn with
+  | None -> 0.
+  | Some c ->
+      let s = window_s t in
+      if s <= 0. then 0. else float_of_int c.recovered /. s
 
 let robustness_active t =
   t.retries > 0 || t.retry_give_ups > 0 || t.breaker_shed > 0
@@ -141,10 +182,17 @@ let pp fmt t =
   List.iter
     (fun row ->
       match row.report with
-      | None -> Format.fprintf fmt "m%-7d %7s %s@," row.index "0" "idle"
+      | None when row.lost = 0 ->
+          Format.fprintf fmt "m%-7d %7s %s@," row.index "0" "idle"
+      | None ->
+          (* Down for its whole window: black-holed arrivals, an empty
+             completion window, and an explicit n/a latency. *)
+          Format.fprintf fmt
+            "m%-7d %7d %7d %7d %6d %8d %5d %9.2f  %-24s@," row.index
+            row.tenants row.lost 0 0 0 row.lost 0.0 "p50/p95/p99 n/a (down)"
       | Some r ->
           Format.fprintf fmt "m%-7d %7d %a@," row.index row.tenants pp_counts
-            (r.Report.aggregate, machine_goodput_per_s row))
+            (with_lost r.Report.aggregate row.lost, machine_goodput_per_s row))
     t.per_machine;
   let total_tenants =
     List.fold_left (fun acc r -> acc + r.tenants) 0 t.per_machine
@@ -173,6 +221,25 @@ let pp fmt t =
       Format.fprintf fmt "@,cost admission: budget %d us/tenant  cost shed %d"
         b t.cost_shed
   | None -> ());
+  (* The churn lines render only when a machine-fault plan drove the
+     run, so churn-free fleet reports are byte-identical to the
+     pre-churn layout. *)
+  (match t.churn with
+  | None -> ()
+  | Some c ->
+      Format.fprintf fmt
+        "@,churn: crashes %d  partitions %d  heartbeat misses %d  lost \
+         requests %d"
+        c.crashes c.partitions c.heartbeat_misses c.lost_requests;
+      Format.fprintf fmt
+        "@,failover: %s  tenants moved %d  migrations %d warm / %d cold (%d \
+         torn)  link drops %d (retries %d)"
+        (if c.failover then "on" else "off")
+        c.failovers c.migrations c.cold_restarts c.torn_backouts c.link_drops
+        c.link_retries;
+      if c.failover then
+        Format.fprintf fmt "@,recovered goodput: %.2f req/s on survivors"
+          (recovered_goodput_per_s t));
   if robustness_active t then begin
     let injected = List.filter (fun (_, c) -> c > 0) t.faults_injected in
     Format.fprintf fmt "@,faults injected: %s"

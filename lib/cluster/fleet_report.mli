@@ -11,7 +11,17 @@
     order is fixed by index, {!render} is byte-identical no matter how
     many domains the fleet was sharded across — deliberately, nothing
     about the shard count or host wall-clock appears in the render; the
-    CI determinism gate diffs exactly this string. *)
+    CI determinism gate diffs exactly this string.
+
+    Under churn, a machine row additionally carries the requests
+    black-holed while the machine was down ([lost]); they fold into the
+    row's and the fleet's accounting as offered-and-failed, preserving
+    [offered = completed + shed + timed_out + failed]. A machine that
+    was down for its entire window has an empty completion window and
+    renders an explicit [n/a] latency instead of raising from the empty
+    sample set. The churn/failover/recovered-goodput lines render only
+    when a machine-fault plan drove the run, so churn-free reports stay
+    byte-identical to the pre-churn layout. *)
 
 open Sea_sim
 open Sea_serve
@@ -19,7 +29,38 @@ open Sea_serve
 type machine_row = {
   index : int;
   tenants : int;  (** Tenants routed to this machine; 0 = idle. *)
-  report : Report.t option;  (** [None] iff the machine is idle. *)
+  report : Report.t option;
+      (** [None] iff the machine is idle or was down for its whole
+          window. *)
+  lost : int;
+      (** Requests black-holed while the machine was down (offered but
+          never served); 0 on every churn-free run. *)
+}
+
+type churn_stats = {
+  failover : bool;  (** Whether sealed-state failover was enabled. *)
+  crashes : int;  (** Machine-crash outages across the fleet. *)
+  partitions : int;  (** Net-partition outages across the fleet. *)
+  heartbeat_misses : int;
+      (** Heartbeat ticks the failure detector counted against downed
+          machines before declaring them dead. *)
+  failovers : int;  (** Tenant relocations performed at detection. *)
+  migrations : int;
+      (** Warm failovers: sealed state shipped, unsealed and resumed on
+          the survivor ({!Migrate.Warm}). *)
+  cold_restarts : int;
+      (** PALs re-launched without their state (blob lost, source
+          crashed mid-seal, or torn transfer). *)
+  torn_backouts : int;
+      (** Torn transfers whose target page/sePCR claim was backed out
+          before the cold re-launch. *)
+  link_drops : int;  (** Messages the lossy migration link lost. *)
+  link_retries : int;  (** Link re-transmissions burned. *)
+  lost_requests : int;  (** Total black-holed requests (sum of [lost]). *)
+  recovered : int;
+      (** Completions by failed-over tenants on survivor machines — the
+          goodput failover recovered that a static fleet would have
+          black-holed. *)
 }
 
 type t = {
@@ -52,9 +93,12 @@ type t = {
   vtpm : Report.vtpm_stats option;
       (** Summed vTPM counters (including [instances] — the fleet's
           total vTPM population); [None] when no machine multiplexed. *)
+  churn : churn_stats option;
+      (** Present iff a machine-fault plan drove the run; gates the
+          churn report lines. *)
 }
 
-val merge : policy:string -> machine_row list -> t
+val merge : ?churn:churn_stats -> policy:string -> machine_row list -> t
 (** Fold the rows (already in machine-index order) into a fleet view.
     Raises [Invalid_argument] if the list is empty or no machine has a
     report (the cluster layer guarantees at least one tenant, hence at
@@ -65,6 +109,10 @@ val goodput_per_s : t -> float
 
 val machine_goodput_per_s : machine_row -> float
 (** One machine's goodput over its own window; [0.] for an idle row. *)
+
+val recovered_goodput_per_s : t -> float
+(** Failed-over tenants' completions on survivors over the fleet
+    window; [0.] without churn. *)
 
 val robustness_active : t -> bool
 (** Whether any fault/retry/breaker counter is non-zero anywhere in the

@@ -64,6 +64,32 @@ let ring_lookup points h =
   let i = search 0 n in
   snd points.(if i = n then 0 else i)
 
+(* The same ring restricted to the surviving machine indices: every
+   survivor keeps its original virtual point hashes, so removing a dead
+   machine reassigns only the arcs it owned (the consistent-hashing
+   stability failover depends on — tenants on healthy machines do not
+   move). *)
+let ring_of indices =
+  match indices with
+  | [] -> invalid_arg "Router.ring_of: no machines"
+  | _ ->
+      let points = Array.make (List.length indices * virtual_points) (0L, 0) in
+      List.iteri
+        (fun j m ->
+          for v = 0 to virtual_points - 1 do
+            points.((j * virtual_points) + v) <-
+              (fnv1a (Printf.sprintf "machine:%d:%d" m v), m)
+          done)
+        indices;
+      Array.sort
+        (fun (h1, m1) (h2, m2) ->
+          match ucompare h1 h2 with 0 -> compare m1 m2 | c -> c)
+        points;
+      points
+
+let reroute ~alive (t : Workload.tenant) =
+  ring_lookup (ring_of alive) (fnv1a t.Workload.name)
+
 let offered_rate (t : Workload.tenant) =
   match t.Workload.process with
   | Workload.Open_loop { rate_per_s } -> rate_per_s

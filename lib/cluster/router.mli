@@ -47,3 +47,12 @@ val assign : policy -> machines:int -> Sea_serve.Workload.tenant list -> int arr
 (** [assign p ~machines tenants] gives each tenant (by list position) a
     machine index in [\[0, machines)]. Raises [Invalid_argument] when
     [machines < 1]. *)
+
+val reroute : alive:int list -> Sea_serve.Workload.tenant -> int
+(** Failover routing: the tenant's home on the consistent-hash ring
+    restricted to the [alive] machine indices. Survivors keep their
+    original virtual points, so removing a dead machine moves only the
+    tenants whose arcs it owned — regardless of which policy produced
+    the original assignment, displaced tenants spread over survivors
+    proportionally to ring ownership. Raises [Invalid_argument] on an
+    empty survivor list. *)

@@ -1,0 +1,94 @@
+open Sea_sim
+
+type kind = Crash | Partition
+
+let kind_name = function Crash -> "machine-crash" | Partition -> "net-partition"
+
+type outage = { kind : kind; start : Time.t; until : Time.t }
+
+type spec = {
+  mttf : Time.t;
+  mttr : Time.t;
+  partition : Time.t option;
+  link_loss : float;
+  seed : int;
+}
+
+let spec ?(mttr = Time.s 2.) ?partition ?(link_loss = 0.) ?(seed = 1) ~mttf () =
+  if Time.compare mttf Time.zero <= 0 then
+    invalid_arg "Machine_fault.spec: mttf must be positive";
+  if Time.compare mttr Time.zero <= 0 then
+    invalid_arg "Machine_fault.spec: mttr must be positive";
+  (match partition with
+  | Some p when Time.compare p Time.zero <= 0 ->
+      invalid_arg "Machine_fault.spec: partition must be positive"
+  | _ -> ());
+  if not (link_loss >= 0. && link_loss <= 1.) then
+    invalid_arg "Machine_fault.spec: link_loss must be in [0, 1]";
+  { mttf; mttr; partition; link_loss; seed }
+
+(* Exponential inter-arrival with the given mean, in whole nanoseconds,
+   floored at 1 ns so a pathological draw cannot stall the walk. *)
+let exp_draw rng mean =
+  let u = 1.0 -. Rng.float rng 1.0 in
+  let ns = -.float_of_int (Time.to_ns mean) *. log u in
+  Time.ns (Stdlib.max 1 (int_of_float ns))
+
+let plan_one spec ~duration rng =
+  (* Crash walk: exponential(mttf) up-times separated by fixed mttr
+     repairs, truncated at the horizon. *)
+  let crashes = ref [] in
+  let t = ref (exp_draw rng spec.mttf) in
+  while Time.compare !t duration < 0 do
+    let until = Time.add !t spec.mttr in
+    crashes := { kind = Crash; start = !t; until } :: !crashes;
+    t := Time.add until (exp_draw rng spec.mttf)
+  done;
+  let crashes = List.rev !crashes in
+  (* At most one partition per machine per run, placed uniformly so it
+     fits inside the horizon. The draw happens whether or not the window
+     fits, keeping the crash schedule independent of the partition
+     flag. *)
+  let partition =
+    match spec.partition with
+    | None -> []
+    | Some width ->
+        let slack = Time.to_ns duration - Time.to_ns width in
+        let start_ns = if slack <= 0 then 0 else Rng.int rng slack in
+        let start = Time.ns start_ns in
+        let until = Time.min duration (Time.add start width) in
+        [ { kind = Partition; start; until } ]
+  in
+  (* Merge the two walks in start order and drop any outage that begins
+     inside an earlier one: a machine that is already down cannot fail
+     again until it is back. *)
+  let all =
+    List.sort
+      (fun a b -> Time.compare a.start b.start)
+      (crashes @ partition)
+  in
+  let rec dedup horizon = function
+    | [] -> []
+    | o :: rest ->
+        if Time.compare o.start horizon < 0 then dedup horizon rest
+        else o :: dedup o.until rest
+  in
+  dedup Time.zero all
+
+let plans spec ~duration ~machines =
+  if machines < 1 then
+    invalid_arg "Machine_fault.plans: machines must be positive";
+  if Time.compare duration Time.zero <= 0 then
+    invalid_arg "Machine_fault.plans: duration must be positive";
+  (* One stream per machine, carved in index order off the spec's own
+     seed: machine [i]'s outage timeline depends on (spec.seed, i) alone,
+     mirroring how [Cluster.run] carves engine and fault-plan seeds. *)
+  let streams =
+    Rng.split_n (Rng.create ~seed:(Int64.of_int spec.seed) ()) machines
+  in
+  Array.map (fun rng -> plan_one spec ~duration rng) streams
+
+let down_at outages t =
+  List.exists
+    (fun o -> Time.compare o.start t <= 0 && Time.compare t o.until < 0)
+    outages

@@ -1,0 +1,58 @@
+(** Machine-scoped fault plans: whole-machine crash and partition
+    timelines for a fleet, precomputed deterministically in virtual
+    time.
+
+    Where {!Fault} injects transient faults {e inside} one machine (TPM
+    busy, LPC stall), a machine plan takes the whole machine away:
+    [Crash] is fail-stop — the machine loses its resident PALs and
+    serves nothing until repaired — while [Partition] leaves it running
+    but unreachable (heartbeats and requests are lost; sealed state
+    survives). Plans are pure data computed up front from the spec's own
+    seed, so the fleet's outage schedule is independent of workload
+    execution and identical for every shard count. *)
+
+open Sea_sim
+
+type kind = Crash | Partition
+
+val kind_name : kind -> string
+(** ["machine-crash"] / ["net-partition"]. *)
+
+type outage = { kind : kind; start : Time.t; until : Time.t }
+(** One contiguous unavailability window: the machine is down for
+    [start <= t < until] (instants relative to the serving window). *)
+
+type spec = {
+  mttf : Time.t;  (** Mean up-time between crashes (exponential). *)
+  mttr : Time.t;  (** Repair time per crash (fixed). *)
+  partition : Time.t option;
+      (** When set, each machine additionally suffers one partition of
+          this length at a uniformly drawn instant. *)
+  link_loss : float;
+      (** Per-message drop probability on the cluster's migration
+          channel ([Sea_cluster.Link]), in [0, 1]. *)
+  seed : int;
+}
+
+val spec :
+  ?mttr:Time.t ->
+  ?partition:Time.t ->
+  ?link_loss:float ->
+  ?seed:int ->
+  mttf:Time.t ->
+  unit ->
+  spec
+(** Validated constructor; defaults: 2 s repair, no partition, lossless
+    link, seed 1. Raises [Invalid_argument] unless [mttf], [mttr] and
+    any [partition] are positive and [link_loss] is in [0, 1]. *)
+
+val plans : spec -> duration:Time.t -> machines:int -> outage list array
+(** Per-machine outage timelines over [0, duration), sorted by start,
+    non-overlapping, truncated at the horizon. Machine [i]'s timeline is
+    a function of [(spec.seed, i)] alone — streams are carved with
+    {!Sea_sim.Rng.split_n} in index order, exactly like the cluster's
+    engine seeds — so the same spec replays the same fleet schedule
+    bit-identically. *)
+
+val down_at : outage list -> Time.t -> bool
+(** Whether the machine is inside any outage at instant [t]. *)

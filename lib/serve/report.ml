@@ -73,6 +73,121 @@ let merge_rows ~tenant rows =
           List.fold_left (fun acc r -> Stdlib.max acc r.queue_high_water) 0 rows;
       }
 
+(* Sum per-kind fault counts across reports, preserving the kind order
+   of the first non-empty list (all reports emit Fault.all_kinds order). *)
+let merge_fault_counts lists =
+  match List.filter (fun l -> l <> []) lists with
+  | [] -> []
+  | first :: _ as nonempty ->
+      List.map
+        (fun (kind, _) ->
+          ( kind,
+            List.fold_left
+              (fun acc l ->
+                acc + (match List.assoc_opt kind l with Some c -> c | None -> 0))
+              0 nonempty ))
+        first
+
+(* Merge reports from consecutive serving windows of ONE machine (the
+   churn epochs the cluster cuts a run into): windows add (the epochs
+   are sequential in virtual time, unlike the fleet merge where machines
+   run concurrently and the longest window wins), counters sum, and each
+   tenant's rows are folded by name in order of first appearance — a
+   tenant that failed over away and back contributes once. *)
+let merge_seq reports =
+  match reports with
+  | [] -> invalid_arg "Report.merge_seq: no reports"
+  | [ r ] -> r
+  | first :: _ ->
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+      let sum_time f =
+        List.fold_left (fun acc r -> Time.add acc (f r)) Time.zero reports
+      in
+      let names = ref [] in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun row ->
+              if not (List.mem row.tenant !names) then
+                names := row.tenant :: !names)
+            r.rows)
+        reports;
+      let rows =
+        List.map
+          (fun name ->
+            let parts =
+              List.concat_map
+                (fun r -> List.filter (fun row -> row.tenant = name) r.rows)
+                reports
+            in
+            (* The tenant's weight is a configuration, not a counter:
+               keep the first window's value rather than the sum. *)
+            { (merge_rows ~tenant:name parts) with
+              weight = (List.hd parts).weight })
+          (List.rev !names)
+      in
+      let window = sum_time (fun r -> r.window) in
+      let legacy_utilization =
+        if Time.compare window Time.zero <= 0 then 0.
+        else
+          List.fold_left
+            (fun acc r ->
+              acc +. (r.legacy_utilization *. float_of_int (Time.to_ns r.window)))
+            0. reports
+          /. float_of_int (Time.to_ns window)
+      in
+      {
+        mode = first.mode;
+        machine = first.machine;
+        cores = first.cores;
+        discipline = first.discipline;
+        depth = first.depth;
+        cost_budget = first.cost_budget;
+        cost_shed = sum (fun r -> r.cost_shed);
+        window;
+        rows;
+        aggregate =
+          { (merge_rows ~tenant:first.aggregate.tenant rows) with
+            weight = List.fold_left (fun acc row -> acc + row.weight) 0 rows };
+        pal_busy = sum_time (fun r -> r.pal_busy);
+        legacy_utilization;
+        stalled = sum_time (fun r -> r.stalled);
+        stall_ms = Stats.merge (List.map (fun r -> r.stall_ms) reports);
+        cold_starts = sum (fun r -> r.cold_starts);
+        warm_hits = sum (fun r -> r.warm_hits);
+        evictions = sum (fun r -> r.evictions);
+        sepcr_waits = sum (fun r -> r.sepcr_waits);
+        sepcr_wait_ms =
+          Stats.merge (List.map (fun r -> r.sepcr_wait_ms) reports);
+        faults_injected =
+          merge_fault_counts (List.map (fun r -> r.faults_injected) reports);
+        fault_stall = sum_time (fun r -> r.fault_stall);
+        retries = sum (fun r -> r.retries);
+        retry_give_ups = sum (fun r -> r.retry_give_ups);
+        breaker_shed = sum (fun r -> r.breaker_shed);
+        breaker_transitions = sum (fun r -> r.breaker_transitions);
+        degraded = sum_time (fun r -> r.degraded);
+        recoveries = sum (fun r -> r.recoveries);
+        vtpm =
+          (match List.filter_map (fun r -> r.vtpm) reports with
+          | [] -> None
+          | stats ->
+              let sumv f = List.fold_left (fun acc v -> acc + f v) 0 stats in
+              Some
+                {
+                  (* The same multiplexer serves every window: the
+                     population is a max, the event counters sum. *)
+                  instances =
+                    List.fold_left
+                      (fun acc v -> Stdlib.max acc v.instances)
+                      0 stats;
+                  extends = sumv (fun v -> v.extends);
+                  seals = sumv (fun v -> v.seals);
+                  unseals = sumv (fun v -> v.unseals);
+                  resets = sumv (fun v -> v.resets);
+                });
+      }
+
 let row_consistent row =
   row.offered = row.completed + row.shed + row.timed_out + row.failed
 

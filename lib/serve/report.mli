@@ -87,6 +87,18 @@ val merge_rows : tenant:string -> row list -> row
     cross-run percentiles, and the queue high-water mark is the max.
     Raises [Invalid_argument] on an empty list. *)
 
+val merge_fault_counts : (string * int) list list -> (string * int) list
+(** Sum per-kind injected-fault counts across reports, preserving the
+    kind order of the first non-empty list. *)
+
+val merge_seq : t list -> t
+(** Merge reports from {e consecutive} serving windows of one machine
+    (the epochs a churn run is cut into): windows and busy times add,
+    counters sum, per-tenant rows fold by name in order of first
+    appearance (weights are configuration, kept from the first window,
+    not summed), and latency samples concatenate exactly. Raises
+    [Invalid_argument] on an empty list. *)
+
 val row_consistent : row -> bool
 (** The per-row accounting invariant:
     [offered = completed + shed + timed_out + failed]. Preserved by

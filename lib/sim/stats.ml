@@ -63,6 +63,8 @@ let percentile t p =
   let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
   arr.(idx)
 
+let percentile_opt t p = if t.count = 0 then None else Some (percentile t p)
+
 let samples t = List.rev t.values
 
 let merge ts =

@@ -34,6 +34,11 @@ val percentile : t -> float -> float
     querying several percentiles between additions sorts once. Raises
     [Invalid_argument] if the accumulator is empty. *)
 
+val percentile_opt : t -> float -> float option
+(** Like {!percentile}, but [None] on an empty accumulator — for callers
+    that must render an ["n/a"] (a crashed machine's empty completion
+    window) rather than treat emptiness as a bug. *)
+
 val samples : t -> float list
 (** All recorded observations, in insertion order. *)
 

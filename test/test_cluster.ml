@@ -329,6 +329,320 @@ let test_run_rejects_empty_and_retry () =
       in
       checkb "error names retry" true (contains_sub e "retry")
 
+(* --- churn: failure domains, detection, failover --- *)
+
+(* The same widened seed band as the fault soak: SEA_FAULT_SEEDS in CI
+   sweeps the migration-atomicity property across 8 seeds. *)
+let churn_seeds =
+  match Sys.getenv_opt "SEA_FAULT_SEEDS" with
+  | None | Some "" -> [ 1; 2; 3 ]
+  | Some s ->
+      String.split_on_char ' ' s
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter_map int_of_string_opt
+
+let proposed_config = Sea_hw.Machine.proposed_variant machine_config
+
+let churn_fleet ?(machines = 4) ?(shards = 1) ?(mode = Server.Proposed)
+    ?(failover = true) ?(link_loss = 0.) ?(mttf = 1.5) ?(mttr = 2.) ?partition
+    ?(plan_seed = 1) ?(duration = 4.) ?(rate = 32.) ?trace () =
+  let machine_config =
+    match mode with
+    | Server.Current -> machine_config
+    | Server.Proposed -> proposed_config
+  in
+  let cfg = Cluster.config ~shards ~machines () in
+  let serve =
+    Server.config ~queue_depth:8 ~mode ~duration:(Time.s duration) ()
+  in
+  let plan =
+    Sea_fault.Machine_fault.spec ~mttf:(Time.s mttf) ~mttr:(Time.s mttr)
+      ?partition ~link_loss ~seed:plan_seed ()
+  in
+  let churn = Cluster.churn ~failover plan () in
+  match
+    Cluster.run ~seed:3L ?trace ~churn cfg ~machine_config ~serve
+      (Workload.preset ~tenants:8 (`Open rate))
+  with
+  | Ok fr -> fr
+  | Error e -> Alcotest.fail ("churn fleet run failed: " ^ e)
+
+let test_churn_shard_determinism () =
+  (* The load-bearing property survives churn: crashes, partitions,
+     heartbeat detection, lossy migrations — the merged render must
+     still be byte-identical across shard counts on both modes. *)
+  List.iter
+    (fun mode ->
+      let go shards =
+        churn_fleet ~machines:6 ~shards ~mode ~link_loss:0.3
+          ~partition:(Time.s 1.) ()
+      in
+      checks
+        (match mode with
+        | Server.Current -> "current: churn shards 1 = 3"
+        | Server.Proposed -> "proposed: churn shards 1 = 3")
+        (Fleet_report.render (go 1))
+        (Fleet_report.render (go 3)))
+    [ Server.Current; Server.Proposed ]
+
+let test_churn_quiet_plan_prefix () =
+  let cfg = Cluster.config ~machines:4 () in
+  let serve =
+    Server.config ~queue_depth:8 ~mode:Server.Proposed ~duration:(Time.s 1.) ()
+  in
+  let tenants = Workload.preset ~tenants:8 (`Open 32.) in
+  let plain =
+    match
+      Cluster.run ~seed:3L cfg ~machine_config:proposed_config ~serve tenants
+    with
+    | Ok fr -> Fleet_report.render fr
+    | Error e -> Alcotest.fail e
+  in
+  (* An MTTF of ~3 hours against a 1 s window: the plan draws no outage,
+     so the epoch path must reproduce the plain schedule exactly. *)
+  let quiet =
+    let plan = Sea_fault.Machine_fault.spec ~mttf:(Time.s 10_000.) () in
+    match
+      Cluster.run ~seed:3L ~churn:(Cluster.churn plan ()) cfg
+        ~machine_config:proposed_config ~serve tenants
+    with
+    | Ok fr -> fr
+    | Error e -> Alcotest.fail e
+  in
+  let quiet_render = Fleet_report.render quiet in
+  checkb "quiet-churn render extends the plain render" true
+    (String.length quiet_render > String.length plain
+    && String.sub quiet_render 0 (String.length plain) = plain);
+  (match quiet.Fleet_report.churn with
+  | None -> Alcotest.fail "churn stats missing"
+  | Some c ->
+      checki "no crashes" 0 c.Fleet_report.crashes;
+      checki "no lost requests" 0 c.Fleet_report.lost_requests)
+
+let test_churn_counters_and_recovery () =
+  (* A harsh plan on the proposed fleet: outages happen, the detector
+     fires, tenants move, and sealed-state migrations run. *)
+  let fr = churn_fleet ~machines:4 ~mttf:1. ~mttr:2. ~duration:4. () in
+  match fr.Fleet_report.churn with
+  | None -> Alcotest.fail "churn stats missing"
+  | Some c ->
+      checkb "outages happened" true (c.Fleet_report.crashes > 0);
+      checkb "detector counted misses" true (c.Fleet_report.heartbeat_misses > 0);
+      checkb "tenants moved" true (c.Fleet_report.failovers > 0);
+      checkb "migrations ran" true
+        (c.Fleet_report.migrations + c.Fleet_report.cold_restarts > 0);
+      checkb "black-holed traffic is accounted" true
+        (c.Fleet_report.lost_requests > 0);
+      (* The fleet row still balances with lost requests folded in. *)
+      let f = fr.Fleet_report.fleet in
+      checki "offered = completed + shed + timed_out + failed"
+        f.Report.offered
+        (f.Report.completed + f.Report.shed + f.Report.timed_out
+       + f.Report.failed);
+      let render = Fleet_report.render fr in
+      let contains_sub s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      checkb "churn line rendered" true (contains_sub render "churn: crashes");
+      checkb "recovered goodput rendered" true
+        (contains_sub render "recovered goodput")
+
+let test_failover_beats_fail_in_place () =
+  (* The bench headline at test scale: failover must recover strictly
+     more completions than failing in place under the same plan. *)
+  let completed failover =
+    (churn_fleet ~machines:6 ~failover ~mttf:1. ~mttr:3. ~duration:4.
+       ~rate:48. ())
+      .Fleet_report.fleet.Report.completed
+  in
+  let on = completed true and off = completed false in
+  checkb
+    (Printf.sprintf "failover on (%d) > off (%d)" on off)
+    true (on > off)
+
+let test_down_machine_renders_na () =
+  (* Satellite regression: a machine down for its whole window has an
+     empty completion window — the fleet merge and render must show n/a
+     instead of raising from the empty sample set. *)
+  checkb "percentile_opt on empty is None" true
+    (Stats.percentile_opt (Stats.create ()) 95. = None);
+  let serving =
+    match run_fleet ~machines:1 ~tenants:2 ~rate:8. () with
+    | Ok fr -> (
+        match (List.hd fr.Fleet_report.per_machine).Fleet_report.report with
+        | Some r -> r
+        | None -> Alcotest.fail "machine idle")
+    | Error e -> Alcotest.fail e
+  in
+  let rows =
+    [
+      { Fleet_report.index = 0; tenants = 2; report = Some serving; lost = 0 };
+      { Fleet_report.index = 1; tenants = 2; report = None; lost = 37 };
+    ]
+  in
+  let churn_stats =
+    {
+      Fleet_report.failover = false;
+      crashes = 1;
+      partitions = 0;
+      heartbeat_misses = 3;
+      failovers = 0;
+      migrations = 0;
+      cold_restarts = 0;
+      torn_backouts = 0;
+      link_drops = 0;
+      link_retries = 0;
+      lost_requests = 37;
+      recovered = 0;
+    }
+  in
+  let fr = Fleet_report.merge ~churn:churn_stats ~policy:"round-robin" rows in
+  let render = Fleet_report.render fr in
+  let contains_sub s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  checkb "down row renders n/a" true (contains_sub render "n/a (down)");
+  checki "lost requests fold into fleet offered" fr.Fleet_report.fleet.Report.offered
+    (serving.Report.aggregate.Report.offered + 37);
+  checki "lost requests fold into fleet failed" fr.Fleet_report.fleet.Report.failed
+    (serving.Report.aggregate.Report.failed + 37);
+  checkb "down machine is not idle" true (fr.Fleet_report.idle = 0)
+
+let test_migration_atomicity () =
+  (* The exactly-once property, swept across the fault-seed band and a
+     ladder of link-loss rates: whatever the link does to the transfer,
+     the PAL ends resident on exactly one machine — suspended on the
+     target, with every source-side claim (pages, sePCR) released — and
+     a torn transfer is always reported as a cold restart. *)
+  let pal = Workload.resident_pal Workload.Ssh_auth in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun loss ->
+          List.iter
+            (fun source_alive ->
+              let mk i =
+                Sea_hw.Machine.create
+                  ~engine:
+                    (Engine.create ~seed:(Int64.of_int ((seed * 7) + i)) ())
+                  proposed_config
+              in
+              let source = mk 0 and target = mk 1 in
+              let bank m =
+                match Sea_tpm.Tpm.sepcr_bank (Sea_hw.Machine.tpm_exn m) with
+                | Some b -> b
+                | None -> Alcotest.fail "no sePCR bank on proposed hw"
+              in
+              let free_sepcrs m = Sea_tpm.Sepcr.free_count (bank m) in
+              let free_pages m =
+                List.length m.Sea_hw.Machine.free_list
+              in
+              let s_sepcr = free_sepcrs source and s_pages = free_pages source in
+              let t_sepcr = free_sepcrs target and t_pages = free_pages target in
+              let link =
+                Link.create ~loss
+                  (Rng.create ~seed:(Int64.of_int ((seed * 31) + 5)) ())
+              in
+              let ctx =
+                Printf.sprintf "seed %d loss %.1f alive %b" seed loss
+                  source_alive
+              in
+              match
+                Migrate.failover ~source ~target ~link ~source_alive
+                  ~blob_available:(seed mod 2 = 0) ~tenant:"t" ~kind_name:"ssh"
+                  pal ()
+              with
+              | Error e -> Alcotest.fail (ctx ^ ": resident on neither: " ^ e)
+              | Ok r ->
+                  (* Resident on the target, exactly once... *)
+                  checkb (ctx ^ ": target suspended") true
+                    (Sea_core.Slaunch_session.state r.Migrate.target
+                    = Sea_core.Lifecycle.Suspend);
+                  (* ...and nowhere on the source: every claim the
+                     protocol made there is back out. *)
+                  checki (ctx ^ ": source sePCRs restored") s_sepcr
+                    (free_sepcrs source);
+                  checki (ctx ^ ": source pages restored") s_pages
+                    (free_pages source);
+                  (if r.Migrate.torn then
+                     checkb (ctx ^ ": torn implies cold") true
+                       (r.Migrate.outcome = Migrate.Cold));
+                  Migrate.dispose r;
+                  checki (ctx ^ ": target sePCRs restored after dispose")
+                    t_sepcr (free_sepcrs target);
+                  checki (ctx ^ ": target pages restored after dispose")
+                    t_pages (free_pages target))
+            [ true; false ])
+        [ 0.; 0.5; 0.9 ])
+    churn_seeds
+
+let test_churn_trace_gated () =
+  (* Tracing must be observer-only: the same churn run with per-machine
+     sinks installed renders byte-identically, and the sinks carry the
+     churn category's events. *)
+  let plain = churn_fleet ~machines:4 ~mttf:1. ~mttr:2. () in
+  let sinks = Array.init 4 (fun _ -> Sea_trace.Trace.create ()) in
+  let traced =
+    churn_fleet ~machines:4 ~mttf:1. ~mttr:2. ~trace:(fun i -> sinks.(i)) ()
+  in
+  checks "render identical with tracing on"
+    (Fleet_report.render plain)
+    (Fleet_report.render traced);
+  let all_json =
+    String.concat "" (Array.to_list (Array.map Sea_trace.Trace.export_json sinks))
+  in
+  let contains_sub s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  checkb "heartbeat misses traced" true (contains_sub all_json "heartbeat-miss");
+  checkb "migration spans traced" true (contains_sub all_json "migrate")
+
+let test_churn_validation () =
+  let plan = Sea_fault.Machine_fault.spec ~mttf:(Time.s 2.) () in
+  Alcotest.check_raises "heartbeat must be positive"
+    (Invalid_argument "Cluster.churn: heartbeat must be positive") (fun () ->
+      ignore (Cluster.churn ~heartbeat:Time.zero plan ()));
+  Alcotest.check_raises "dead_after must be >= 1"
+    (Invalid_argument "Cluster.churn: dead_after must be >= 1") (fun () ->
+      ignore (Cluster.churn ~dead_after:0 plan ()));
+  Alcotest.check_raises "mttf must be positive"
+    (Invalid_argument "Machine_fault.spec: mttf must be positive") (fun () ->
+      ignore (Sea_fault.Machine_fault.spec ~mttf:Time.zero ()));
+  (* Failover with a single machine has no survivor: Error, not a hang
+     or a silent no-op. *)
+  let cfg = Cluster.config ~machines:1 () in
+  let serve =
+    Server.config ~queue_depth:8 ~mode:Server.Proposed ~duration:(Time.s 1.) ()
+  in
+  match
+    Cluster.run ~churn:(Cluster.churn plan ()) cfg
+      ~machine_config:proposed_config ~serve
+      (Workload.preset ~tenants:2 (`Open 8.))
+  with
+  | Ok _ -> Alcotest.fail "single-machine failover must be rejected"
+  | Error e ->
+      let contains_sub s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      checkb "error names the machine requirement" true
+        (contains_sub e "at least 2 machines")
+
 let () =
   Alcotest.run "cluster"
     [
@@ -364,5 +678,23 @@ let () =
           Alcotest.test_case "config bounds" `Quick test_config_validation;
           Alcotest.test_case "empty tenants and preset retry" `Quick
             test_run_rejects_empty_and_retry;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "churn shards 1 = 3 (both modes)" `Quick
+            test_churn_shard_determinism;
+          Alcotest.test_case "quiet plan reproduces the plain render" `Quick
+            test_churn_quiet_plan_prefix;
+          Alcotest.test_case "counters and recovered goodput" `Quick
+            test_churn_counters_and_recovery;
+          Alcotest.test_case "failover beats failing in place" `Quick
+            test_failover_beats_fail_in_place;
+          Alcotest.test_case "down machine renders n/a" `Quick
+            test_down_machine_renders_na;
+          Alcotest.test_case "migration atomicity across seeds and loss"
+            `Quick test_migration_atomicity;
+          Alcotest.test_case "tracing is observer-only" `Quick
+            test_churn_trace_gated;
+          Alcotest.test_case "churn validation" `Quick test_churn_validation;
         ] );
     ]
