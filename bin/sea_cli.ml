@@ -560,31 +560,35 @@ let s_churn = "FLEET CHURN OPTIONS"
 
 let serve_mode_arg =
   let doc =
-    "Hardware to serve on: $(b,current) (each request is a full SKINIT \
-     session, whole platform stalled) or $(b,proposed) (resident suspended \
-     PALs on every core, §5)."
+    "Isolation backend to serve on: $(b,current) (each request is a full \
+     SKINIT session, whole platform stalled), $(b,proposed) (resident \
+     suspended PALs on every core, §5) or $(b,sfi) (software-fault-isolated \
+     residents, VM-exit-class transitions, no sePCR scarcity)."
   in
-  Arg.(
-    value
-    & opt
-        (enum
-           [
-             ("current", Sea_serve.Server.Current);
-             ("proposed", Sea_serve.Server.Proposed);
-           ])
-        Sea_serve.Server.Current
-    & info [ "mode" ] ~docv:"MODE" ~docs:s_serve ~doc)
+  Arg.(value & opt string "current" & info [ "mode" ] ~docv:"MODE" ~docs:s_serve ~doc)
+
+(* Like --analyze/--admission: unknown values exit 1 with the known list
+   (a cmdliner enum would exit 124 instead, inconsistently with them). *)
+let mode_of_flag s =
+  match Sea_serve.Server.mode_of_name s with
+  | Some mode -> mode
+  | None ->
+      or_die
+        (Error
+           (Printf.sprintf "unknown --mode %S; known: %s" s
+              (String.concat ", " Sea_serve.Server.mode_names)))
 
 (* The per-machine hardware configuration serve and cluster share:
    crypto fidelity does not affect timing (latency comes from the
    vendor profile), so serve at small key sizes and keep high request
    rates cheap to simulate; equip the proposed variant when serving in
-   proposed mode; optionally override the preset's core count. *)
+   proposed mode (current and sfi run on the commodity config);
+   optionally override the preset's core count. *)
 let serving_machine_config machine_config mode cores =
   let config = Machine.low_fidelity machine_config in
   let config =
     match mode with
-    | Sea_serve.Server.Current -> config
+    | Sea_serve.Server.Current | Sea_serve.Server.Sfi -> config
     | Sea_serve.Server.Proposed -> Machine.proposed_variant config
   in
   match cores with
@@ -782,6 +786,7 @@ let run_serve machine_config mode rate duration_s cores tenants depth
   if duration_s <= 0. then or_die (Error "--duration must be positive");
   if timer_ms <= 0. then or_die (Error "--timer must be positive");
   validate_vtpm_flags ~vtpm ~vtpm_batch;
+  let mode = mode_of_flag mode in
   let analyze = gate_of_flag analyze in
   let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in
@@ -857,8 +862,9 @@ let serve_cmd =
        ~doc:
          "Serve a multi-tenant PAL request load and report per-tenant \
           goodput, shed/timeout counts and p50/p95/p99 latency. Compare \
-          $(b,--mode current) with $(b,--mode proposed) on the same seed to \
-          see what the recommended hardware buys under load.")
+          $(b,--mode current), $(b,--mode proposed) and $(b,--mode sfi) on \
+          the same seed to see what each isolation backend buys under \
+          load.")
     Term.(
       const run_serve $ machine_arg $ serve_mode_arg $ rate_arg $ duration_arg
       $ cores_arg $ tenants_arg $ depth_arg $ discipline_arg
@@ -944,6 +950,7 @@ let run_cluster machine_config mode machines shards policy rate duration_s
     churn_of_flags ~machines ~duration_s ~mttf ~mttr ~partition ~link_loss
       ~failover ~fault_seed
   in
+  let mode = mode_of_flag mode in
   let analyze = gate_of_flag analyze in
   let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
   let faults = fault_spec_of_flags ~fault_rate ~fault_kinds ~fault_seed in

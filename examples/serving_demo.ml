@@ -17,7 +17,12 @@ let machine proposed =
   Sea_hw.Machine.create ~engine:(Sea_sim.Engine.create ~seed ()) config
 
 let serve mode =
-  let m = machine (mode = Sea_serve.Server.Proposed) in
+  let proposed_hw =
+    match mode with
+    | Sea_serve.Server.Proposed -> true
+    | Sea_serve.Server.Current | Sea_serve.Server.Sfi -> false
+  in
+  let m = machine proposed_hw in
   let cfg =
     Sea_serve.Server.config ~queue_depth:8 ~mode ~duration ()
   in

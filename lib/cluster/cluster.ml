@@ -360,10 +360,18 @@ let run ?(seed = 1L) ?trace ?churn:churn_cfg cfg ~machine_config ~serve tenants
                         if host_prev.(ti) = m && host.(ti) <> m then begin
                           incr failovers;
                           let target = host.(ti) in
-                          if
-                            serve.Server.mode = Server.Proposed
-                            && not (down target)
-                          then
+                          (* Only proposed-hw residents have sealed
+                             sePCR-bound state worth moving over the
+                             link. Current hw has no residents; an SFI
+                             resident cold-relaunches on the survivor at
+                             near-zero cost, so nothing crosses the
+                             wire for it either. *)
+                          let migrates =
+                            match serve.Server.mode with
+                            | Server.Proposed -> not (down target)
+                            | Server.Current | Server.Sfi -> false
+                          in
+                          if migrates then
                             List.iter
                               (fun (kind, _w) ->
                                 let source_alive =

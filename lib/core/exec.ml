@@ -1,21 +1,11 @@
-let architecture (m : Sea_hw.Machine.t) =
-  if m.Sea_hw.Machine.config.Sea_hw.Machine.proposed then `Proposed else `Current
+let architecture (m : Sea_hw.Machine.t) : Backend.kind =
+  if m.Sea_hw.Machine.config.Sea_hw.Machine.proposed then Backend.Proposed
+  else Backend.Current
 
-let run m ~cpu pal ~input =
-  match architecture m with
-  | `Current -> (
-      match Session.execute m ~cpu pal ~input with
-      | Error e -> Error e
-      | Ok outcome -> Ok outcome.Session.output)
-  | `Proposed -> (
-      match Slaunch_session.start m ~cpu pal ~input with
-      | Error e -> Error e
-      | Ok session -> (
-          let result = Slaunch_session.run_slice session ~cpu () in
-          let output = Slaunch_session.output session in
-          Slaunch_session.release session;
-          match (result, output) with
-          | Error e, _ -> Error e
-          | Ok `Finished, Some out -> Ok out
-          | Ok `Finished, None -> Error "PAL finished without output"
-          | Ok `Yielded, _ -> Error "unsliced session unexpectedly yielded"))
+let run ?backend (m : Sea_hw.Machine.t) ~cpu ?preemption_timer pal ~input =
+  let b =
+    match backend with
+    | Some b -> b
+    | None -> Backend.of_kind (architecture m)
+  in
+  b.Backend.oneshot m ~cpu ?preemption_timer pal ~input

@@ -1,19 +1,30 @@
 (** One entry point for "run this PAL, whatever the machine is".
 
     Applications written against {!Sea_core.Pal.services} are
-    architecture-agnostic; what differs is how the platform hosts them:
-    a Flicker-style {!Session} on today's hardware (whole-platform
-    freeze, TPM-bound state) or a {!Slaunch_session} on the proposed
-    hardware (concurrent, sePCR-bound state). This facade dispatches on
-    the machine's configuration so application drivers need not care —
-    the same CA or SSH workflow runs on either, with the sealed state
-    correctly bound in both cases. *)
+    architecture-agnostic; what differs is how the platform hosts them.
+    This facade resolves a {!Backend.t} — from the machine's
+    configuration by default, or the one supplied — and runs the PAL to
+    completion through it, so the same CA or SSH workflow runs on any
+    backend with its sealed state correctly bound. *)
 
 val run :
-  Sea_hw.Machine.t -> cpu:int -> Pal.t -> input:string -> (string, string) result
-(** Execute the PAL to completion and return its output. On proposed
-    hardware the session runs unsliced (no preemption timer) and its
-    pages are released afterwards; use {!Slaunch_session} directly for
-    scheduling control. *)
+  ?backend:Backend.t ->
+  Sea_hw.Machine.t ->
+  cpu:int ->
+  ?preemption_timer:Sea_sim.Time.t ->
+  Pal.t ->
+  input:string ->
+  (string, string) result
+(** Execute the PAL to completion and return its output. On resident
+    backends the session is driven through the preemption loop — a
+    [?preemption_timer] makes it yield and resume exactly as the serving
+    layer would, rather than erroring on the first yield — and its pages
+    are released afterwards; use {!Slaunch_session} or {!Sfi_session}
+    directly for scheduling control. [?backend] overrides the dispatch
+    (e.g. {!Backend.sfi} on a commodity machine). *)
 
-val architecture : Sea_hw.Machine.t -> [ `Current | `Proposed ]
+val architecture : Sea_hw.Machine.t -> Backend.kind
+(** What the machine's configuration implies: {!Backend.Proposed} with
+    the recommended hardware present, {!Backend.Current} otherwise
+    (never {!Backend.Sfi} — software isolation is an explicit choice,
+    not a hardware property). *)

@@ -3,9 +3,13 @@ open Sea_tpm
 open Sea_hw
 open Sea_core
 
-type mode = Current | Proposed
+(* Re-exporting the backend's kind keeps [Server.Current]/[Server.Proposed]
+   valid everywhere while the actual dispatch lives in one Backend value. *)
+type mode = Backend.kind = Current | Proposed | Sfi
 
-let mode_name = function Current -> "current hw" | Proposed -> "proposed hw"
+let mode_name = Backend.kind_name
+let mode_names = List.map Backend.cli_name Backend.all
+let mode_of_name = Backend.of_cli_name
 
 type config = {
   mode : mode;
@@ -52,11 +56,12 @@ type ev =
   | Arrival of { tenant : int; kind : Workload.kind; client : int option }
   | Core_free of int
 
-(* A PAL kept suspended in access-controlled memory between requests on
-   the proposed hardware. [busy_until] is virtual time: the moment its
-   current burst of requests will have drained. *)
+(* A PAL kept hosted between requests on a resident backend (suspended in
+   access-controlled memory on the proposed hardware, sandboxed under
+   SFI). [busy_until] is virtual time: the moment its current burst of
+   requests will have drained. *)
 type resident = {
-  session : Slaunch_session.t;
+  inst : Backend.instance;
   mutable busy_until : Time.t;
   mutable last_core : int;
   mutable last_used : Time.t;
@@ -81,16 +86,8 @@ let run (m : Machine.t) cfg tenant_list =
     | Some tpm -> Ok tpm
     | None -> Error "serving requires a TPM (sealed state and attestation)"
   in
-  let* () =
-    match cfg.mode with
-    | Current -> Ok ()
-    | Proposed ->
-        if not m.Machine.config.Machine.proposed then
-          Error "proposed mode requires the proposed hardware variant"
-        else if m.Machine.config.Machine.sepcr_count < 1 then
-          Error "proposed mode requires at least one sePCR"
-        else Ok ()
-  in
+  let backend = Backend.of_kind cfg.mode in
+  let* () = backend.Backend.check_machine m in
   let nkinds = List.length Workload.kinds in
   let key tenant kind = (tenant * nkinds) + Workload.kind_index kind in
   (* The retry policy is resolved before provisioning so the vTPM layer's
@@ -136,8 +133,8 @@ let run (m : Machine.t) cfg tenant_list =
         else true
   in
   (* --- bootstrap: on today's hardware every (tenant, kind) needs its
-     sealed state created by a full init session before serving. On the
-     proposed hardware state lives with the resident PAL instead. --- *)
+     sealed state created by a full init session before serving. On a
+     resident backend state lives with the hosted PAL instead. --- *)
   let states : (int, string) Hashtbl.t = Hashtbl.create 16 in
   let bootstrap_one i kind =
     let k = key i kind in
@@ -158,7 +155,7 @@ let run (m : Machine.t) cfg tenant_list =
   in
   let* () =
     match cfg.mode with
-    | Proposed -> Ok ()
+    | Proposed | Sfi -> Ok ()
     | Current ->
         let rec boot i =
           if i = n then Ok ()
@@ -267,7 +264,7 @@ let run (m : Machine.t) cfg tenant_list =
   let cores =
     match cfg.mode with
     | Current -> [ 0 ] (* one server: a session owns the whole platform *)
-    | Proposed -> List.init (Array.length m.Machine.cpus) Fun.id
+    | Proposed | Sfi -> List.init (Array.length m.Machine.cpus) Fun.id
   in
   let idle : int Queue.t = Queue.create () in
   List.iter (fun c -> Queue.push c idle) cores;
@@ -286,12 +283,12 @@ let run (m : Machine.t) cfg tenant_list =
       ensure_healthy r.tenant
       &&
       match
-        Session.execute m ~cpu:0 ~analyze:cfg.analyze ?retry
+        backend.Backend.oneshot m ~cpu:0 ~analyze:cfg.analyze ?retry
           ?tpm_cap:(cap_for r.tenant) (Workload.pal r.kind) ~input
       with
-      | Ok o ->
+      | Ok output ->
           if Workload.updates_state r.kind then
-            Hashtbl.replace states k o.Session.output;
+            Hashtbl.replace states k output;
           true
       | Error _ -> false
     in
@@ -300,15 +297,17 @@ let run (m : Machine.t) cfg tenant_list =
     Stats.add_time stall_ms d;
     (d, ok)
   in
-  (* --- execution on the proposed hardware: requests run against a
-     resident suspended PAL (same measured bytes as the application PAL),
-     consuming the request's compute in preemption-timer slices. A cold
-     start pays SLAUNCH measurement; the sePCR bank bounds how many
-     residents can exist, so beyond it cold starts evict (SKILL) the
-     resident whose burst drains earliest, waiting for it if busy. --- *)
+  (* --- execution on a resident backend: requests run against a hosted
+     PAL (same measured bytes as the application PAL), consuming the
+     request's compute in preemption-timer slices. A cold start pays the
+     backend's launch (SLAUNCH measurement on proposed hardware, the SFI
+     loader hash); the backend's pool bounds how many residents can
+     exist — the sePCR bank on proposed hardware, unbounded under SFI —
+     so beyond it cold starts evict the resident whose burst drains
+     earliest, waiting for it if busy. --- *)
   let residents : (int, resident) Hashtbl.t = Hashtbl.create 16 in
   let durable : (int, string) Hashtbl.t = Hashtbl.create 16 in
-  let pool = m.Machine.config.Machine.sepcr_count in
+  let pool = backend.Backend.pool m in
   let fail e = raise (Serve_error e) in
   let evict ~t =
     let victim =
@@ -336,22 +335,17 @@ let run (m : Machine.t) cfg tenant_list =
         (* The state hand-off seal the PAL performs at the end of its
            final burst, accounted at eviction time; the blob is what a
            future cold start of the same code identity will unseal. *)
-        (match Slaunch_session.sepcr_handle vres.session with
-        | Some h -> (
-            match
-              Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
-                  Tpm.seal tpm
-                    ~caller:(Tpm.Cpu vres.last_core)
-                    ~sepcr:h ~pcr_policy:[]
-                    ("resident-state:" ^ string_of_int vkey))
-            with
-            | Ok blob -> Hashtbl.replace durable vkey blob
-            | Error e -> fail ("sealing resident state: " ^ e))
-        | None -> ());
-        (match Slaunch_session.kill vres.session with
+        (match
+           vres.inst.Backend.save_state ~cpu:vres.last_core
+             ~tag:("resident-state:" ^ string_of_int vkey)
+         with
+        | Ok (Some blob) -> Hashtbl.replace durable vkey blob
+        | Ok None -> ()
+        | Error e -> fail ("sealing resident state: " ^ e));
+        (match vres.inst.Backend.kill () with
         | Ok () -> ()
         | Error e -> fail ("evicting resident: " ^ e));
-        Slaunch_session.release vres.session;
+        vres.inst.Backend.release ();
         Hashtbl.remove residents vkey;
         wait
   in
@@ -360,14 +354,12 @@ let run (m : Machine.t) cfg tenant_list =
   let quarantine k =
     match Hashtbl.find_opt residents k with
     | Some res ->
-        (match Slaunch_session.kill res.session with
-        | Ok () -> ()
-        | Error _ -> ());
-        Slaunch_session.release res.session;
+        (match res.inst.Backend.kill () with Ok () -> () | Error _ -> ());
+        res.inst.Backend.release ();
         Hashtbl.remove residents k
     | None -> ()
   in
-  let serve_proposed ~core ~t r =
+  let serve_resident ~core ~t r =
     Engine.elapse_to engine t;
     let e0 = Engine.now engine in
     let k = key r.tenant r.kind in
@@ -393,46 +385,43 @@ let run (m : Machine.t) cfg tenant_list =
                 virtual_wait := Time.add !virtual_wait (evict ~t);
                 assert (Hashtbl.length residents < pool)
               end;
-              let session =
+              let inst =
                 match
-                  Slaunch_session.start m ~cpu:core
+                  backend.Backend.launch m ~cpu:core
                     ~preemption_timer:cfg.preemption_timer
                     ~analyze:cfg.analyze ?retry ?tpm_cap:(cap_for r.tenant)
                     (Workload.resident_pal r.kind) ~input:""
                 with
-                | Ok s -> s
+                | Ok i -> i
                 | Error e -> fail ("cold start: " ^ e)
               in
               (* A re-launch after eviction unseals the durable state the
                  previous incarnation sealed out — same code identity, so
-                 the sePCR-bound blob opens. *)
-              (match (Hashtbl.find_opt durable k, Slaunch_session.sepcr_handle session) with
-              | Some blob, Some h ->
-                  (match
-                     Sea_fault.Retry.run ?policy:retry ~engine (fun () ->
-                         Tpm.unseal tpm ~caller:(Tpm.Cpu core) ~sepcr:h blob)
-                   with
-                  | Ok _ -> ()
+                 the identity-bound blob opens. *)
+              (match Hashtbl.find_opt durable k with
+              | Some blob -> (
+                  match inst.Backend.load_state ~cpu:core blob with
+                  | Ok () -> ()
                   | Error e -> fail ("reloading durable state: " ^ e))
-              | _ -> ());
+              | None -> ());
               let res =
-                { session; busy_until = t; last_core = core; last_used = t }
+                { inst; busy_until = t; last_core = core; last_used = t }
               in
               Hashtbl.add residents k res;
               res
         in
-        (if Slaunch_session.state res.session = Lifecycle.Suspend then
-           match Slaunch_session.resume res.session ~cpu:core with
+        (if res.inst.Backend.suspended () then
+           match res.inst.Backend.resume ~cpu:core with
            | Ok () -> ()
            | Error e -> raise (Resume_failed e));
         let rec consume remaining =
           if Time.compare remaining Time.zero > 0 then begin
             let budget = Time.min cfg.preemption_timer remaining in
-            match Slaunch_session.run_slice res.session ~cpu:core ~budget () with
+            match res.inst.Backend.run_slice ~cpu:core ~budget () with
             | Ok `Yielded ->
                 let remaining = Time.sub remaining budget in
                 if Time.compare remaining Time.zero > 0 then begin
-                  (match Slaunch_session.resume res.session ~cpu:core with
+                  (match res.inst.Backend.resume ~cpu:core with
                   | Ok () -> ()
                   | Error e -> fail ("resume: " ^ e));
                   consume remaining
@@ -532,7 +521,7 @@ let run (m : Machine.t) cfg tenant_list =
                   (fun () ->
                     match cfg.mode with
                     | Current -> serve_current ~t r
-                    | Proposed -> serve_proposed ~core ~t r)
+                    | Proposed | Sfi -> serve_resident ~core ~t r)
               in
               let finish = Time.add t d in
               (match breakers with
@@ -567,7 +556,7 @@ let run (m : Machine.t) cfg tenant_list =
               let occupied =
                 match cfg.mode with
                 | Current -> Time.scale d (Array.length m.Machine.cpus)
-                | Proposed -> d
+                | Proposed | Sfi -> d
               in
               pal_busy := Time.add !pal_busy occupied;
               if Time.compare finish !last_completion > 0 then
@@ -670,13 +659,11 @@ let run (m : Machine.t) cfg tenant_list =
               Time.add dg (Breaker.degraded b ~now:serve_end) ))
           (0, Time.zero) arr
   in
-  (* Tear down: SKILL any remaining residents so the machine is clean. *)
+  (* Tear down: kill any remaining residents so the machine is clean. *)
   Hashtbl.iter
     (fun _ res ->
-      (match Slaunch_session.kill res.session with
-      | Ok () -> ()
-      | Error _ -> ());
-      Slaunch_session.release res.session)
+      (match res.inst.Backend.kill () with Ok () -> () | Error _ -> ());
+      res.inst.Backend.release ())
     residents;
   Hashtbl.reset residents;
   (* Drain the anchor pipeline (post-window: accounting is already cut)

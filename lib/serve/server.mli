@@ -15,6 +15,13 @@
     cold start beyond it must evict (SKILL) another resident — sealing
     its durable state out, to be unsealed by a later re-launch of the
     same code identity — and waits if every resident is mid-burst.
+    Under software fault isolation ([Sfi]) residents are likewise kept
+    hosted ({!Sea_core.Sfi_session}) but transitions cost a VM-exit
+    round trip and the pool is unbounded: no sePCR scarcity, so no
+    evictions and no waits.
+
+    All three paths dispatch through one {!Sea_core.Backend.t} value;
+    the mode only selects which.
 
     Mechanically the loop is virtual-time queueing over real
     executions: arrivals, admission and core occupancy are tracked in
@@ -24,9 +31,15 @@
     comes from streams split off the machine engine, so a given seed
     and configuration replays bit-identically. *)
 
-type mode = Current | Proposed
+type mode = Sea_core.Backend.kind = Current | Proposed | Sfi
 
 val mode_name : mode -> string
+
+val mode_names : string list
+(** CLI spellings of every mode, for "unknown mode" messages. *)
+
+val mode_of_name : string -> mode option
+(** Parse a CLI spelling (case-insensitive); [None] for unknown names. *)
 
 type config = {
   mode : mode;

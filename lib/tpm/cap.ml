@@ -3,12 +3,14 @@ type t = {
   seal :
     caller:Tpm.caller ->
     ?sepcr:Sepcr.handle ->
+    ?binding:string ->
     pcr_policy:(int * string) list ->
     string ->
     (string, string) result;
   unseal :
     caller:Tpm.caller ->
     ?sepcr:Sepcr.handle ->
+    ?binding:string ->
     string ->
     (string, string) result;
   get_random : int -> string;
@@ -18,11 +20,35 @@ type t = {
   launch_measured : pcr:int -> measurement:string -> unit;
 }
 
+(* The hardware TPM has no binding notion, so a bound payload is wrapped
+   with a length-prefixed header checked at unseal time. Unbound payloads
+   pass through untouched, keeping pre-existing blobs byte-identical. *)
+let bind_wrap binding p =
+  match binding with
+  | None -> p
+  | Some b -> Printf.sprintf "BIND%08x%s%s" (String.length b) b p
+
+let bind_unwrap binding p =
+  match binding with
+  | None -> Ok p
+  | Some b ->
+      let hdr = Printf.sprintf "BIND%08x%s" (String.length b) b in
+      let hl = String.length hdr in
+      if String.length p >= hl && String.sub p 0 hl = hdr then
+        Ok (String.sub p hl (String.length p - hl))
+      else Error "sealed-blob binding mismatch"
+
 let of_tpm tpm =
   {
     name = "hw:" ^ Tpm.tag tpm;
-    seal = (fun ~caller ?sepcr ~pcr_policy p -> Tpm.seal tpm ~caller ?sepcr ~pcr_policy p);
-    unseal = (fun ~caller ?sepcr blob -> Tpm.unseal tpm ~caller ?sepcr blob);
+    seal =
+      (fun ~caller ?sepcr ?binding ~pcr_policy p ->
+        Tpm.seal tpm ~caller ?sepcr ~pcr_policy (bind_wrap binding p));
+    unseal =
+      (fun ~caller ?sepcr ?binding blob ->
+        match Tpm.unseal tpm ~caller ?sepcr blob with
+        | Error e -> Error e
+        | Ok p -> bind_unwrap binding p);
     get_random = (fun n -> Tpm.get_random tpm n);
     pcr_extend = (fun i m -> Tpm.pcr_extend tpm i m);
     sepcr_extend = (fun ~caller h m -> Tpm.sepcr_extend tpm ~caller h m);

@@ -20,12 +20,14 @@ type t = {
   seal :
     caller:Tpm.caller ->
     ?sepcr:Sepcr.handle ->
+    ?binding:string ->
     pcr_policy:(int * string) list ->
     string ->
     (string, string) result;
   unseal :
     caller:Tpm.caller ->
     ?sepcr:Sepcr.handle ->
+    ?binding:string ->
     string ->
     (string, string) result;
   get_random : int -> string;
@@ -42,6 +44,14 @@ type t = {
           policies hold against it. No-op for the hardware capability
           (the TPM_HASH_* sequence already did it). *)
 }
+(** [?binding] on {!field-t.seal}/{!field-t.unseal} ties a blob to an
+    opaque identity string chosen by the caller: unsealing with a
+    different (or missing) binding fails. SFI sessions use it to bind
+    sealed state to their loader-rooted measurement chain, which has no
+    sePCR or hardware PCR to express a policy against. The vTPM
+    capability folds it into the blob's binding alongside the sePCR
+    value; the hardware capability wraps the payload with a checked
+    header (sealing without a binding is byte-for-byte unchanged). *)
 
 val of_tpm : Tpm.t -> t
 (** The hardware capability: every operation is the corresponding

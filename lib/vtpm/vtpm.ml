@@ -453,24 +453,30 @@ let verify_quote ~aik ~key q =
 
 let cap m ~tenant =
   let inst = for_tenant m ~tenant in
-  let binding_of ~caller sepcr =
+  let binding_of ~caller sepcr extra =
+    let joined sepcr_binding =
+      match (sepcr_binding, extra) with
+      | None, None -> None
+      | Some b, None | None, Some b -> Some b
+      | Some a, Some b -> Some (a ^ "+" ^ b)
+    in
     match sepcr with
-    | None -> Ok None
+    | None -> Ok (joined None)
     | Some h -> (
         match Tpm.sepcr_read m.tpm ~caller h with
-        | Ok v -> Ok (Some ("sepcr:" ^ v))
+        | Ok v -> Ok (joined (Some ("sepcr:" ^ v)))
         | Error e -> Error e)
   in
   {
     Cap.name = Printf.sprintf "vtpm:%d@%s" inst.idx (Tpm.tag m.tpm);
     seal =
-      (fun ~caller ?sepcr ~pcr_policy payload ->
-        match binding_of ~caller sepcr with
+      (fun ~caller ?sepcr ?binding:extra ~pcr_policy payload ->
+        match binding_of ~caller sepcr extra with
         | Error e -> Error e
         | Ok binding -> seal inst ?binding ~pcr_policy payload);
     unseal =
-      (fun ~caller ?sepcr blob ->
-        match binding_of ~caller sepcr with
+      (fun ~caller ?sepcr ?binding:extra blob ->
+        match binding_of ~caller sepcr extra with
         | Error e -> Error e
         | Ok binding -> unseal inst ?binding blob);
     get_random = (fun n -> get_random inst n);

@@ -258,7 +258,8 @@ let proposed () =
 
 let test_apps_on_proposed_hw () =
   let m = proposed () in
-  checkb "dispatches to SLAUNCH" true (Sea_core.Exec.architecture m = `Proposed);
+  checkb "dispatches to SLAUNCH" true
+    (Sea_core.Exec.architecture m = Sea_core.Backend.Proposed);
   (* CA *)
   let ca = ok (Cert_authority.init m ~cpu:0 ()) in
   let cert = ok (Cert_authority.sign_csr m ~cpu:0 ca ~csr:"CN=slaunch") in

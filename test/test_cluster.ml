@@ -23,7 +23,7 @@ let run_fleet ?seed ?(machines = 4) ?(shards = 1) ?(policy = Router.Round_robin)
     () =
   let machine_config =
     match mode with
-    | Server.Current -> machine_config
+    | Server.Current | Server.Sfi -> machine_config
     | Server.Proposed -> Sea_hw.Machine.proposed_variant machine_config
   in
   let cfg = Cluster.config ~shards ~policy ~machines () in
@@ -146,11 +146,9 @@ let test_shard_determinism () =
       let r1 = run_fleet_exn ~shards:1 ~mode () in
       let r4 = run_fleet_exn ~shards:4 ~mode () in
       checks
-        (match mode with
-        | Server.Current -> "current: shards=1 = shards=4"
-        | Server.Proposed -> "proposed: shards=1 = shards=4")
+        (Server.mode_name mode ^ ": shards=1 = shards=4")
         (Fleet_report.render r1) (Fleet_report.render r4))
-    [ Server.Current; Server.Proposed ]
+    [ Server.Current; Server.Proposed; Server.Sfi ]
 
 let test_shard_determinism_with_faults () =
   let faults = Sea_fault.Fault.spec ~seed:13 ~rate:0.05 () in
@@ -348,7 +346,7 @@ let churn_fleet ?(machines = 4) ?(shards = 1) ?(mode = Server.Proposed)
     ?(plan_seed = 1) ?(duration = 4.) ?(rate = 32.) ?trace () =
   let machine_config =
     match mode with
-    | Server.Current -> machine_config
+    | Server.Current | Server.Sfi -> machine_config
     | Server.Proposed -> proposed_config
   in
   let cfg = Cluster.config ~shards ~machines () in
@@ -370,7 +368,7 @@ let churn_fleet ?(machines = 4) ?(shards = 1) ?(mode = Server.Proposed)
 let test_churn_shard_determinism () =
   (* The load-bearing property survives churn: crashes, partitions,
      heartbeat detection, lossy migrations — the merged render must
-     still be byte-identical across shard counts on both modes. *)
+     still be byte-identical across shard counts on all three modes. *)
   List.iter
     (fun mode ->
       let go shards =
@@ -378,12 +376,10 @@ let test_churn_shard_determinism () =
           ~partition:(Time.s 1.) ()
       in
       checks
-        (match mode with
-        | Server.Current -> "current: churn shards 1 = 3"
-        | Server.Proposed -> "proposed: churn shards 1 = 3")
+        (Server.mode_name mode ^ ": churn shards 1 = 3")
         (Fleet_report.render (go 1))
         (Fleet_report.render (go 3)))
-    [ Server.Current; Server.Proposed ]
+    [ Server.Current; Server.Proposed; Server.Sfi ]
 
 let test_churn_quiet_plan_prefix () =
   let cfg = Cluster.config ~machines:4 () in
@@ -657,7 +653,7 @@ let () =
         ] );
       ( "determinism",
         [
-          Alcotest.test_case "shards 1 = shards 4 (both modes)" `Quick
+          Alcotest.test_case "shards 1 = shards 4 (all modes)" `Quick
             test_shard_determinism;
           Alcotest.test_case "shard-independent fault schedules" `Quick
             test_shard_determinism_with_faults;
@@ -681,7 +677,7 @@ let () =
         ] );
       ( "churn",
         [
-          Alcotest.test_case "churn shards 1 = 3 (both modes)" `Quick
+          Alcotest.test_case "churn shards 1 = 3 (all modes)" `Quick
             test_churn_shard_determinism;
           Alcotest.test_case "quiet plan reproduces the plain render" `Quick
             test_churn_quiet_plan_prefix;

@@ -236,7 +236,12 @@ let machine ?(seed = 11L) proposed =
   Sea_hw.Machine.create ~engine:(Engine.create ~seed ()) config
 
 let serve ?seed ?faults ?(depth = 16) ~mode ~duration tenants =
-  let m = machine ?seed (mode = Server.Proposed) in
+  let proposed_hw =
+    match mode with
+    | Server.Proposed -> true
+    | Server.Current | Server.Sfi -> false
+  in
+  let m = machine ?seed proposed_hw in
   let cfg = Server.config ~queue_depth:depth ?faults ~mode ~duration () in
   match Server.run m cfg tenants with
   | Ok r -> r

@@ -19,7 +19,12 @@ let machine ?(seed = 11L) ?(cores = 2) ?sepcr_count proposed =
 
 let serve ?seed ?cores ?sepcr_count ?(depth = 16) ?discipline ?analyze ?timer
     ~mode ~duration tenants =
-  let m = machine ?seed ?cores ?sepcr_count (mode = Server.Proposed) in
+  let proposed_hw =
+    match mode with
+    | Server.Proposed -> true
+    | Server.Current | Server.Sfi -> false
+  in
+  let m = machine ?seed ?cores ?sepcr_count proposed_hw in
   let cfg =
     Server.config ~queue_depth:depth ?discipline ?analyze
       ?preemption_timer:timer ~mode ~duration ()

@@ -105,7 +105,12 @@ let machine ?(seed = 11L) proposed =
   Sea_hw.Machine.create ~engine:(Engine.create ~seed ()) config
 
 let serve ?faults mode =
-  let m = machine (mode = Server.Proposed) in
+  let proposed_hw =
+    match mode with
+    | Server.Proposed -> true
+    | Server.Current | Server.Sfi -> false
+  in
+  let m = machine proposed_hw in
   let cfg = Server.config ?faults ~mode ~duration:(Time.s 1.) () in
   match Server.run m cfg (Workload.preset ~tenants:3 (`Open 12.)) with
   | Ok r -> r
