@@ -557,6 +557,7 @@ let s_fault = "FAULT INJECTION OPTIONS"
 let s_vtpm = "VIRTUAL TPM OPTIONS"
 let s_fleet = "FLEET OPTIONS"
 let s_churn = "FLEET CHURN OPTIONS"
+let s_autoscale = "FLEET AUTOSCALE OPTIONS"
 
 let serve_mode_arg =
   let doc =
@@ -930,10 +931,68 @@ let churn_of_flags ~machines ~duration_s ~mttf ~mttr ~partition ~link_loss
       in
       Some (Sea_cluster.Cluster.churn ~failover:failover_on plan ())
 
+(* Parse the autoscale flag group into an optional controller config.
+   [Autoscale.config]'s own validation names the flags, so its
+   Invalid_argument messages pass straight through or_die. *)
+let autoscale_of_flags ~autoscale ~scale_interval ~hot_threshold =
+  match autoscale with
+  | None ->
+      if scale_interval <> None then
+        or_die (Error "--scale-interval needs --autoscale");
+      if hot_threshold <> None then
+        or_die (Error "--hot-threshold needs --autoscale");
+      None
+  | Some name ->
+      let policy =
+        match Sea_cluster.Autoscale.policy_of_name name with
+        | Some p -> p
+        | None -> (
+            match String.lowercase_ascii (String.trim name) with
+            | "on" -> Sea_cluster.Autoscale.Auto
+            | other ->
+                or_die
+                  (Error
+                     (Printf.sprintf
+                        "--autoscale must be static, migrate, spread, auto \
+                         or on, not %S"
+                        other)))
+      in
+      let interval = Option.map Time.s scale_interval in
+      (try
+         Some
+           (Sea_cluster.Autoscale.config ~policy ?interval
+              ?hot_threshold:hot_threshold ())
+       with Invalid_argument e -> or_die (Error e))
+
+(* Map --shape to a workload shape, parameterized off the serving
+   window: the diurnal cycle is one full period over the window
+   (trough 0.25), the flash crowd a 4x spike over the middle half of
+   the second quarter onward — wide enough that a static fleet must eat
+   it, narrow enough that the window sees before and after. *)
+let shape_of_flag ~duration_s shape =
+  match String.lowercase_ascii (String.trim shape) with
+  | "steady" -> Sea_serve.Workload.Steady
+  | "diurnal" ->
+      Sea_serve.Workload.Diurnal
+        { period = Time.s duration_s; trough = 0.25 }
+  | "flash" ->
+      Sea_serve.Workload.Flash
+        {
+          at = Time.s (duration_s /. 4.);
+          width = Time.s (duration_s /. 4.);
+          spike = 4.;
+        }
+  | other ->
+      or_die
+        (Error
+           (Printf.sprintf "--shape must be steady, diurnal or flash, not %S"
+              other))
+
 let run_cluster machine_config mode machines shards policy rate duration_s
     cores tenants depth discipline analyze admission cost_budget timer_ms
     deadline_ms closed think_ms seed fault_rate fault_kinds fault_seed vtpm
-    vtpm_batch mttf mttr partition link_loss failover trace_prefix =
+    vtpm_batch mttf mttr partition link_loss failover autoscale scale_interval
+    hot_threshold shape zipf trace_prefix =
   (* Fleet-shape validation first: bad --machines/--shards must exit 1
      with a usage message, never escape as a raised Invalid_argument. *)
   let cfg =
@@ -950,6 +1009,13 @@ let run_cluster machine_config mode machines shards policy rate duration_s
     churn_of_flags ~machines ~duration_s ~mttf ~mttr ~partition ~link_loss
       ~failover ~fault_seed
   in
+  let autoscale =
+    autoscale_of_flags ~autoscale ~scale_interval ~hot_threshold
+  in
+  let shape = shape_of_flag ~duration_s shape in
+  (match zipf with
+  | Some a when a <= 0. -> or_die (Error "--zipf must be positive")
+  | _ -> ());
   let mode = mode_of_flag mode in
   let analyze = gate_of_flag analyze in
   let discipline = discipline_of_flags ~discipline ~admission ~cost_budget in
@@ -970,7 +1036,12 @@ let run_cluster machine_config mode machines shards policy rate duration_s
     let tenants =
       match tenants with Some n -> n | None -> machines * 3
     in
-    let workload = Sea_serve.Workload.preset ?deadline ~tenants process in
+    let popularity =
+      match zipf with None -> `Even | Some alpha -> `Zipf alpha
+    in
+    let workload =
+      Sea_serve.Workload.preset ?deadline ~shape ~popularity ~tenants process
+    in
     let sinks =
       match trace_prefix with
       | None -> None
@@ -982,7 +1053,7 @@ let run_cluster machine_config mode machines shards policy rate duration_s
     let result =
       Sea_cluster.Cluster.run ~seed:(Int64.of_int seed)
         ?trace:(Option.map (fun arr i -> arr.(i)) sinks)
-        ?churn cfg ~machine_config ~serve workload
+        ?churn ?autoscale cfg ~machine_config ~serve workload
     in
     let wall = Unix.gettimeofday () -. t0 in
     let report = or_die result in
@@ -1082,10 +1153,61 @@ let cluster_cmd =
     in
     Arg.(value & opt string "on" & info [ "failover" ] ~docv:"on|off" ~docs:s_churn ~doc)
   in
+  let autoscale_arg =
+    let doc =
+      "Enable the closed-loop autoscaler (needs $(b,--policy hash)): \
+       $(b,static) samples load but never rebalances, $(b,migrate) moves \
+       residents by sealed-state sePCR migration over the link, \
+       $(b,spread) kill-and-respawns them on the target, $(b,auto) (alias \
+       $(b,on)) migrates on proposed hardware and spreads elsewhere \
+       (software launches cost ~25 us on $(b,--mode sfi))."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "autoscale" ] ~docv:"POLICY" ~docs:s_autoscale ~doc)
+  in
+  let scale_interval_arg =
+    let doc =
+      "Autoscale control-loop sampling period, seconds of simulated time \
+       (default 1)."
+    in
+    Arg.(
+      value & opt (some float) None
+      & info [ "scale-interval" ] ~docv:"SECONDS" ~docs:s_autoscale ~doc)
+  in
+  let hot_threshold_arg =
+    let doc =
+      "Hot-spot detection threshold: a machine is hot above $(docv) times \
+       the fleet's mean measured load, and regrows below the mean over \
+       $(docv) (default 1.5; must exceed 1)."
+    in
+    Arg.(
+      value & opt (some float) None
+      & info [ "hot-threshold" ] ~docv:"X" ~docs:s_autoscale ~doc)
+  in
+  let shape_arg =
+    let doc =
+      "Traffic shape over the window: $(b,steady), $(b,diurnal) (one \
+       sinusoidal day/night cycle, trough 0.25) or $(b,flash) (a 4x flash \
+       crowd over the second quarter of the window)."
+    in
+    Arg.(
+      value & opt string "steady"
+      & info [ "shape" ] ~docv:"SHAPE" ~docs:s_autoscale ~doc)
+  in
+  let zipf_arg =
+    let doc =
+      "Heavy-tailed tenant popularity: split the open-loop rate \
+       Zipf($(docv)) across tenants instead of evenly."
+    in
+    Arg.(
+      value & opt (some float) None
+      & info [ "zipf" ] ~docv:"ALPHA" ~docs:s_autoscale ~doc)
+  in
   let man =
     [
-      `S s_fleet; `S s_churn; `S s_serve; `S s_admission; `S s_analysis;
-      `S s_fault; `S s_vtpm; `S Manpage.s_options;
+      `S s_fleet; `S s_churn; `S s_autoscale; `S s_serve; `S s_admission;
+      `S s_analysis; `S s_fault; `S s_vtpm; `S Manpage.s_options;
     ]
   in
   Cmd.v
@@ -1103,7 +1225,9 @@ let cluster_cmd =
       $ admission_cost_arg $ cost_budget_arg $ timer_arg $ deadline_arg
       $ closed_arg $ think_arg $ seed_arg $ fault_rate_arg $ fault_kinds_arg
       $ fault_seed_arg $ vtpm_arg $ vtpm_batch_arg $ mttf_arg $ mttr_arg
-      $ partition_arg $ link_loss_arg $ failover_arg $ trace_arg)
+      $ partition_arg $ link_loss_arg $ failover_arg $ autoscale_arg
+      $ scale_interval_arg $ hot_threshold_arg $ shape_arg $ zipf_arg
+      $ trace_arg)
 
 (* --- main --- *)
 

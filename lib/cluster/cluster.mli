@@ -91,6 +91,7 @@ val run :
   ?seed:int64 ->
   ?trace:(int -> Sea_trace.Trace.sink) ->
   ?churn:churn_config ->
+  ?autoscale:Autoscale.config ->
   config ->
   machine_config:Sea_hw.Machine.config ->
   serve:Sea_serve.Server.config ->
@@ -114,6 +115,22 @@ val run :
     [churn], when given, drives the failure-domain machinery described
     above; [Error] if failover is on with fewer than 2 machines, or if
     the plan downs every machine for the entire window.
+
+    [autoscale], when given, runs the {!Autoscale} closed-loop
+    controller at the epoch barriers: load sampling every interval,
+    hot-spot detection, ring-weight resizing and tenant rebalancing by
+    sealed-state migration or kill-and-respawn spreading. Requires
+    [Hash_tenant] routing (the ring is what gets resized) and at least
+    2 machines ([Error] otherwise). Composes with [churn]: the epoch
+    cuts are the union of both schedules, churn failover runs first at
+    a shared barrier, and a tenant displaced by a machine death is the
+    failover path's job, never double-moved by the controller.
+
+    A tenant list with non-steady {!Sea_serve.Workload.shape}s also
+    takes the epoch path (even without [churn] or [autoscale]): the
+    window is cut at each shape's step instants plus a sampling grid
+    for continuous shapes, and every epoch serves each tenant's rate
+    specialized to the epoch's start instant.
 
     Raises [Invalid_argument] on an empty tenant list. [Error] surfaces
     the first failing machine by index. *)

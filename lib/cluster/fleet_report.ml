@@ -23,6 +23,19 @@ type churn_stats = {
   recovered : int;
 }
 
+type autoscale_stats = {
+  as_policy : string;
+  interval : Time.t;
+  hot_threshold : float;
+  ticks : int;
+  hot_events : int;
+  resizes : int;
+  tenants_moved : int;
+  warm_moves : int;
+  cold_moves : int;
+  respawns : int;
+}
+
 type t = {
   mode : string;
   hw : string;
@@ -50,6 +63,7 @@ type t = {
   recoveries : int;
   vtpm : Report.vtpm_stats option;
   churn : churn_stats option;
+  autoscale : autoscale_stats option;
 }
 
 (* Requests black-holed while a machine was down are real offered load
@@ -81,7 +95,7 @@ let accounted_row row =
   | Some r -> Some (with_lost r.Report.aggregate row.lost)
   | None -> if row.lost > 0 then Some (down_row row.lost) else None
 
-let merge ?churn ~policy rows =
+let merge ?churn ?autoscale ~policy rows =
   if rows = [] then invalid_arg "Fleet_report.merge: no machines";
   let reports = List.filter_map (fun r -> r.report) rows in
   if reports = [] then invalid_arg "Fleet_report.merge: every machine is idle";
@@ -140,6 +154,7 @@ let merge ?churn ~policy rows =
               resets = sumv (fun v -> v.Report.resets);
             });
     churn;
+    autoscale;
   }
 
 let window_s t = Time.to_ms t.window /. 1000.
@@ -240,6 +255,20 @@ let pp fmt t =
       if c.failover then
         Format.fprintf fmt "@,recovered goodput: %.2f req/s on survivors"
           (recovered_goodput_per_s t));
+  (* The autoscale lines render only when a controller drove the run,
+     so every non-autoscaled fleet report keeps its historical bytes. *)
+  (match t.autoscale with
+  | None -> ()
+  | Some a ->
+      Format.fprintf fmt
+        "@,autoscale: policy %s  interval %a  hot %.2fx  ticks %d  hot \
+         events %d  resizes %d"
+        a.as_policy Time.pp a.interval a.hot_threshold a.ticks a.hot_events
+        a.resizes;
+      Format.fprintf fmt
+        "@,rebalance: tenants moved %d  migrations %d warm / %d cold  \
+         respawns %d"
+        a.tenants_moved a.warm_moves a.cold_moves a.respawns);
   if robustness_active t then begin
     let injected = List.filter (fun (_, c) -> c > 0) t.faults_injected in
     Format.fprintf fmt "@,faults injected: %s"

@@ -63,6 +63,25 @@ type churn_stats = {
           black-holed. *)
 }
 
+type autoscale_stats = {
+  as_policy : string;  (** static, migrate, spread or auto. *)
+  interval : Time.t;  (** Control-loop sampling period. *)
+  hot_threshold : float;  (** Hot-spot detection threshold (× mean). *)
+  ticks : int;  (** Control-loop ticks that fired inside the window. *)
+  hot_events : int;  (** Hot-machine detections summed over ticks. *)
+  resizes : int;  (** Ring-weight changes applied (shrinks + regrows). *)
+  tenants_moved : int;  (** Tenants re-homed by ring resizes. *)
+  warm_moves : int;
+      (** Residents that followed their tenant by sealed-state
+          migration and resumed warm ({!Migrate.Warm}). *)
+  cold_moves : int;
+      (** Migrations that degraded to a cold re-launch (torn transfer,
+          lost blob). *)
+  respawns : int;
+      (** Residents re-homed by kill-and-respawn spreading (the SFI
+          path, or the spread policy on any backend). *)
+}
+
 type t = {
   mode : string;
   hw : string;  (** The per-machine hardware preset's name. *)
@@ -96,9 +115,17 @@ type t = {
   churn : churn_stats option;
       (** Present iff a machine-fault plan drove the run; gates the
           churn report lines. *)
+  autoscale : autoscale_stats option;
+      (** Present iff the autoscale controller drove the run; gates the
+          autoscale report lines. *)
 }
 
-val merge : ?churn:churn_stats -> policy:string -> machine_row list -> t
+val merge :
+  ?churn:churn_stats ->
+  ?autoscale:autoscale_stats ->
+  policy:string ->
+  machine_row list ->
+  t
 (** Fold the rows (already in machine-index order) into a fleet view.
     Raises [Invalid_argument] if the list is empty or no machine has a
     report (the cluster layer guarantees at least one tenant, hence at

@@ -151,3 +151,34 @@ let failover ~source ~target ~link ?(source_alive = true)
 let dispose r =
   ignore (Slaunch_session.kill r.target);
   Slaunch_session.release r.target
+
+(* Kill-and-respawn rebalancing (the autoscaler's "spread" policy): the
+   source resident is simply discarded and a fresh one launches on the
+   target — no state crosses the wire. On proposed hardware the respawn
+   pays a real cold SLAUNCH (claim pages, SECB, an sePCR, hash the
+   image) and immediately backs the claim out, charging the true launch
+   cost while leaving the serve loop's sePCR bank untouched between
+   epochs. Under a software (SFI) backend the launch is just stub
+   patching and a software measurement — a flat ~25 µs charge to the
+   target's clock. *)
+let respawn ~target ?(preemption_timer = Sea_sim.Time.ms 10.) ~cost ~tenant
+    ~kind_name:kname pal () =
+  let target_engine = Machine.engine target in
+  Sea_trace.Trace.with_span target_engine ~cat:"autoscale"
+    ~args:(fun () ->
+      [
+        ("tenant", Sea_trace.Trace.Str tenant);
+        ("kind", Sea_trace.Trace.Str kname);
+      ])
+    "respawn"
+  @@ fun () ->
+  match cost with
+  | `Software c ->
+      Sea_sim.Engine.advance target_engine c;
+      Ok ()
+  | `Slaunch -> (
+      match launch_suspended target ~preemption_timer pal with
+      | Error e -> Error ("respawn launch: " ^ e)
+      | Ok s ->
+          backout s;
+          Ok ())

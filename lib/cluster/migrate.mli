@@ -58,3 +58,20 @@ val failover :
 
 val dispose : result_t -> unit
 (** SKILL and release the target resident. *)
+
+val respawn :
+  target:Sea_hw.Machine.t ->
+  ?preemption_timer:Sea_sim.Time.t ->
+  cost:[ `Slaunch | `Software of Sea_sim.Time.t ] ->
+  tenant:string ->
+  kind_name:string ->
+  Sea_core.Pal.t ->
+  unit ->
+  (unit, string) result
+(** Kill-and-respawn rebalancing (the autoscaler's spread policy): no
+    state moves — a fresh resident simply launches on the target.
+    [`Slaunch] pays a real cold SLAUNCH of [pal] on the target (pages,
+    SECB, sePCR, image hash) and backs the claim out so nothing stays
+    resident between epochs; [`Software c] charges the target's clock a
+    flat [c] (the ~25 µs SFI launch). [Error] only when the SLAUNCH
+    cannot claim the target. *)

@@ -30,6 +30,27 @@ let fnv1a s =
     s;
   !h
 
+(* splitmix64 finalizer. FNV-1a diffuses its low bits well but barely
+   avalanches the high ones, and ring placement sorts by the FULL hash:
+   raw FNV over the structured ["machine:m:v"] keys leaves each
+   machine's 32 points in two or three tight clumps, clumps sorted by
+   machine index — machine 0 then owns one giant arc that survives any
+   weight in [1, 32], so resizes move (almost) nothing and the "ring"
+   degenerates to a fixed partition. Finalizing with splitmix64 spreads
+   the points (and tenant keys) uniformly over the 64-bit circle, which
+   is what both the ≤ 2/N resize-stability bound and load spreading
+   assume. *)
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94D049BB133111EBL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+(* Every hash that positions something on the ring goes through the
+   finalizer. *)
+let ring_key s = mix (fnv1a s)
+
 (* Unsigned comparison of the full 64-bit hash space. *)
 let ucompare a b = Int64.unsigned_compare a b
 
@@ -42,7 +63,7 @@ let ring machines =
   for m = 0 to machines - 1 do
     for v = 0 to virtual_points - 1 do
       points.((m * virtual_points) + v) <-
-        (fnv1a (Printf.sprintf "machine:%d:%d" m v), m)
+        (ring_key (Printf.sprintf "machine:%d:%d" m v), m)
     done
   done;
   Array.sort
@@ -64,31 +85,51 @@ let ring_lookup points h =
   let i = search 0 n in
   snd points.(if i = n then 0 else i)
 
-(* The same ring restricted to the surviving machine indices: every
-   survivor keeps its original virtual point hashes, so removing a dead
-   machine reassigns only the arcs it owned (the consistent-hashing
-   stability failover depends on — tenants on healthy machines do not
-   move). *)
-let ring_of indices =
-  match indices with
-  | [] -> invalid_arg "Router.ring_of: no machines"
-  | _ ->
-      let points = Array.make (List.length indices * virtual_points) (0L, 0) in
-      List.iteri
-        (fun j m ->
-          for v = 0 to virtual_points - 1 do
-            points.((j * virtual_points) + v) <-
-              (fnv1a (Printf.sprintf "machine:%d:%d" m v), m)
-          done)
-        indices;
-      Array.sort
-        (fun (h1, m1) (h2, m2) ->
-          match ucompare h1 h2 with 0 -> compare m1 m2 | c -> c)
-        points;
-      points
+(* The same ring restricted to the surviving machine indices, each at a
+   capacity weight in [1, virtual_points]: machine [m] at weight [w]
+   contributes its first [w] canonical point hashes, unchanged. This is
+   the consistent-hashing stability both failover and autoscale ring
+   resizing depend on: removing a machine, or shrinking one machine's
+   weight, perturbs only the arcs owned by the points that disappeared —
+   a tenant on any other arc keeps its previous home. (Rehashing points
+   as a function of the weight — e.g. "machine:m:w:v" — would reshuffle
+   the whole ring on every resize; keeping the canonical prefix is the
+   fix that bounds the moved-tenant fraction.) *)
+type ring = (int64 * int) array
 
-let reroute ~alive (t : Workload.tenant) =
-  ring_lookup (ring_of alive) (fnv1a t.Workload.name)
+let make_ring ?weights alive =
+  if alive = [] then invalid_arg "Router.make_ring: no machines";
+  let weight m =
+    match weights with
+    | None -> virtual_points
+    | Some w ->
+        if m < 0 || m >= Array.length w then
+          invalid_arg "Router.make_ring: machine index outside weights";
+        if w.(m) < 1 || w.(m) > virtual_points then
+          invalid_arg "Router.make_ring: weights must be in [1, 32]";
+        w.(m)
+  in
+  let total = List.fold_left (fun acc m -> acc + weight m) 0 alive in
+  let points = Array.make total (0L, 0) in
+  let next = ref 0 in
+  List.iter
+    (fun m ->
+      for v = 0 to weight m - 1 do
+        points.(!next) <- (ring_key (Printf.sprintf "machine:%d:%d" m v), m);
+        incr next
+      done)
+    alive;
+  Array.sort
+    (fun (h1, m1) (h2, m2) ->
+      match ucompare h1 h2 with 0 -> compare m1 m2 | c -> c)
+    points;
+  points
+
+let lookup ring (t : Workload.tenant) =
+  ring_lookup ring (ring_key t.Workload.name)
+
+let reroute ?weights ~alive (t : Workload.tenant) =
+  lookup (make_ring ?weights alive) t
 
 let offered_rate (t : Workload.tenant) =
   match t.Workload.process with
@@ -120,7 +161,7 @@ let assign policy ~machines tenants =
       Array.of_list
         (List.map
            (fun (t : Workload.tenant) ->
-             ring_lookup points (fnv1a t.Workload.name))
+             ring_lookup points (ring_key t.Workload.name))
            tenants)
   | Least_loaded | Cost_weighted ->
       let load = Array.make machines 0. in

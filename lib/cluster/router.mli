@@ -48,11 +48,43 @@ val assign : policy -> machines:int -> Sea_serve.Workload.tenant list -> int arr
     machine index in [\[0, machines)]. Raises [Invalid_argument] when
     [machines < 1]. *)
 
-val reroute : alive:int list -> Sea_serve.Workload.tenant -> int
+(** {1 The consistent-hash ring, explicitly}
+
+    Failover and the autoscaler both re-place tenants on the ring many
+    times per run; building the ring once per (weights, alive) epoch and
+    looking tenants up against it avoids rebuilding it per tenant. *)
+
+type ring
+(** A materialized consistent-hash ring: virtual points sorted by hash. *)
+
+val virtual_points : int
+(** Canonical points per machine at full weight (32) — also the maximum
+    ring weight. *)
+
+val make_ring : ?weights:int array -> int list -> ring
+(** [make_ring ?weights alive] builds the ring over the [alive] machine
+    indices. [weights.(m)] (default [virtual_points], range
+    [\[1, virtual_points]]) is machine [m]'s capacity weight: it
+    contributes its {e first} [weights.(m)] canonical virtual points,
+    with their original hashes. Because shrinking a weight only deletes
+    points (and growing only restores them), a resize moves exactly the
+    tenants on the affected arcs — the stability bound the autoscaler's
+    regression test pins at ≤ 2/N moved per single-machine resize.
+    Raises [Invalid_argument] on an empty list, an index outside
+    [weights], or a weight outside [\[1, virtual_points]]. *)
+
+val lookup : ring -> Sea_serve.Workload.tenant -> int
+(** The tenant's home machine: the first ring point at or clockwise of
+    the FNV-1a hash of its name. *)
+
+val reroute :
+  ?weights:int array -> alive:int list -> Sea_serve.Workload.tenant -> int
 (** Failover routing: the tenant's home on the consistent-hash ring
-    restricted to the [alive] machine indices. Survivors keep their
-    original virtual points, so removing a dead machine moves only the
-    tenants whose arcs it owned — regardless of which policy produced
-    the original assignment, displaced tenants spread over survivors
-    proportionally to ring ownership. Raises [Invalid_argument] on an
-    empty survivor list. *)
+    restricted to the [alive] machine indices (at the given capacity
+    weights, default full). Survivors keep their original virtual
+    points, so removing a dead machine moves only the tenants whose
+    arcs it owned — regardless of which policy produced the original
+    assignment, displaced tenants spread over survivors proportionally
+    to ring ownership. Equivalent to
+    [lookup (make_ring ?weights alive)]. Raises [Invalid_argument] on
+    an empty survivor list. *)

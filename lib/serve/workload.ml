@@ -144,21 +144,69 @@ type process =
   | Open_loop of { rate_per_s : float }
   | Closed_loop of { clients : int; think : Time.t }
 
+type shape =
+  | Steady
+  | Diurnal of { period : Time.t; trough : float }
+  | Flash of { at : Time.t; width : Time.t; spike : float }
+
+let shape_name = function
+  | Steady -> "steady"
+  | Diurnal _ -> "diurnal"
+  | Flash _ -> "flash"
+
+let validate_shape = function
+  | Steady -> ()
+  | Diurnal { period; trough } ->
+      if Time.compare period Time.zero <= 0 then
+        invalid_arg "Workload: diurnal period must be positive";
+      if trough <= 0. || trough > 1. then
+        invalid_arg "Workload: diurnal trough must be in (0, 1]"
+  | Flash { at; width; spike } ->
+      if Time.compare at Time.zero < 0 then
+        invalid_arg "Workload: flash start must be non-negative";
+      if Time.compare width Time.zero <= 0 then
+        invalid_arg "Workload: flash width must be positive";
+      if spike <= 0. then invalid_arg "Workload: flash spike must be positive"
+
+let shape_multiplier shape now =
+  match shape with
+  | Steady -> 1.
+  | Diurnal { period; trough } ->
+      (* Trough at t = 0 (midnight), peak 1.0 at half-period (midday):
+         the classic diurnal curve of a consumer service, sampled at
+         whatever instants the cluster's epoch cuts land on. *)
+      let phase = Time.to_s now /. Time.to_s period in
+      trough +. ((1. -. trough) *. (1. -. cos (2. *. Float.pi *. phase)) /. 2.)
+  | Flash { at; width; spike } ->
+      (* A step function, so an epoch cut at [at] and [at + width]
+         reproduces the crowd exactly rather than smearing it. *)
+      if Time.compare now at >= 0 && Time.compare now (Time.add at width) < 0
+      then spike
+      else 1.
+
+let shape_instants shape =
+  match shape with
+  | Steady | Diurnal _ -> []
+  | Flash { at; width; _ } -> [ at; Time.add at width ]
+
 type tenant = {
   name : string;
   weight : int;
   mix : (kind * int) list;
   process : process;
   deadline : Time.t option;
+  shape : shape;
 }
 
-let tenant ?(weight = 1) ?(mix = [ (Ssh_auth, 1) ]) ?deadline ~name process =
+let tenant ?(weight = 1) ?(mix = [ (Ssh_auth, 1) ]) ?deadline ?(shape = Steady)
+    ~name process =
   if weight <= 0 then invalid_arg "Workload.tenant: weight must be positive";
   if mix = [] then invalid_arg "Workload.tenant: empty request mix";
   List.iter
     (fun (_, w) ->
       if w <= 0 then invalid_arg "Workload.tenant: mix weights must be positive")
     mix;
+  validate_shape shape;
   (match process with
   | Open_loop { rate_per_s } ->
       if rate_per_s <= 0. then
@@ -166,7 +214,15 @@ let tenant ?(weight = 1) ?(mix = [ (Ssh_auth, 1) ]) ?deadline ~name process =
   | Closed_loop { clients; _ } ->
       if clients <= 0 then
         invalid_arg "Workload.tenant: clients must be positive");
-  { name; weight; mix; process; deadline }
+  { name; weight; mix; process; deadline; shape }
+
+let at_time now t =
+  match (t.shape, t.process) with
+  | Steady, _ | _, Closed_loop _ -> t
+  | shape, Open_loop { rate_per_s } ->
+      let m = shape_multiplier shape now in
+      if m = 1. then t
+      else { t with process = Open_loop { rate_per_s = rate_per_s *. m } }
 
 let draw_kind rng t =
   let total = List.fold_left (fun acc (_, w) -> acc + w) 0 t.mix in
@@ -177,17 +233,38 @@ let draw_kind rng t =
   in
   pick 0 t.mix
 
-let preset ?deadline ~tenants process =
+let preset ?deadline ?(shape = Steady) ?(popularity = `Even) ~tenants process =
   if tenants <= 0 then invalid_arg "Workload.preset: tenants must be positive";
+  (* Heavy-tailed popularity: tenant [i]'s share of the total arrival
+     rate is Zipfian, 1/(i+1)^alpha normalized over the population — a
+     handful of head tenants carry most of the traffic, the long tail
+     trickles. Even split is the historical behavior. *)
+  let rate_of =
+    match popularity with
+    (* The even split must stay the historical [total /. n] expression
+       exactly: the rate seeds Poisson inter-arrival draws, and a
+       last-ulp difference would shift every report byte. *)
+    | `Even -> fun _ total -> total /. float_of_int tenants
+    | `Zipf alpha ->
+        if alpha <= 0. then
+          invalid_arg "Workload.preset: zipf alpha must be positive";
+        let mass i = 1. /. Float.pow (float_of_int (i + 1)) alpha in
+        let total_mass = ref 0. in
+        for i = 0 to tenants - 1 do
+          total_mass := !total_mass +. mass i
+        done;
+        let total_mass = !total_mass in
+        fun i total -> total *. (mass i /. total_mass)
+  in
   List.init tenants (fun i ->
       let k = List.nth kinds (i mod List.length kinds) in
       let process =
         match process with
-        | `Open total_rate -> Open_loop { rate_per_s = total_rate /. float_of_int tenants }
+        | `Open total_rate -> Open_loop { rate_per_s = rate_of i total_rate }
         | `Closed (clients, think) -> Closed_loop { clients; think }
       in
       tenant
         ~name:(Printf.sprintf "t%d-%s" i (kind_name k))
         ~weight:(1 + (i mod 3))
         ~mix:[ (k, 1) ]
-        ?deadline process)
+        ?deadline ~shape process)

@@ -75,6 +75,36 @@ type process =
           distributed time of the given mean ([Time.zero] = none)
           before its next request. *)
 
+(** {1 Traffic shapes}
+
+    A shape modulates an open-loop tenant's arrival rate over virtual
+    time — the millions-of-users traces an autoscaler must ride out.
+    Shapes are pure functions of the clock, so a shaped run replays
+    bit-identically; the cluster layer samples them at its epoch cuts
+    (a closed-loop tenant's concurrency is not modulated). *)
+
+type shape =
+  | Steady  (** Constant rate — the historical behavior. *)
+  | Diurnal of { period : Sea_sim.Time.t; trough : float }
+      (** Sinusoidal day/night cycle: the rate multiplier runs from
+          [trough] (at phase 0, "midnight") up to [1.0] at half-period
+          and back. Requires [period > 0] and [trough] in (0, 1]. *)
+  | Flash of { at : Sea_sim.Time.t; width : Sea_sim.Time.t; spike : float }
+      (** Flash crowd: a step to [spike ×] the base rate on
+          [\[at, at + width)]. Requires [width > 0] and [spike > 0]. *)
+
+val shape_name : shape -> string
+(** [steady], [diurnal] or [flash]. *)
+
+val shape_multiplier : shape -> Sea_sim.Time.t -> float
+(** The rate multiplier at a virtual instant. Pure. *)
+
+val shape_instants : shape -> Sea_sim.Time.t list
+(** The instants where the multiplier is discontinuous (a flash crowd's
+    onset and end) — the cluster adds them to its epoch cuts so steps
+    are reproduced exactly rather than smeared. Empty for continuous
+    shapes. *)
+
 type tenant = {
   name : string;
   weight : int;  (** Share under weighted-fair admission. *)
@@ -83,24 +113,45 @@ type tenant = {
   deadline : Sea_sim.Time.t option;
       (** Queueing deadline: a request still queued this long after
           arrival is dropped as timed out rather than served. *)
+  shape : shape;
+      (** Rate modulation over virtual time; [Steady] leaves the
+          process untouched. *)
 }
 
 val tenant :
   ?weight:int ->
   ?mix:(kind * int) list ->
   ?deadline:Sea_sim.Time.t ->
+  ?shape:shape ->
   name:string ->
   process ->
   tenant
 (** Validated constructor. Defaults: weight 1, mix 100% [Ssh_auth], no
-    deadline. Raises [Invalid_argument] on non-positive weights, rates,
-    client counts or an empty mix. *)
+    deadline, steady shape. Raises [Invalid_argument] on non-positive
+    weights, rates, client counts, an empty mix or an ill-formed
+    shape. *)
+
+val at_time : Sea_sim.Time.t -> tenant -> tenant
+(** [at_time now t] specializes [t]'s open-loop rate to the instant
+    [now] under its shape (identity for steady or closed-loop tenants):
+    what a cluster epoch starting at [now] serves. *)
 
 val draw_kind : Sea_sim.Rng.t -> tenant -> kind
 (** Sample one request kind from the tenant's weighted mix. *)
 
-val preset : ?deadline:Sea_sim.Time.t -> tenants:int -> [ `Open of float | `Closed of int * Sea_sim.Time.t ] -> tenant list
+val preset :
+  ?deadline:Sea_sim.Time.t ->
+  ?shape:shape ->
+  ?popularity:[ `Even | `Zipf of float ] ->
+  tenants:int ->
+  [ `Open of float | `Closed of int * Sea_sim.Time.t ] ->
+  tenant list
 (** [preset ~tenants:n (`Open total_rate)] builds [n] single-kind
     tenants cycling through {!kinds} with weights cycling 1–3, the
     total arrival rate split evenly; [`Closed (clients, think)] gives
-    every tenant that many closed-loop clients instead. *)
+    every tenant that many closed-loop clients instead. [shape]
+    (default steady) applies to every tenant. [popularity] splits the
+    open-loop total: [`Even] (default, the historical split) or
+    [`Zipf alpha] — tenant [i] gets a share proportional to
+    [1/(i+1)^alpha], the heavy-tailed popularity curve (ignored for
+    closed-loop tenants; alpha must be positive). *)

@@ -49,6 +49,7 @@ let tenant name rate =
     mix = [ (Workload.Ssh_auth, 1) ];
     process = Workload.Open_loop { rate_per_s = rate };
     deadline = None;
+    shape = Workload.Steady;
   }
 
 let test_router_round_robin () =
@@ -114,6 +115,7 @@ let test_router_cost_weighted () =
       mix = [ (kind, 1) ];
       process = Workload.Open_loop { rate_per_s = 1. };
       deadline = None;
+      shape = Workload.Steady;
     }
   in
   let tenants =
@@ -639,6 +641,346 @@ let test_churn_validation () =
       checkb "error names the machine requirement" true
         (contains_sub e "at least 2 machines")
 
+(* --- autoscale --- *)
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_autoscale_decide () =
+  let cfg =
+    Autoscale.config ~policy:Autoscale.Migrate ~interval:(Time.ms 250.)
+      ~hot_threshold:2. ()
+  in
+  let weights = [| 32; 32; 32; 32 |] in
+  let alive = [| true; true; true; true |] in
+  (* One machine at 4x the others: hot, halved; the cold ones are
+     already at full weight so they stay put. *)
+  let d =
+    Autoscale.decide cfg ~weights ~alive ~loads:[| 400.; 100.; 100.; 100. |]
+  in
+  check Alcotest.(list int) "hot machine detected" [ 0 ] d.Autoscale.hot;
+  check Alcotest.(array int) "hot halved, full-weight cool untouched"
+    [| 16; 32; 32; 32 |] d.Autoscale.weights;
+  (* Inside the hysteresis band nothing changes. *)
+  let d =
+    Autoscale.decide cfg ~weights ~alive ~loads:[| 150.; 100.; 100.; 100. |]
+  in
+  check Alcotest.(array int) "hysteresis band is a no-op" weights
+    d.Autoscale.weights;
+  (* A shrunken machine regrows (doubling) only when cold. *)
+  let d =
+    Autoscale.decide cfg ~weights:[| 4; 32; 32; 32 |] ~alive
+      ~loads:[| 10.; 200.; 200.; 200. |]
+  in
+  check Alcotest.(list int) "cooled machine listed" [ 0 ] d.Autoscale.cooled;
+  check Alcotest.(array int) "cooled machine regrows" [| 8; 32; 32; 32 |]
+    d.Autoscale.weights;
+  (* min_weight floors the shrink. *)
+  let floor_cfg =
+    Autoscale.config ~policy:Autoscale.Migrate ~interval:(Time.ms 250.)
+      ~hot_threshold:2. ~min_weight:8 ()
+  in
+  let d =
+    Autoscale.decide floor_cfg ~weights:[| 8; 32; 32; 32 |] ~alive
+      ~loads:[| 900.; 100.; 100.; 100. |]
+  in
+  check Alcotest.(array int) "min_weight floors the shrink"
+    [| 8; 32; 32; 32 |] d.Autoscale.weights;
+  (* Zero load everywhere: no decision at all. *)
+  let d = Autoscale.decide cfg ~weights ~alive ~loads:[| 0.; 0.; 0.; 0. |] in
+  check Alcotest.(array int) "zero mean is a no-op" weights d.Autoscale.weights;
+  checkb "no hot or cooled on zero mean" true
+    (d.Autoscale.hot = [] && d.Autoscale.cooled = []);
+  (* Dead machines are invisible: excluded from the mean and never
+     resized. *)
+  let d =
+    Autoscale.decide cfg ~weights ~alive:[| true; false; true; true |]
+      ~loads:[| 500.; 10_000.; 100.; 100. |]
+  in
+  check Alcotest.(list int) "dead machine not detected" [ 0 ] d.Autoscale.hot;
+  check Alcotest.(array int) "dead machine never resized"
+    [| 16; 32; 32; 32 |] d.Autoscale.weights
+
+(* Satellite regression for the ring-resize stability bound: resizing
+   (or removing) ONE machine must move at most ~its own share of the
+   tenants — pinned at <= 2/N — and every mover must come off the
+   resized machine. Before the splitmix64 finalizer landed in
+   [Router.ring_key], raw FNV-1a left each machine's points in a few
+   tight clumps, so machine 0 owned one giant arc that survived any
+   weight: resizes moved (almost) nothing and this bound held only
+   vacuously; the companion check below (shrinking to weight 1 sheds
+   most tenants) is what failed. *)
+let test_ring_resize_stability () =
+  let machines = 4 in
+  let tenants =
+    List.init 200 (fun i -> tenant (Printf.sprintf "tenant-%d.example" i) 1.)
+  in
+  let alive = List.init machines Fun.id in
+  let place ?weights () =
+    let ring = Router.make_ring ?weights alive in
+    List.map (fun t -> Router.lookup ring t) tenants
+  in
+  let base = place () in
+  let full = Array.make machines Router.virtual_points in
+  (* Halving one machine's weight: movers only off that machine, total
+     moved fraction <= 2/N. *)
+  for m = 0 to machines - 1 do
+    let weights = Array.copy full in
+    weights.(m) <- Router.virtual_points / 2;
+    let resized = place ~weights () in
+    let moved = ref 0 in
+    List.iter2
+      (fun b r ->
+        if b <> r then begin
+          incr moved;
+          checki (Printf.sprintf "mover left machine %d" m) m b
+        end)
+      base resized;
+    checkb
+      (Printf.sprintf "halving machine %d moved %d <= 2/N of 200" m !moved)
+      true
+      (float_of_int !moved <= 2. /. float_of_int machines *. 200.)
+  done;
+  (* Restoring the weight restores the placement exactly. *)
+  let weights = Array.copy full in
+  weights.(0) <- 1;
+  weights.(0) <- Router.virtual_points;
+  check Alcotest.(list int) "restore is exact" base (place ~weights ());
+  (* The companion direction: shrinking to weight 1 must actually shed
+     load — the machine keeps at most a ~1-point share of the ring. *)
+  let weights = Array.copy full in
+  weights.(0) <- 1;
+  let kept =
+    List.length (List.filter (fun h -> h = 0) (place ~weights ()))
+  in
+  let before = List.length (List.filter (fun h -> h = 0) base) in
+  checkb
+    (Printf.sprintf "weight 1 sheds load (%d -> %d tenants)" before kept)
+    true
+    (kept * 4 <= before);
+  (* Removing a machine outright: same bound, same directionality. *)
+  let survivors = [ 0; 1; 3 ] in
+  let ring = Router.make_ring survivors in
+  let moved = ref 0 in
+  List.iter2
+    (fun b t ->
+      let r = Router.lookup ring t in
+      if b <> r then begin
+        incr moved;
+        checki "mover came off the removed machine" 2 b
+      end
+      else checkb "survivor keeps home" true (b <> 2 || r <> 2))
+    base tenants;
+  checkb
+    (Printf.sprintf "removal moved %d <= 2/N of 200" !moved)
+    true
+    (float_of_int !moved <= 2. /. float_of_int machines *. 200.)
+
+(* A 12-tenant population with the flash crowd concentrated on the
+   ring's most-loaded machine — the A12 bench scenario in miniature,
+   reused by the determinism, counter and race tests below. *)
+let hotspot_tenants ?(machines = 4) ?(rate = 120.) () =
+  let name i = Printf.sprintf "t%d-ssh-auth" i in
+  let probe =
+    List.init 12 (fun i -> tenant (name i) 1.)
+  in
+  let ring = Router.make_ring (List.init machines Fun.id) in
+  let counts = Array.make machines 0 in
+  List.iter
+    (fun t ->
+      let m = Router.lookup ring t in
+      counts.(m) <- counts.(m) + 1)
+    probe;
+  let hot = ref 0 in
+  Array.iteri (fun m c -> if c > counts.(!hot) then hot := m) counts;
+  let flash =
+    Workload.Flash { at = Time.s 1.; width = Time.s 2.; spike = 6. }
+  in
+  List.map
+    (fun t ->
+      Workload.tenant ~name:t.Workload.name
+        ~shape:
+          (if Router.lookup ring t = !hot then flash else Workload.Steady)
+        (Workload.Open_loop { rate_per_s = rate /. 12. }))
+    probe
+
+let auto_fleet ?(machines = 4) ?(shards = 1) ?(mode = Server.Proposed)
+    ?(policy = Autoscale.Auto) ?churn ?(duration = 4.) ?(rate = 120.) () =
+  let machine_config =
+    match mode with
+    | Server.Current | Server.Sfi -> machine_config
+    | Server.Proposed -> proposed_config
+  in
+  let cfg =
+    Cluster.config ~shards ~machines ~policy:Router.Hash_tenant ()
+  in
+  let serve =
+    Server.config ~queue_depth:8 ~mode ~duration:(Time.s duration) ()
+  in
+  let autoscale =
+    Autoscale.config ~policy ~interval:(Time.ms 250.) ~hot_threshold:1.8 ()
+  in
+  match
+    Cluster.run ~seed:11L ?churn ~autoscale cfg ~machine_config ~serve
+      (hotspot_tenants ~machines ~rate ())
+  with
+  | Ok fr -> fr
+  | Error e -> Alcotest.fail ("autoscale fleet run failed: " ^ e)
+
+let test_autoscale_shard_determinism () =
+  (* The load-bearing gate with the controller on: every decision
+     happens at an epoch barrier on the main domain, so the shard count
+     is invisible — byte-identical renders on 1 and 4 domains, for the
+     migrating and spreading backends alike. *)
+  List.iter
+    (fun (mode, policy) ->
+      let a = auto_fleet ~shards:1 ~mode ~policy () in
+      let b = auto_fleet ~shards:4 ~mode ~policy () in
+      checks
+        (Printf.sprintf "autoscale %s/%s shards 1 = 4"
+           (Autoscale.policy_name policy)
+           (Server.mode_name mode))
+        (Fleet_report.render a) (Fleet_report.render b))
+    [
+      (Server.Proposed, Autoscale.Migrate);
+      (Server.Proposed, Autoscale.Spread);
+      (Server.Sfi, Autoscale.Auto);
+    ];
+  (* And composed with churn: barrier order is fixed, so failover plus
+     rebalancing still shards invisibly. *)
+  let plan =
+    Sea_fault.Machine_fault.spec ~mttf:(Time.s 1.5) ~mttr:(Time.s 2.) ~seed:1
+      ()
+  in
+  let churn () = Cluster.churn plan () in
+  let a = auto_fleet ~shards:1 ~churn:(churn ()) () in
+  let b = auto_fleet ~shards:4 ~churn:(churn ()) () in
+  checks "autoscale + churn shards 1 = 4" (Fleet_report.render a)
+    (Fleet_report.render b)
+
+let test_autoscale_counters_and_render () =
+  (* Proposed + migrate: the hot spot exists by construction, so the
+     controller must tick, detect, resize and move warm. *)
+  let fr = auto_fleet ~policy:Autoscale.Migrate () in
+  let a =
+    match fr.Fleet_report.autoscale with
+    | Some a -> a
+    | None -> Alcotest.fail "autoscale stats missing"
+  in
+  checkb "ticks fired" true (a.Fleet_report.ticks > 0);
+  checkb "hot spot detected" true (a.Fleet_report.hot_events > 0);
+  checkb "ring resized" true (a.Fleet_report.resizes > 0);
+  checkb "tenants moved" true (a.Fleet_report.tenants_moved > 0);
+  checkb "migrate policy moves warm, never respawns" true
+    (a.Fleet_report.warm_moves > 0 && a.Fleet_report.respawns = 0);
+  (* No churn in this run, so every ring move executes: exactly one PAL
+     move per moved tenant (single-kind mixes). *)
+  checki "every ring move is exactly one PAL move"
+    a.Fleet_report.tenants_moved
+    (a.Fleet_report.warm_moves + a.Fleet_report.cold_moves
+   + a.Fleet_report.respawns);
+  let render = Fleet_report.render fr in
+  checkb "autoscale line renders" true (contains_sub render "autoscale:");
+  checkb "rebalance line renders" true (contains_sub render "rebalance:");
+  checkb "policy named" true (contains_sub render "policy migrate");
+  (* SFI + auto: software isolation has no sePCR state to ship, so auto
+     degrades every move to a 25 us respawn. *)
+  let fr = auto_fleet ~mode:Server.Sfi ~policy:Autoscale.Auto () in
+  let a = Option.get fr.Fleet_report.autoscale in
+  checkb "sfi auto respawns, never migrates" true
+    (a.Fleet_report.respawns > 0 && a.Fleet_report.warm_moves = 0);
+  (* Static: samples and reports, but the ring never changes. *)
+  let fr = auto_fleet ~policy:Autoscale.Static () in
+  let a = Option.get fr.Fleet_report.autoscale in
+  checkb "static detects but never acts" true
+    (a.Fleet_report.hot_events > 0
+    && a.Fleet_report.resizes = 0
+    && a.Fleet_report.tenants_moved = 0);
+  (* No controller, no lines. *)
+  let plain = run_fleet_exn ~seed:11L () in
+  checkb "no autoscale lines without a controller" true
+    (not (contains_sub (Fleet_report.render plain) "autoscale:"))
+
+let test_autoscale_crash_race () =
+  (* Satellite property, swept across the fault-seed band (widened via
+     SEA_FAULT_SEEDS in the CI fault soak): autoscale rebalancing
+     racing machine crashes must keep the books exact — the merged
+     fleet row satisfies offered = completed + shed + timed_out +
+     failed with black-holed requests folded in — and every executed
+     move is accounted exactly once (a tenant's resident PALs are warm-
+     migrated, cold-restarted or respawned, never double-counted and
+     never lost in between). *)
+  List.iter
+    (fun seed ->
+      let plan =
+        Sea_fault.Machine_fault.spec ~mttf:(Time.s 1.) ~mttr:(Time.s 1.5)
+          ~seed ()
+      in
+      let fr = auto_fleet ~churn:(Cluster.churn plan ()) () in
+      let f = fr.Fleet_report.fleet in
+      let ctx = Printf.sprintf "seed %d" seed in
+      checki
+        (ctx ^ ": offered = completed + shed + timed_out + failed")
+        f.Report.offered
+        (f.Report.completed + f.Report.shed + f.Report.timed_out
+       + f.Report.failed);
+      let a = Option.get fr.Fleet_report.autoscale in
+      let moves =
+        a.Fleet_report.warm_moves + a.Fleet_report.cold_moves
+        + a.Fleet_report.respawns
+      in
+      (* Single-kind mixes: a re-homed tenant carries exactly one
+         resident PAL, so a PAL is never moved twice for one ring move
+         — and a move whose source or target was down or dead is
+         skipped entirely (the failover path owns those residents),
+         never half-executed. *)
+      checkb
+        (Printf.sprintf "%s: PAL moves (%d) never exceed ring moves (%d)"
+           ctx moves a.Fleet_report.tenants_moved)
+        true
+        (moves <= a.Fleet_report.tenants_moved);
+      (* The same run is still deterministic under the race. *)
+      let fr' = auto_fleet ~churn:(Cluster.churn plan ()) () in
+      checks (ctx ^ ": race is deterministic") (Fleet_report.render fr)
+        (Fleet_report.render fr'))
+    churn_seeds
+
+let test_autoscale_validation () =
+  let serve =
+    Server.config ~queue_depth:8 ~mode:Server.Proposed ~duration:(Time.s 1.)
+      ()
+  in
+  let autoscale = Autoscale.config () in
+  let tenants = Workload.preset ~tenants:4 (`Open 8.) in
+  (* Autoscaling needs the consistent-hash ring. *)
+  (match
+     Cluster.run ~autoscale
+       (Cluster.config ~machines:4 ())
+       ~machine_config:proposed_config ~serve tenants
+   with
+  | Ok _ -> Alcotest.fail "autoscale without hash routing must be rejected"
+  | Error e -> checkb "error names hash routing" true (contains_sub e "hash"));
+  (* ...and someone to rebalance onto. *)
+  (match
+     Cluster.run ~autoscale
+       (Cluster.config ~machines:1 ~policy:Router.Hash_tenant ())
+       ~machine_config:proposed_config ~serve tenants
+   with
+  | Ok _ -> Alcotest.fail "single-machine autoscale must be rejected"
+  | Error e ->
+      checkb "error names the machine requirement" true
+        (contains_sub e "at least 2 machines"));
+  Alcotest.check_raises "interval must be positive"
+    (Invalid_argument "Autoscale.config: --scale-interval must be positive")
+    (fun () -> ignore (Autoscale.config ~interval:Time.zero ()));
+  Alcotest.check_raises "hot threshold must exceed 1"
+    (Invalid_argument "Autoscale.config: --hot-threshold must exceed 1")
+    (fun () -> ignore (Autoscale.config ~hot_threshold:1. ()))
+
 let () =
   Alcotest.run "cluster"
     [
@@ -692,5 +1034,20 @@ let () =
           Alcotest.test_case "tracing is observer-only" `Quick
             test_churn_trace_gated;
           Alcotest.test_case "churn validation" `Quick test_churn_validation;
+        ] );
+      ( "autoscale",
+        [
+          Alcotest.test_case "decide: thresholds and hysteresis" `Quick
+            test_autoscale_decide;
+          Alcotest.test_case "ring resize stability (<= 2/N)" `Quick
+            test_ring_resize_stability;
+          Alcotest.test_case "autoscale shards 1 = 4 (with churn)" `Quick
+            test_autoscale_shard_determinism;
+          Alcotest.test_case "counters and render" `Quick
+            test_autoscale_counters_and_render;
+          Alcotest.test_case "rebalance racing crashes across seeds" `Quick
+            test_autoscale_crash_race;
+          Alcotest.test_case "autoscale validation" `Quick
+            test_autoscale_validation;
         ] );
     ]

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Consolidated bench regression gate, driven by tools/bench_manifest.tsv.
+#
+# For each manifest line this runs the bench subcommand (in smoke mode
+# unless SEA_BENCH_SMOKE is already set), compares its JSON against the
+# checked-in baseline at +-10% per metric, and then applies the named
+# headline check — the single result each bench exists to demonstrate,
+# which a drift that stays within 10% per-row could still break.
+#
+# Usage: tools/check_bench.sh [bench ...]   (default: every manifest line)
+#
+# Run it from anywhere; it cds to the repo root. In CI wrap it with
+# `opam exec --`. All BENCH_*.json outputs are left in the repo root so
+# the always-upload artifact step can collect them even on failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+export SEA_BENCH_SMOKE="${SEA_BENCH_SMOKE:-1}"
+
+selected=("$@")
+want() {
+  [ ${#selected[@]} -eq 0 ] && return 0
+  local b
+  for b in "${selected[@]}"; do [ "$b" = "$1" ] && return 0; done
+  return 1
+}
+
+fail=0
+while read -r bench out baseline keys metrics headline; do
+  case "$bench" in ''|\#*) continue ;; esac
+  want "$bench" || continue
+  echo "=== bench: $bench ==="
+  if ! dune exec bench/main.exe -- "$bench" >/dev/null; then
+    echo "$bench: bench run failed"
+    fail=1
+    continue
+  fi
+  [ "$baseline" = "-" ] && { echo "$bench: run-only (no baseline)"; continue; }
+  if ! python3 tools/compare_bench.py \
+         "$bench" "$out" "$baseline" "$keys" "$metrics" "$headline"; then
+    fail=1
+  fi
+done <tools/bench_manifest.tsv
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench gate FAILED"
+  exit 1
+fi
+echo "bench gate passed"
